@@ -1,0 +1,112 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-exp all|table1|table2|fig3|fig4|fig5|fig6|fig7|fig8|fig9] [-size small|medium] [-q]
+//
+// Figures 4-9 come from one shared sweep of every benchmark in copy and
+// limited-copy mode; Figure 3 additionally runs the kmeans restructured
+// organizations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/experiments"
+
+	_ "repro/internal/suites/lonestar"
+	_ "repro/internal/suites/pannotia"
+	_ "repro/internal/suites/parboil"
+	_ "repro/internal/suites/rodinia"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "which experiment: all, table1, table2, fig3..fig9, ablation (comma-separated)")
+	sizeFlag := flag.String("size", "small", "input scale: small or medium")
+	csvDir := flag.String("csv", "", "also export the sweep as CSV files into this directory")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	flag.Parse()
+
+	size := bench.SizeSmall
+	switch *sizeFlag {
+	case "small":
+	case "medium":
+		size = bench.SizeMedium
+	default:
+		fmt.Fprintf(os.Stderr, "unknown size %q\n", *sizeFlag)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	sel := func(name string) bool { return all || want[name] }
+
+	if sel("table1") {
+		fmt.Println(experiments.Table1())
+	}
+	if sel("table2") {
+		fmt.Println(experiments.Table2Text())
+	}
+	if sel("ablation") {
+		if !*quiet {
+			fmt.Fprintln(os.Stderr, "running ablation sweeps...")
+		}
+		fmt.Println(experiments.AblationText(size))
+	}
+	if sel("fig3") {
+		if !*quiet {
+			fmt.Fprintln(os.Stderr, "running kmeans case study (4 organizations)...")
+		}
+		fmt.Println(experiments.Fig3Text(experiments.Fig3(size)))
+	}
+
+	needSweep := false
+	for _, f := range []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9"} {
+		if sel(f) {
+			needSweep = true
+		}
+	}
+	if !needSweep {
+		return
+	}
+	progress := func(name, mode string) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "running %s (%s)...\n", name, mode)
+		}
+	}
+	res := experiments.Run(size, progress)
+	if *csvDir != "" {
+		if err := experiments.WriteCSVs(*csvDir, res); err != nil {
+			fmt.Fprintf(os.Stderr, "csv export failed: %v\n", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "wrote CSVs to %s\n", *csvDir)
+		}
+	}
+	if sel("fig4") {
+		fmt.Println(experiments.Fig4Text(res))
+	}
+	if sel("fig5") {
+		fmt.Println(experiments.Fig5Text(res))
+	}
+	if sel("fig6") {
+		fmt.Println(experiments.Fig6Text(res))
+	}
+	if sel("fig7") {
+		fmt.Println(experiments.Fig7Text(res))
+	}
+	if sel("fig8") {
+		fmt.Println(experiments.Fig8Text(res))
+	}
+	if sel("fig9") {
+		fmt.Println(experiments.Fig9Text(res))
+	}
+}

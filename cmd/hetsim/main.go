@@ -1,0 +1,84 @@
+// Command hetsim runs one benchmark on one simulated system configuration
+// and prints the full analysis report — the smallest way to poke at the
+// simulator.
+//
+// Usage:
+//
+//	hetsim -bench rodinia/kmeans [-mode copy|limited-copy|async-streams|parallel-chunked] [-size small|medium] [-counters]
+//	hetsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+
+	_ "repro/internal/suites/lonestar"
+	_ "repro/internal/suites/pannotia"
+	_ "repro/internal/suites/parboil"
+	_ "repro/internal/suites/rodinia"
+)
+
+func main() {
+	name := flag.String("bench", "", "benchmark full name (suite/name)")
+	modeFlag := flag.String("mode", "copy", "copy, limited-copy, async-streams, or parallel-chunked")
+	sizeFlag := flag.String("size", "small", "small or medium")
+	counters := flag.Bool("counters", false, "also dump every hardware counter")
+	list := flag.Bool("list", false, "list available benchmarks")
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-26s %-10s %s\n", "NAME", "EXTRA", "DESCRIPTION")
+		for _, b := range bench.All() {
+			info := b.Info()
+			extra := ""
+			for i, m := range info.ExtraModes {
+				if i > 0 {
+					extra += ","
+				}
+				extra += m.String()
+			}
+			fmt.Printf("%-26s %-10s %s\n", info.FullName(), extra, info.Desc)
+		}
+		return
+	}
+
+	var mode bench.Mode
+	switch *modeFlag {
+	case "copy":
+		mode = bench.ModeCopy
+	case "limited-copy":
+		mode = bench.ModeLimitedCopy
+	case "async-streams":
+		mode = bench.ModeAsyncStreams
+	case "parallel-chunked":
+		mode = bench.ModeParallelChunked
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *modeFlag)
+		os.Exit(2)
+	}
+	size := bench.SizeSmall
+	if *sizeFlag == "medium" {
+		size = bench.SizeMedium
+	}
+
+	b, ok := bench.Get(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *name)
+		fmt.Fprintln(os.Stderr, "use -list to see available benchmarks")
+		os.Exit(1)
+	}
+	if !b.Info().Supports(mode) {
+		fmt.Fprintf(os.Stderr, "%s does not support mode %s\n", *name, mode)
+		os.Exit(1)
+	}
+	sys := bench.SystemFor(mode)
+	rep := bench.ExecuteOnSystem(b, sys, mode, size)
+	fmt.Print(rep.String())
+	if *counters {
+		fmt.Println("\nhardware counters:")
+		fmt.Print(sys.Ctr.String())
+	}
+}

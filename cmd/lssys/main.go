@@ -1,0 +1,13 @@
+// Command lssys prints the resolved Table I system configurations for the
+// discrete GPU system and the heterogeneous CPU-GPU processor.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fmt.Print(experiments.Table1())
+}

@@ -1,0 +1,28 @@
+// Package repro reproduces "GPU Computing Pipeline Inefficiencies and
+// Optimization Opportunities in Heterogeneous CPU-GPU Processors"
+// (Hestness, Keckler, Wood — IISWC 2015) as a pure-Go system: a
+// cycle-approximate discrete-event simulator of a discrete GPU system and a
+// cache-coherent heterogeneous CPU-GPU processor, a CUDA-like device
+// runtime, 20 benchmark re-implementations across four suites, the paper's
+// pipeline-inefficiency analysis (component activity, footprint partitions,
+// off-chip access classification), and its analytical models (Eqs. 1-4).
+//
+// Layout:
+//
+//	internal/core        the paper's contribution: pipeline analysis + models
+//	internal/sim         discrete-event kernel
+//	internal/memory      caches, DRAM, coherence fabric
+//	internal/cpucore     trace-driven CPU timing model
+//	internal/gpucore     trace-driven SIMT GPU timing model
+//	internal/pcie        DMA copy engine
+//	internal/vm          page tables and GPU fault handling
+//	internal/device      CUDA-like runtime and machine assembly
+//	internal/bench       benchmark framework + Table II census
+//	internal/suites/...  rodinia, parboil, lonestar, pannotia
+//	internal/experiments the table/figure regeneration harness
+//	cmd/...              experiments, hetsim, lssys binaries
+//	examples/...         quickstart, pipeline, graphs
+//
+// The benchmarks in bench_test.go regenerate every table and figure; see
+// EXPERIMENTS.md for paper-vs-measured results.
+package repro

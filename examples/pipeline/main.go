@@ -1,0 +1,98 @@
+// Pipeline: the paper's Section II argument as a library user would write
+// it — a bulk-synchronous producer/consumer pipeline versus a chunked
+// producer-consumer organization synchronizing through in-memory signals on
+// the heterogeneous processor. The chunked version keeps the intermediate
+// buffer cache-resident, so the CPU consumer hits in cache instead of
+// spilling off-chip.
+//
+//	go run ./examples/pipeline
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/sim"
+)
+
+const (
+	n      = 1 << 18 // elements
+	block  = 256
+	chunks = 8
+)
+
+// produce builds the GPU producer kernel for one chunk.
+func produce(src, dst *device.Buf[float32], base, count int) device.KernelSpec {
+	return device.KernelSpec{
+		Name: "produce", Grid: count / block, Block: block,
+		Func: func(t *device.Thread) {
+			i := base + t.Global()
+			v := device.Ld(t, src, i)
+			t.FLOP(8)
+			device.St(t, dst, i, v*v+1)
+		},
+	}
+}
+
+// consume builds the CPU consumer task for one chunk.
+func consume(s *device.System, mid *device.Buf[float32], out []float64, base, count int, deps ...*device.Handle) *device.Handle {
+	return s.CPUTaskAsync(device.CPUTaskSpec{
+		Name: "consume", Threads: 1,
+		Func: func(c *device.CPUThread) {
+			var acc float64
+			for i := base; i < base+count; i++ {
+				acc += float64(device.Ld(c, mid, i))
+				c.FLOP(1)
+			}
+			out[base/(n/chunks)] = acc
+		},
+	}, deps...)
+}
+
+func run(chunked bool) (sim.Tick, *core.Report) {
+	s := device.NewSystem(config.HeteroProcessor())
+	src := device.AllocBuf[float32](s, n, "src", device.Host)
+	mid := device.AllocBuf[float32](s, n, "intermediate", device.Host)
+	out := make([]float64, chunks)
+	for i := range src.V {
+		src.V[i] = float32(i%97) / 97
+	}
+
+	s.BeginROI()
+	if !chunked {
+		// Bulk synchronous: one wide kernel, then one wide CPU pass. The
+		// whole 1MB+ intermediate spills off-chip before the CPU reads it.
+		s.Launch(produce(src, mid, 0, n))
+		s.Wait(consume(s, mid, out, 0, n))
+	} else {
+		// Chunked: each chunk's consumer starts the moment its producer
+		// signals, while the next chunk's producer runs — the intermediate
+		// stays within the caches.
+		per := n / chunks
+		var last *device.Handle
+		for c := 0; c < chunks; c++ {
+			k := s.LaunchAsync(produce(src, mid, c*per, per))
+			last = consume(s, mid, out, c*per, per, k)
+		}
+		s.Wait(last)
+		s.Drain()
+	}
+	s.EndROI()
+	rep := s.Report("pipeline", map[bool]string{false: "bulk-sync", true: "chunked"}[chunked])
+	return rep.ROI, rep
+}
+
+func main() {
+	bulkT, bulk := run(false)
+	chunkT, chunk := run(true)
+
+	fmt.Println("Producer-consumer pipeline on the heterogeneous processor")
+	fmt.Printf("  bulk-synchronous: %8.3f ms   GPU util %4.1f%%  W-R spills %4.1f%% of off-chip\n",
+		bulkT.Millis(), 100*bulk.GPUUtil, 100*bulk.ClassFraction(core.ClassWRSpill))
+	fmt.Printf("  chunked+signals : %8.3f ms   GPU util %4.1f%%  W-R spills %4.1f%% of off-chip\n",
+		chunkT.Millis(), 100*chunk.GPUUtil, 100*chunk.ClassFraction(core.ClassWRSpill))
+	fmt.Printf("  speedup: %.2fx\n", float64(bulkT)/float64(chunkT))
+	fmt.Printf("\nbulk-sync off-chip accesses: %d   chunked: %d\n", bulk.TotalDRAM(), chunk.TotalDRAM())
+}

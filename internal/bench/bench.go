@@ -1,0 +1,207 @@
+// Package bench is the benchmark framework: the registry the suites
+// register into, the run modes corresponding to the paper's benchmark
+// configurations, size presets, and the runner that builds the right
+// simulated system for a mode and produces an analysis report.
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/device"
+)
+
+// Mode selects the benchmark organization, following the paper:
+type Mode int
+
+const (
+	// ModeCopy is the unmodified discrete-GPU version with explicit
+	// cudaMemcpy-style copies (the paper's baseline).
+	ModeCopy Mode = iota
+	// ModeLimitedCopy is the ported version with mirrored allocations
+	// eliminated, run on the heterogeneous processor.
+	ModeLimitedCopy
+	// ModeAsyncStreams is the kernel-fission + asynchronous-streams
+	// restructuring on the discrete system (Section II / V-A validation).
+	ModeAsyncStreams
+	// ModeParallelChunked is the chunked producer-consumer restructuring on
+	// the heterogeneous processor using in-memory signals ("Parallel +
+	// Cache" in Figure 3).
+	ModeParallelChunked
+	NumModes
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeCopy:
+		return "copy"
+	case ModeLimitedCopy:
+		return "limited-copy"
+	case ModeAsyncStreams:
+		return "async-streams"
+	case ModeParallelChunked:
+		return "parallel-chunked"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Size selects input scale. Small keeps CI fast; Medium reproduces the
+// paper's cache-pressure regime (per-stage working sets well beyond the 1MB
+// GPU L2).
+type Size int
+
+const (
+	SizeSmall Size = iota
+	SizeMedium
+)
+
+// ScaleN scales a base element count by the size preset.
+func ScaleN(base int, size Size) int {
+	if size == SizeMedium {
+		return base * 4
+	}
+	return base
+}
+
+// ScaleSide scales a side length (2-D/3-D problems) by the size preset —
+// doubling the side quadruples cells, keeping medium runs tractable while
+// pushing per-stage working sets past the 1MB GPU L2 as the paper's inputs
+// did.
+func ScaleSide(base int, size Size) int {
+	if size == SizeMedium {
+		return base * 2
+	}
+	return base
+}
+
+// Info describes a benchmark and its Table II pipeline characteristics.
+type Info struct {
+	Suite string
+	Name  string
+	Desc  string
+
+	// Table II flags.
+	PCComm    bool // has producer-consumer pipeline interactions
+	PipeParal bool // stages could run concurrently / in closer proximity
+	Regular   bool // has regular P-C constructs
+	Irregular bool // has irregular control/memory behaviour
+	SWQueue   bool // uses software worklists
+
+	// Extra modes beyond copy and limited-copy this implementation supports.
+	ExtraModes []Mode
+}
+
+// FullName is "suite/name".
+func (i Info) FullName() string { return i.Suite + "/" + i.Name }
+
+// Supports reports whether the benchmark runs in the given mode.
+func (i Info) Supports(m Mode) bool {
+	if m == ModeCopy || m == ModeLimitedCopy {
+		return true
+	}
+	for _, e := range i.ExtraModes {
+		if e == m {
+			return true
+		}
+	}
+	return false
+}
+
+// Benchmark is one runnable workload. Run must call BeginROI/EndROI itself
+// (the ROI excludes input generation, per the paper's data-location rules).
+type Benchmark interface {
+	Info() Info
+	Run(s *device.System, mode Mode, size Size)
+}
+
+var registry = map[string]Benchmark{}
+
+// Register adds a benchmark; the suites call this from init.
+func Register(b Benchmark) {
+	name := b.Info().FullName()
+	if _, dup := registry[name]; dup {
+		panic("bench: duplicate benchmark " + name)
+	}
+	registry[name] = b
+}
+
+// Get looks a benchmark up by "suite/name".
+func Get(name string) (Benchmark, bool) {
+	b, ok := registry[name]
+	return b, ok
+}
+
+// All returns every registered benchmark sorted by full name.
+func All() []Benchmark {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Benchmark, len(names))
+	for i, n := range names {
+		out[i] = registry[n]
+	}
+	return out
+}
+
+// SystemFor builds the simulated machine a mode runs on: copy-based modes
+// use the discrete GPU system, copy-free modes the heterogeneous processor.
+func SystemFor(m Mode) *device.System {
+	switch m {
+	case ModeCopy, ModeAsyncStreams:
+		return device.NewSystem(config.DiscreteGPU())
+	default:
+		return device.NewSystem(config.HeteroProcessor())
+	}
+}
+
+// Execute runs one benchmark in one mode and returns the analysis report.
+func Execute(b Benchmark, mode Mode, size Size) *core.Report {
+	if !b.Info().Supports(mode) {
+		panic(fmt.Sprintf("bench: %s does not support %s", b.Info().FullName(), mode))
+	}
+	s := SystemFor(mode)
+	b.Run(s, mode, size)
+	start, end := s.Col.ROI()
+	if end <= start {
+		panic(fmt.Sprintf("bench: %s (%s) recorded no ROI", b.Info().FullName(), mode))
+	}
+	return s.Report(b.Info().FullName(), mode.String())
+}
+
+// ExecuteWithResult runs one benchmark and also returns the functional
+// output digests it published with System.AddResult — the hook correctness
+// tests use to compare organizations against each other and against
+// reference implementations.
+func ExecuteWithResult(b Benchmark, mode Mode, size Size) (*core.Report, []float64) {
+	if !b.Info().Supports(mode) {
+		panic(fmt.Sprintf("bench: %s does not support %s", b.Info().FullName(), mode))
+	}
+	s := SystemFor(mode)
+	b.Run(s, mode, size)
+	return s.Report(b.Info().FullName(), mode.String()), s.Result
+}
+
+// ExecuteOnSystem runs one benchmark on a caller-built machine — the hook
+// the ablation studies use to sweep configuration knobs.
+func ExecuteOnSystem(b Benchmark, s *device.System, mode Mode, size Size) *core.Report {
+	if !b.Info().Supports(mode) {
+		panic(fmt.Sprintf("bench: %s does not support %s", b.Info().FullName(), mode))
+	}
+	b.Run(s, mode, size)
+	return s.Report(b.Info().FullName(), mode.String())
+}
+
+// ExecuteNamed runs a benchmark by full name.
+func ExecuteNamed(name string, mode Mode, size Size) (*core.Report, error) {
+	b, ok := Get(name)
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown benchmark %q", name)
+	}
+	return Execute(b, mode, size), nil
+}

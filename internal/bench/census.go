@@ -1,0 +1,145 @@
+package bench
+
+// CensusEntry is one row of the static benchmark census behind Table II:
+// the application-level pipeline constructs of all 58 benchmarks across the
+// four suites, as characterized by the paper. WorksInSim marks the 46 that
+// ran fully in gem5-gpu; Implemented marks the ones re-implemented in this
+// repository.
+type CensusEntry struct {
+	Suite, Name string
+	PCComm      bool
+	PipeParal   bool
+	Regular     bool
+	Irregular   bool
+	SWQueue     bool
+	WorksInSim  bool
+	Implemented bool
+}
+
+// Census returns the full 58-benchmark table.
+func Census() []CensusEntry {
+	t, f := true, false
+	return []CensusEntry{
+		// Lonestar GPU: 14 benchmarks; all have P-C communication and
+		// regular constructs, 13 are pipeline-parallelizable (dmr's wide
+		// inter-stage data dependencies block it), 13 irregular, 10 use
+		// software worklists.
+		{"lonestar", "bfs", t, t, t, t, f, t, t},
+		{"lonestar", "bfs_wla", t, t, t, t, t, t, t},
+		{"lonestar", "bfs_wlc", t, t, t, t, t, t, t},
+		{"lonestar", "bfs_wlw", t, t, t, t, t, t, t},
+		{"lonestar", "bh", t, t, t, t, f, t, t},
+		{"lonestar", "dmr", t, f, t, t, t, t, t},
+		{"lonestar", "mst", t, t, t, t, t, t, t},
+		{"lonestar", "pta", t, t, t, t, t, f, f},
+		{"lonestar", "sp", t, t, t, f, f, f, f},
+		{"lonestar", "sssp", t, t, t, t, f, t, t},
+		{"lonestar", "sssp_wlc", t, t, t, t, t, t, t},
+		{"lonestar", "sssp_wln", t, t, t, t, t, t, t},
+		{"lonestar", "tsp", t, t, t, t, t, t, t},
+		{"lonestar", "sssp_wlf", t, t, t, t, t, t, t},
+
+		// Pannotia: 10 graph benchmarks; all P-C, pipeline-parallelizable,
+		// regular and irregular constructs, none use software queues.
+		{"pannotia", "bc", t, t, t, t, f, t, t},
+		{"pannotia", "color_max", t, t, t, t, f, t, t},
+		{"pannotia", "color_maxmin", t, t, t, t, f, t, t},
+		{"pannotia", "fw", t, t, t, t, f, t, t},
+		{"pannotia", "fw_block", t, t, t, t, f, t, t},
+		{"pannotia", "mis", t, t, t, t, f, t, t},
+		{"pannotia", "pr", t, t, t, t, f, t, t},
+		{"pannotia", "pr_spmv", t, t, t, t, f, t, t},
+		{"pannotia", "sssp", t, t, t, t, f, t, t},
+		{"pannotia", "sssp_ell", t, t, t, t, f, t, t},
+
+		// Parboil: 12 benchmarks; 8 with P-C communication (all of those
+		// pipeline-parallelizable and regular), 3 irregular, bfs uses a
+		// software queue.
+		{"parboil", "bfs", t, t, t, t, t, t, t},
+		{"parboil", "cutcp", t, t, t, f, f, t, t},
+		{"parboil", "fft", t, t, t, f, f, t, t},
+		{"parboil", "histo", f, f, f, t, f, f, f},
+		{"parboil", "lbm", t, t, t, f, f, t, t},
+		{"parboil", "mri-gridding", f, f, f, f, f, f, f},
+		{"parboil", "mri-q", t, t, t, f, f, t, t},
+		{"parboil", "sad", f, f, f, f, f, f, f},
+		{"parboil", "sgemm", t, t, t, f, f, t, t},
+		{"parboil", "spmv", t, t, t, t, f, t, t},
+		{"parboil", "stencil", t, t, t, f, f, t, t},
+		{"parboil", "tpacf", f, f, f, f, f, f, f},
+
+		// Rodinia: 22 benchmarks; 19 with P-C communication and regular
+		// constructs, 18 pipeline-parallelizable (nw's many-to-few
+		// dependencies block it), 6 irregular, no software queues.
+		{"rodinia", "backprop", t, t, t, f, f, t, t},
+		{"rodinia", "bfs", t, t, t, t, f, t, t},
+		{"rodinia", "b+tree", t, t, t, t, f, f, f},
+		{"rodinia", "cell", t, t, t, t, f, f, f},
+		{"rodinia", "cfd", t, t, t, f, f, t, t},
+		{"rodinia", "dwt2d", t, t, t, f, f, t, t},
+		{"rodinia", "gaussian", t, t, t, f, f, t, t},
+		{"rodinia", "heartwall", t, t, t, f, f, t, t},
+		{"rodinia", "hotspot", t, t, t, f, f, t, t},
+		{"rodinia", "kmeans", t, t, t, f, f, t, t},
+		{"rodinia", "lavaMD", f, f, f, f, f, f, f},
+		{"rodinia", "leukocyte", t, t, t, f, f, f, f},
+		{"rodinia", "lud", t, t, t, f, f, t, t},
+		{"rodinia", "mummergpu", t, t, t, t, f, t, t},
+		{"rodinia", "myocyte", f, f, f, f, f, f, f},
+		{"rodinia", "nn", f, f, f, f, f, f, f},
+		{"rodinia", "nw", t, f, t, f, f, t, t},
+		{"rodinia", "pf_naive", t, t, t, t, f, t, t},
+		{"rodinia", "pf_float", t, t, t, t, f, t, t},
+		{"rodinia", "pathfinder", t, t, t, f, f, t, t},
+		{"rodinia", "srad", t, t, t, f, f, t, t},
+		{"rodinia", "streamcluster", t, t, t, f, f, t, t},
+	}
+}
+
+// Table2Row is one aggregated row of Table II.
+type Table2Row struct {
+	Suite                                         string
+	Num, PCComm, PipeParal, Regular, Irreg, SWQue int
+}
+
+// Table2 aggregates the census into the paper's Table II rows plus the
+// total row.
+func Table2() []Table2Row {
+	suites := []string{"lonestar", "pannotia", "parboil", "rodinia"}
+	rows := make([]Table2Row, 0, 5)
+	var tot Table2Row
+	tot.Suite = "total"
+	for _, su := range suites {
+		var r Table2Row
+		r.Suite = su
+		for _, e := range Census() {
+			if e.Suite != su {
+				continue
+			}
+			r.Num++
+			if e.PCComm {
+				r.PCComm++
+			}
+			if e.PipeParal {
+				r.PipeParal++
+			}
+			if e.Regular {
+				r.Regular++
+			}
+			if e.Irregular {
+				r.Irreg++
+			}
+			if e.SWQueue {
+				r.SWQue++
+			}
+		}
+		tot.Num += r.Num
+		tot.PCComm += r.PCComm
+		tot.PipeParal += r.PipeParal
+		tot.Regular += r.Regular
+		tot.Irreg += r.Irreg
+		tot.SWQue += r.SWQue
+		rows = append(rows, r)
+	}
+	return append(rows, tot)
+}

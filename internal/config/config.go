@@ -1,0 +1,242 @@
+// Package config defines the simulated system parameters from Table I of
+// the paper and the two preset system configurations being compared: the
+// discrete GPU system (separate CPU and GPU chips connected by PCIe) and the
+// heterogeneous CPU-GPU processor (shared physical memory, cache coherent).
+package config
+
+import "fmt"
+
+// Kind selects which of the paper's two system organizations to simulate.
+type Kind int
+
+const (
+	// Discrete is the discrete GPU system: CPU DDR3 memory, GPU GDDR5
+	// memory, explicit copies over PCIe, no CPU-GPU cache coherence.
+	Discrete Kind = iota
+	// Hetero is the heterogeneous CPU-GPU processor: one shared GDDR5
+	// memory, coherent CPU and GPU caches, no copies needed.
+	Hetero
+)
+
+// String names the system kind.
+func (k Kind) String() string {
+	if k == Discrete {
+		return "discrete-gpu"
+	}
+	return "hetero-processor"
+}
+
+// CPUConfig describes the CPU cores and their private caches (Table I).
+type CPUConfig struct {
+	Cores         int     // 4
+	ClockHz       float64 // 3.5 GHz
+	IssueWidth    int     // 4-wide out-of-order
+	FLOPsPerCycle int     // peak FLOPs issued per cycle per core (4 → 14 GFLOP/s)
+	MLP           int     // max overlapped outstanding misses (OoO window effect)
+	L1IBytes      int     // 32 kB
+	L1DBytes      int     // 64 kB
+	L2Bytes       int     // 256 kB private per core
+	L1Assoc       int
+	L2Assoc       int
+	L1LatCycles   int // load-to-use on L1 hit
+	L2LatCycles   int // additional L2 hit latency
+}
+
+// PeakFLOPs reports the aggregate peak FLOP/s across all CPU cores.
+func (c CPUConfig) PeakFLOPs() float64 {
+	return float64(c.Cores*c.FLOPsPerCycle) * c.ClockHz
+}
+
+// GPUConfig describes the GPU SMs and caches (Table I).
+type GPUConfig struct {
+	SMs              int     // 16
+	ClockHz          float64 // 700 MHz
+	WarpSize         int     // 32
+	MaxWarpsPerSM    int     // 48
+	MaxCTAsPerSM     int     // 8
+	ScratchBytesPkSM int     // 48 kB scratch per SM
+	Registers        int     // 32k registers per SM
+	LanesPerCycle    int     // SIMT issue width (32 → 22.4 GFLOP/s per SM)
+	L1Bytes          int     // 24 kB per SM (data+inst)
+	L1Assoc          int
+	L2Bytes          int // 1 MB shared
+	L2Banks          int
+	L2Assoc          int
+	L1LatCycles      int
+	L2LatCycles      int
+}
+
+// PeakFLOPs reports the aggregate peak GPU FLOP/s.
+func (g GPUConfig) PeakFLOPs() float64 {
+	return float64(g.SMs*g.LanesPerCycle) * g.ClockHz
+}
+
+// MemConfig describes one off-chip memory system.
+type MemConfig struct {
+	Name        string
+	Channels    int
+	BytesPerSec float64 // aggregate peak across channels
+	LatencyNs   float64 // fixed access latency component
+}
+
+// PerChannelBW reports one channel's peak bandwidth.
+func (m MemConfig) PerChannelBW() float64 { return m.BytesPerSec / float64(m.Channels) }
+
+// PCIeConfig describes the CPU-GPU link of the discrete system.
+type PCIeConfig struct {
+	BytesPerSec float64 // 8 GB/s (v2.0 x16)
+	LatencyUs   float64 // per-transfer setup latency
+}
+
+// VMConfig describes address translation behaviour.
+type VMConfig struct {
+	PageBytes int
+	// GPUFaultToCPU: GPU page faults interrupt the CPU and are serviced
+	// serially by it (heterogeneous processor, IOMMU-style). When false the
+	// GPU handles its own minor faults cheaply (discrete GPU driver).
+	GPUFaultToCPU    bool
+	CPUFaultServUs   float64 // CPU handler occupancy per fault
+	GPUFaultServNs   float64 // GPU-local fault cost (discrete)
+	HandlerClearPage bool    // handler zeroes the page (CPU memory writes)
+}
+
+// System is a complete simulated system description.
+type System struct {
+	Kind      Kind
+	LineBytes int // 128B cache lines throughout
+	CPU       CPUConfig
+	GPU       GPUConfig
+	CPUMem    MemConfig  // discrete only
+	GPUMem    MemConfig  // discrete: GPU memory; hetero: the single shared memory
+	PCIe      PCIeConfig // discrete only
+	VM        VMConfig
+	// KernelLaunchNs is host-side launch latency charged to the CPU per
+	// kernel or copy launch; this is the Cserial ingredient of Eq. 1.
+	KernelLaunchNs float64
+	// SwitchLatNs is the L2<->memory-controller interconnect hop latency.
+	SwitchLatNs float64
+	// CacheToCacheNs is the latency of a coherent cache-to-cache transfer in
+	// the heterogeneous processor.
+	CacheToCacheNs float64
+	// NoCoherence disables CPU-GPU cache-to-cache transfers in the
+	// heterogeneous processor (ablation knob): every read miss goes to
+	// DRAM even when a peer cache holds the line.
+	NoCoherence bool
+}
+
+// Unified reports whether CPU and GPU share one physical memory space.
+func (s System) Unified() bool { return s.Kind == Hetero }
+
+const (
+	kB = 1024
+	mB = 1024 * kB
+)
+
+func baseCPU() CPUConfig {
+	return CPUConfig{
+		Cores:         4,
+		ClockHz:       3.5e9,
+		IssueWidth:    4,
+		FLOPsPerCycle: 4, // 14 GFLOP/s peak per core
+		MLP:           8,
+		L1IBytes:      32 * kB,
+		L1DBytes:      64 * kB,
+		L2Bytes:       256 * kB,
+		L1Assoc:       8,
+		L2Assoc:       8,
+		L1LatCycles:   4,
+		L2LatCycles:   12,
+	}
+}
+
+func baseGPU() GPUConfig {
+	return GPUConfig{
+		SMs:              16,
+		ClockHz:          700e6,
+		WarpSize:         32,
+		MaxWarpsPerSM:    48,
+		MaxCTAsPerSM:     8,
+		ScratchBytesPkSM: 48 * kB,
+		Registers:        32 * 1024,
+		LanesPerCycle:    32, // 22.4 GFLOP/s peak per SM
+		L1Bytes:          24 * kB,
+		L1Assoc:          6,
+		L2Bytes:          1 * mB,
+		L2Banks:          4,
+		L2Assoc:          16,
+		L1LatCycles:      28,
+		L2LatCycles:      120,
+	}
+}
+
+// DiscreteGPU returns the Table I discrete GPU system.
+func DiscreteGPU() System {
+	return System{
+		Kind:      Discrete,
+		LineBytes: 128,
+		CPU:       baseCPU(),
+		GPU:       baseGPU(),
+		CPUMem:    MemConfig{Name: "DDR3-1600", Channels: 2, BytesPerSec: 24e9, LatencyNs: 55},
+		GPUMem:    MemConfig{Name: "GDDR5", Channels: 4, BytesPerSec: 179e9, LatencyNs: 70},
+		PCIe:      PCIeConfig{BytesPerSec: 8e9, LatencyUs: 1.5},
+		VM: VMConfig{
+			PageBytes:      4096,
+			GPUFaultToCPU:  false,
+			GPUFaultServNs: 200,
+		},
+		KernelLaunchNs: 5000, // ~5us driver launch overhead
+		SwitchLatNs:    6,
+		CacheToCacheNs: 0, // no CPU-GPU coherence in the discrete system
+	}
+}
+
+// HeteroProcessor returns the Table I heterogeneous CPU-GPU processor. CPU
+// and GPU cores share the GDDR5 memory through a high-bandwidth 12-port
+// switch and are cache coherent.
+func HeteroProcessor() System {
+	s := System{
+		Kind:      Hetero,
+		LineBytes: 128,
+		CPU:       baseCPU(),
+		GPU:       baseGPU(),
+		GPUMem:    MemConfig{Name: "shared GDDR5", Channels: 4, BytesPerSec: 179e9, LatencyNs: 70},
+		VM: VMConfig{
+			PageBytes:        4096,
+			GPUFaultToCPU:    true,
+			CPUFaultServUs:   2.0,
+			HandlerClearPage: true,
+		},
+		KernelLaunchNs: 2000, // no PCIe doorbell round trip
+		SwitchLatNs:    4,
+		CacheToCacheNs: 40,
+	}
+	return s
+}
+
+// Validate checks internal consistency of a System and returns a descriptive
+// error for the first problem found.
+func (s System) Validate() error {
+	switch {
+	case s.LineBytes <= 0 || s.LineBytes&(s.LineBytes-1) != 0:
+		return fmt.Errorf("LineBytes %d must be a positive power of two", s.LineBytes)
+	case s.CPU.Cores <= 0:
+		return fmt.Errorf("need at least one CPU core")
+	case s.GPU.SMs <= 0:
+		return fmt.Errorf("need at least one GPU SM")
+	case s.GPU.WarpSize <= 0:
+		return fmt.Errorf("warp size must be positive")
+	case s.GPUMem.Channels <= 0 || s.GPUMem.BytesPerSec <= 0:
+		return fmt.Errorf("GPU/shared memory misconfigured: %+v", s.GPUMem)
+	case s.VM.PageBytes < s.LineBytes:
+		return fmt.Errorf("page size %d smaller than line size %d", s.VM.PageBytes, s.LineBytes)
+	}
+	if s.Kind == Discrete {
+		if s.CPUMem.Channels <= 0 || s.CPUMem.BytesPerSec <= 0 {
+			return fmt.Errorf("discrete system needs CPU memory: %+v", s.CPUMem)
+		}
+		if s.PCIe.BytesPerSec <= 0 {
+			return fmt.Errorf("discrete system needs a PCIe link")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"repro/internal/memory"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// StageKind discriminates pipeline stages.
+type StageKind int
+
+const (
+	StageKernel StageKind = iota
+	StageCopy
+	StageCPU
+)
+
+// String names the stage kind.
+func (k StageKind) String() string {
+	switch k {
+	case StageKernel:
+		return "kernel"
+	case StageCopy:
+		return "copy"
+	default:
+		return "cpu"
+	}
+}
+
+// Stage records one pipeline stage: a GPU kernel, a memory copy, or a CPU
+// compute phase.
+type Stage struct {
+	ID   int
+	Kind StageKind
+	Name string
+	Comp stats.Component
+	// LaunchStart/LaunchDur is the host-side launch overhead interval; its
+	// un-overlapped portion is the Cserial term of Eq. 1.
+	LaunchStart sim.Tick
+	LaunchDur   sim.Tick
+	Start, End  sim.Tick
+	Bytes       uint64 // copy payload, for copy stages
+	FLOPs       uint64
+}
+
+// Collector gathers everything one benchmark run produces for the analysis:
+// the component activity timeline, stage records, the touched-line footprint
+// partition, off-chip access counts, the Section V-C classifier, and the
+// inputs to the analytical models.
+type Collector struct {
+	SC        memory.StageClock
+	TL        *stats.Timeline
+	Ctr       *stats.Counters
+	LineBytes int
+
+	Stages []*Stage
+
+	foot map[memory.Addr]stats.ComponentSet
+	// footMemo is a direct-mapped filter in front of the footprint map:
+	// benchmarks touch the same hot lines millions of times, and the memo
+	// short-circuits repeats without a map operation.
+	footMemo   [footMemoSize]footMemoEntry
+	cls        *Classifier
+	dramByComp [stats.NumComponents]uint64
+	flops      [stats.NumComponents]uint64
+
+	stageBytes map[int]uint64 // off-chip bytes per stage, for BW-limit marking
+	peakBW     float64        // compute-memory peak bytes/sec
+
+	roiStart, roiEnd sim.Tick
+	roiOpen          bool
+}
+
+// NewCollector builds a collector. peakBW is the peak bandwidth of the
+// memory the compute cores use (GPU memory in the discrete system, the
+// shared memory in the heterogeneous processor).
+func NewCollector(lineBytes int, peakBW float64) *Collector {
+	return &Collector{
+		TL:         stats.NewTimeline(),
+		Ctr:        stats.NewCounters(),
+		LineBytes:  lineBytes,
+		foot:       map[memory.Addr]stats.ComponentSet{},
+		cls:        NewClassifier(),
+		stageBytes: map[int]uint64{},
+		peakBW:     peakBW,
+	}
+}
+
+// BeginROI marks the region-of-interest start: host data is resident,
+// nothing has been copied or launched yet.
+func (c *Collector) BeginROI(t sim.Tick) {
+	c.roiStart = t
+	c.roiOpen = true
+}
+
+// EndROI marks ROI completion: all output is back in CPU-visible memory.
+func (c *Collector) EndROI(t sim.Tick) {
+	c.roiEnd = t
+	c.roiOpen = false
+}
+
+// ROI reports the recorded region of interest.
+func (c *Collector) ROI() (start, end sim.Tick) { return c.roiStart, c.roiEnd }
+
+// StageBegin opens a stage record and advances the global stage clock that
+// the classifier keys on.
+func (c *Collector) StageBegin(kind StageKind, name string, comp stats.Component, launchStart, launchDur, start sim.Tick) *Stage {
+	s := &Stage{
+		ID:          len(c.Stages) + 1,
+		Kind:        kind,
+		Name:        name,
+		Comp:        comp,
+		LaunchStart: launchStart,
+		LaunchDur:   launchDur,
+		Start:       start,
+	}
+	c.Stages = append(c.Stages, s)
+	c.SC.S = s.ID
+	return s
+}
+
+// StageEnd closes a stage record and logs its activity interval.
+func (c *Collector) StageEnd(s *Stage, end sim.Tick, flops, bytes uint64) {
+	s.End = end
+	s.FLOPs = flops
+	s.Bytes = bytes
+	c.flops[s.Comp] += flops
+	c.TL.Add(s.Comp, s.Start, s.End)
+}
+
+// AddActivity records extra component activity outside a stage (e.g. CPU
+// page-fault handler occupancy).
+func (c *Collector) AddActivity(comp stats.Component, start, end sim.Tick) {
+	c.TL.Add(comp, start, end)
+}
+
+const footMemoSize = 1024
+
+type footMemoEntry struct {
+	line memory.Addr
+	set  stats.ComponentSet
+	ok   bool
+}
+
+// Touch records that comp accessed [addr, addr+size), at line granularity,
+// for the Figure 4 footprint partition.
+func (c *Collector) Touch(comp stats.Component, addr memory.Addr, size int) {
+	n := memory.LinesSpanned(addr, size, c.LineBytes)
+	base := memory.LineAddr(addr, c.LineBytes)
+	for i := 0; i < n; i++ {
+		l := base + memory.Addr(i*c.LineBytes)
+		slot := &c.footMemo[(l/memory.Addr(c.LineBytes))%footMemoSize]
+		if slot.ok && slot.line == l && slot.set.Has(comp) {
+			continue
+		}
+		set := c.foot[l].Set(comp)
+		c.foot[l] = set
+		*slot = footMemoEntry{line: l, set: set, ok: true}
+	}
+}
+
+// OnDRAM is installed as the DRAM access hook: it feeds the classifier,
+// per-component access counts, and per-stage bandwidth accounting.
+func (c *Collector) OnDRAM(now sim.Tick, req memory.Request) {
+	line := memory.LineAddr(req.Addr, c.LineBytes)
+	c.cls.Observe(line, req.Write, c.SC.S)
+	c.dramByComp[req.Comp]++
+	c.stageBytes[c.SC.S] += uint64(c.LineBytes)
+}
+
+// Classifier exposes the Section V-C classifier.
+func (c *Collector) Classifier() *Classifier { return c.cls }
+
+// FootprintBytes reports the total touched footprint.
+func (c *Collector) FootprintBytes() uint64 {
+	return uint64(len(c.foot)) * uint64(c.LineBytes)
+}
+
+// FootprintPartition reports touched bytes per exclusive component subset.
+func (c *Collector) FootprintPartition() map[stats.ComponentSet]uint64 {
+	out := map[stats.ComponentSet]uint64{}
+	for _, set := range c.foot {
+		out[set] += uint64(c.LineBytes)
+	}
+	return out
+}
+
+// DRAMAccesses reports off-chip accesses by requesting component.
+func (c *Collector) DRAMAccesses() [stats.NumComponents]uint64 { return c.dramByComp }
+
+// FLOPsByComp reports executed FLOPs per component.
+func (c *Collector) FLOPsByComp() [stats.NumComponents]uint64 { return c.flops }
+
+// Cserial computes Eq. 1's serial term: launch-overhead time during which no
+// kernel or copy was executing to mask it.
+func (c *Collector) Cserial() sim.Tick {
+	// Activity intervals that can mask a launch.
+	mask := stats.NewTimeline()
+	for _, s := range c.Stages {
+		if s.Kind == StageKernel || s.Kind == StageCopy {
+			mask.Add(stats.GPU, s.Start, s.End)
+		}
+	}
+	var total sim.Tick
+	for _, s := range c.Stages {
+		if s.Kind != StageKernel && s.Kind != StageCopy {
+			continue
+		}
+		if s.LaunchDur <= 0 {
+			continue
+		}
+		b := mask.Breakdown(s.LaunchStart, s.LaunchStart+s.LaunchDur)
+		total += b.Idle() // portion of the launch window with nothing running
+	}
+	return total
+}
+
+// BWLimitedFraction reports the fraction of ROI time spent in stages whose
+// achieved off-chip bandwidth exceeded threshold*peak — the paper's '*'
+// bandwidth-limited marker.
+func (c *Collector) BWLimitedFraction(threshold float64) float64 {
+	roi := c.roiEnd - c.roiStart
+	if roi <= 0 || c.peakBW <= 0 {
+		return 0
+	}
+	var limited sim.Tick
+	for _, s := range c.Stages {
+		dur := s.End - s.Start
+		if dur <= 0 {
+			continue
+		}
+		bw := float64(c.stageBytes[s.ID]) / dur.Seconds()
+		if bw > threshold*c.peakBW {
+			limited += dur
+		}
+	}
+	if limited > roi {
+		limited = roi
+	}
+	return float64(limited) / float64(roi)
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"repro/internal/sim"
+)
+
+// AchievedBWFraction is the paper's observation that effective memory
+// bandwidth "generally tops out at about 82% of peak pin bandwidth"; the
+// migrated-compute bound uses it to derate peak bandwidth.
+const AchievedBWFraction = 0.82
+
+// ComponentOverlap evaluates Eq. 1:
+//
+//	Rco = Cserial + max(C - Cserial, P, G)
+//
+// the run time if CPU, copy, and GPU activity were perfectly overlapped,
+// except for the launch overhead that strictly cannot be.
+func ComponentOverlap(c, cserial, p, g sim.Tick) sim.Tick {
+	if cserial > c {
+		cserial = c
+	}
+	rest := c - cserial
+	m := rest
+	if p > m {
+		m = p
+	}
+	if g > m {
+		m = g
+	}
+	return cserial + m
+}
+
+// MigratedComputeInputs carries Eq. 2-4 inputs.
+type MigratedComputeInputs struct {
+	C, P, G     sim.Tick // CPU, copy, GPU active portions of run time
+	Fcpu, Fgpu  float64  // aggregate peak FLOP rates
+	MemBytes    uint64   // total CPU+GPU off-chip traffic (M, in bytes)
+	PeakMemBW   float64  // peak pin bandwidth of the compute memory
+	AchievedFrc float64  // achieved fraction of peak; 0 means the default
+}
+
+// MigratedCompute evaluates Eqs. 2-4:
+//
+//	Rmc_core = (C*Fcpu + G*Fgpu) / (Fcpu + Fgpu)
+//	Rmc_BW   = M / BWmem
+//	Rmc      = max(P, Rmc_core, Rmc_BW)
+//
+// the optimistic run time if every compute phase were spread across all CPU
+// and GPU cores, bounded by aggregate FLOP rate and achieved bandwidth.
+func MigratedCompute(in MigratedComputeInputs) sim.Tick {
+	frc := in.AchievedFrc
+	if frc == 0 {
+		frc = AchievedBWFraction
+	}
+	var rcore sim.Tick
+	if in.Fcpu+in.Fgpu > 0 {
+		sec := (in.C.Seconds()*in.Fcpu + in.G.Seconds()*in.Fgpu) / (in.Fcpu + in.Fgpu)
+		rcore = sim.FromSeconds(sec)
+	}
+	var rbw sim.Tick
+	if in.PeakMemBW > 0 {
+		rbw = sim.FromSeconds(float64(in.MemBytes) / (frc * in.PeakMemBW))
+	}
+	m := in.P
+	if rcore > m {
+		m = rcore
+	}
+	if rbw > m {
+		m = rbw
+	}
+	return m
+}
+
+// OpportunityCost reports the portion of available compute FLOPs that went
+// unused because a core type was inactive ("FLOP opportunity cost"): the
+// idle-time-weighted share of aggregate peak FLOPs over the ROI.
+func OpportunityCost(roi, cpuActive, gpuActive sim.Tick, fcpu, fgpu float64) float64 {
+	if roi <= 0 || fcpu+fgpu == 0 {
+		return 0
+	}
+	idleCPU := (roi - cpuActive).Seconds()
+	idleGPU := (roi - gpuActive).Seconds()
+	if idleCPU < 0 {
+		idleCPU = 0
+	}
+	if idleGPU < 0 {
+		idleGPU = 0
+	}
+	return (idleCPU*fcpu + idleGPU*fgpu) / (roi.Seconds() * (fcpu + fgpu))
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Report is the per-run analysis output: every number a figure of the paper
+// needs, for one (benchmark, system, mode) combination.
+type Report struct {
+	Benchmark string
+	System    string
+	Mode      string
+
+	ROI sim.Tick
+
+	// Component activity over the ROI.
+	Breakdown  stats.Breakdown
+	CPUActive  sim.Tick
+	GPUActive  sim.Tick
+	CopyActive sim.Tick
+	CPUUtil    float64
+	GPUUtil    float64
+
+	// Analytical model inputs and outputs.
+	Cserial sim.Tick
+	Rco     sim.Tick // Eq. 1 component-overlap estimate
+	Rmc     sim.Tick // Eq. 4 migrated-compute estimate
+	OppCost float64  // FLOP opportunity cost
+
+	// Memory characterization.
+	FootprintBytes uint64
+	Footprint      map[stats.ComponentSet]uint64
+	DRAMAccesses   [stats.NumComponents]uint64
+	ClassCounts    [NumClasses]uint64
+	BWLimitedFrac  float64
+
+	FLOPs [stats.NumComponents]uint64
+
+	Stages int
+}
+
+// BuildReport derives a Report from a finished collector run.
+func BuildReport(c *Collector, bench, system, mode string, fcpu, fgpu float64) *Report {
+	start, end := c.ROI()
+	b := c.TL.Breakdown(start, end)
+	r := &Report{
+		Benchmark:      bench,
+		System:         system,
+		Mode:           mode,
+		ROI:            end - start,
+		Breakdown:      b,
+		CPUActive:      b.AnyActive(stats.CPU),
+		GPUActive:      b.AnyActive(stats.GPU),
+		CopyActive:     b.AnyActive(stats.Copy),
+		CPUUtil:        b.Utilization(stats.CPU),
+		GPUUtil:        b.Utilization(stats.GPU),
+		Cserial:        c.Cserial(),
+		FootprintBytes: c.FootprintBytes(),
+		Footprint:      c.FootprintPartition(),
+		DRAMAccesses:   c.DRAMAccesses(),
+		ClassCounts:    c.Classifier().Counts(),
+		BWLimitedFrac:  c.BWLimitedFraction(0.70),
+		FLOPs:          c.FLOPsByComp(),
+		Stages:         len(c.Stages),
+	}
+	r.Rco = ComponentOverlap(r.CPUActive, r.Cserial, r.CopyActive, r.GPUActive)
+	memBytes := (r.DRAMAccesses[stats.CPU] + r.DRAMAccesses[stats.GPU]) * uint64(c.LineBytes)
+	r.Rmc = MigratedCompute(MigratedComputeInputs{
+		C: r.CPUActive, P: r.CopyActive, G: r.GPUActive,
+		Fcpu: fcpu, Fgpu: fgpu,
+		MemBytes: memBytes, PeakMemBW: c.peakBW,
+	})
+	r.OppCost = OpportunityCost(r.ROI, r.CPUActive, r.GPUActive, fcpu, fgpu)
+	return r
+}
+
+// TotalDRAM sums off-chip accesses across components.
+func (r *Report) TotalDRAM() uint64 {
+	var t uint64
+	for _, v := range r.DRAMAccesses {
+		t += v
+	}
+	return t
+}
+
+// ClassFraction reports class c's share of classified off-chip accesses.
+func (r *Report) ClassFraction(c Class) float64 {
+	var t uint64
+	for _, v := range r.ClassCounts {
+		t += v
+	}
+	if t == 0 {
+		return 0
+	}
+	return float64(r.ClassCounts[c]) / float64(t)
+}
+
+// String renders a human-readable run summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s on %s (%s)\n", r.Benchmark, r.System, r.Mode)
+	fmt.Fprintf(&b, "  ROI           %10.3f ms   stages %d\n", r.ROI.Millis(), r.Stages)
+	fmt.Fprintf(&b, "  activity      CPU %6.3f ms (%4.1f%%)  GPU %6.3f ms (%4.1f%%)  Copy %6.3f ms\n",
+		r.CPUActive.Millis(), 100*r.CPUUtil, r.GPUActive.Millis(), 100*r.GPUUtil, r.CopyActive.Millis())
+	fmt.Fprintf(&b, "  estimates     Rco %6.3f ms  Rmc %6.3f ms  Cserial %6.3f ms  FLOP opp. cost %4.1f%%\n",
+		r.Rco.Millis(), r.Rmc.Millis(), r.Cserial.Millis(), 100*r.OppCost)
+	fmt.Fprintf(&b, "  footprint     %.2f MB\n", float64(r.FootprintBytes)/(1<<20))
+	fmt.Fprintf(&b, "  DRAM accesses CPU %d  GPU %d  Copy %d", r.DRAMAccesses[stats.CPU], r.DRAMAccesses[stats.GPU], r.DRAMAccesses[stats.Copy])
+	if r.BWLimitedFrac > 0.25 {
+		fmt.Fprintf(&b, "  [bandwidth-limited]")
+	}
+	fmt.Fprintf(&b, "\n  off-chip mix ")
+	for c := Class(0); c < NumClasses; c++ {
+		fmt.Fprintf(&b, "  %s %.1f%%", c, 100*r.ClassFraction(c))
+	}
+	fmt.Fprintf(&b, "\n")
+	return b.String()
+}

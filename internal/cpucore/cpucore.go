@@ -1,0 +1,137 @@
+// Package cpucore is the trace-driven CPU timing model: a 4-wide
+// out-of-order core approximated by an issue-bandwidth cursor plus a bounded
+// window of overlapped outstanding misses (MLP). The model is deliberately
+// latency-sensitive — the paper's CPU-side results hinge on CPU progress
+// stalling behind off-chip reads after copies invalidate its caches.
+package cpucore
+
+import (
+	"container/heap"
+
+	"repro/internal/isa"
+	"repro/internal/memory"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/vm"
+)
+
+// quantum bounds how far ahead of global simulated time one task replays
+// before yielding, keeping resource contention with concurrently executing
+// components honest.
+const quantum = 100 * sim.Nanosecond
+
+// Core models one CPU core. A core executes one task trace at a time; the
+// device layer's scheduler enforces that.
+type Core struct {
+	ID            int
+	Eng           *sim.Engine
+	Clk           sim.Clock
+	IssueWidth    int
+	FLOPsPerCycle int
+	MLP           int
+	Mem           memory.Port // the core's L1D
+	SrcID         int
+	VM            *vm.Manager
+	Ctr           *stats.Counters
+	LineBytes     int
+}
+
+type tickHeap []sim.Tick
+
+func (h tickHeap) Len() int           { return len(h) }
+func (h tickHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h tickHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *tickHeap) Push(x any)        { *h = append(*h, x.(sim.Tick)) }
+func (h *tickHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+type run struct {
+	c     *Core
+	tr    isa.Trace
+	comp  stats.Component
+	idx   int
+	t     sim.Tick
+	out   tickHeap // outstanding load completions
+	flops uint64
+	done  func(end sim.Tick, flops uint64)
+}
+
+// RunTrace replays tr starting at start and calls done with the completion
+// time and FLOPs executed. Replay is event-driven in quantum slices so that
+// concurrent components contend for memory honestly.
+func (c *Core) RunTrace(start sim.Tick, comp stats.Component, tr isa.Trace, done func(end sim.Tick, flops uint64)) {
+	r := &run{c: c, tr: tr, comp: comp, t: start, done: done}
+	c.Eng.At(start, r.step)
+}
+
+func (r *run) step() {
+	c := r.c
+	issueCost := c.Clk.Period() / sim.Tick(c.IssueWidth)
+	if issueCost < 1 {
+		issueCost = 1
+	}
+	limit := r.t + quantum
+
+	for r.idx < len(r.tr) && r.t < limit {
+		op := r.tr[r.idx]
+		r.idx++
+		switch op.Kind {
+		case isa.OpCompute:
+			r.flops += uint64(op.N)
+			r.t += c.Clk.CyclesF(float64(op.N) / float64(c.FLOPsPerCycle))
+		case isa.OpScratch, isa.OpSync:
+			r.t += issueCost
+		case isa.OpStore:
+			ready := c.VM.Translate(r.t, op.Addr, false)
+			r.access(ready, op, true)
+			r.t = maxTick(r.t, ready) + issueCost
+		case isa.OpLoad, isa.OpLoadDep, isa.OpAtomic:
+			ready := c.VM.Translate(r.t, op.Addr, false)
+			at := maxTick(r.t, ready)
+			doneAt := r.access(at, op, op.Kind == isa.OpAtomic)
+			if op.Kind == isa.OpLoad {
+				// Overlap in the MLP window; stall only when it fills.
+				heap.Push(&r.out, doneAt)
+				if r.out.Len() > c.MLP {
+					earliest := heap.Pop(&r.out).(sim.Tick)
+					r.t = maxTick(r.t, earliest)
+				}
+				r.t += issueCost
+			} else {
+				// Dependent load or atomic: serializes.
+				r.t = doneAt + issueCost
+			}
+		}
+	}
+
+	if r.idx < len(r.tr) {
+		c.Eng.At(r.t, r.step)
+		return
+	}
+	end := r.t
+	for _, o := range r.out {
+		end = maxTick(end, o)
+	}
+	c.Ctr.Add("cpu.flops", r.flops)
+	c.Ctr.Add("cpu.trace_ops", uint64(len(r.tr)))
+	r.done(end, r.flops)
+}
+
+// access issues the op's line accesses and returns the last completion time.
+func (r *run) access(at sim.Tick, op isa.Op, write bool) sim.Tick {
+	c := r.c
+	n := memory.LinesSpanned(op.Addr, int(op.N), c.LineBytes)
+	var last sim.Tick = at
+	for i := 0; i < n; i++ {
+		addr := memory.LineAddr(op.Addr, c.LineBytes) + memory.Addr(i*c.LineBytes)
+		done := c.Mem.Access(at, memory.Request{Addr: addr, Write: write, Comp: r.comp, SrcID: c.SrcID})
+		last = maxTick(last, done)
+	}
+	return last
+}
+
+func maxTick(a, b sim.Tick) sim.Tick {
+	if a > b {
+		return a
+	}
+	return b
+}

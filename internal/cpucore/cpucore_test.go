@@ -1,0 +1,166 @@
+package cpucore
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/memory"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/vm"
+)
+
+type fixedPort struct {
+	lat  sim.Tick
+	hits int
+}
+
+func (p *fixedPort) Access(now sim.Tick, req memory.Request) sim.Tick {
+	p.hits++
+	return now + p.lat
+}
+
+func newCore(eng *sim.Engine, mem memory.Port) *Core {
+	mgr := vm.New(vm.Config{PageBytes: 4096}, nil)
+	mgr.MapRange(0, 1<<30)
+	return &Core{
+		ID:            0,
+		Eng:           eng,
+		Clk:           sim.NewClock(3.5e9),
+		IssueWidth:    4,
+		FLOPsPerCycle: 4,
+		MLP:           8,
+		Mem:           mem,
+		VM:            mgr,
+		Ctr:           stats.NewCounters(),
+		LineBytes:     128,
+	}
+}
+
+func runTrace(t *testing.T, tr isa.Trace, mem memory.Port) (sim.Tick, uint64) {
+	t.Helper()
+	eng := sim.NewEngine()
+	c := newCore(eng, mem)
+	var end sim.Tick
+	var flops uint64
+	c.RunTrace(0, stats.CPU, tr, func(e sim.Tick, f uint64) { end, flops = e, f })
+	eng.Run()
+	if end == 0 && len(tr) > 0 {
+		t.Fatal("trace did not complete")
+	}
+	return end, flops
+}
+
+func TestComputeThroughput(t *testing.T) {
+	// 1000 ops x 4 FLOPs at 4 FLOPs/cycle = 1000 cycles = 286us/1000.
+	tr := make(isa.Trace, 1000)
+	for i := range tr {
+		tr[i] = isa.Op{Kind: isa.OpCompute, N: 4}
+	}
+	end, flops := runTrace(t, tr, &fixedPort{lat: 0})
+	if flops != 4000 {
+		t.Fatalf("flops = %d", flops)
+	}
+	want := sim.NewClock(3.5e9).Cycles(1000)
+	if end != want {
+		t.Fatalf("end = %d, want %d", end, want)
+	}
+}
+
+func TestIndependentLoadsOverlap(t *testing.T) {
+	// 8 independent loads with 100ns latency should take ~100ns total, not
+	// 800ns, because MLP=8.
+	tr := make(isa.Trace, 8)
+	for i := range tr {
+		tr[i] = isa.Op{Kind: isa.OpLoad, Addr: memory.Addr(i * 128), N: 4}
+	}
+	end, _ := runTrace(t, tr, &fixedPort{lat: 100 * sim.Nanosecond})
+	if end > 110*sim.Nanosecond {
+		t.Fatalf("independent loads serialized: %d ps", end)
+	}
+}
+
+func TestDependentLoadsSerialize(t *testing.T) {
+	tr := make(isa.Trace, 8)
+	for i := range tr {
+		tr[i] = isa.Op{Kind: isa.OpLoadDep, Addr: memory.Addr(i * 128), N: 4}
+	}
+	end, _ := runTrace(t, tr, &fixedPort{lat: 100 * sim.Nanosecond})
+	if end < 800*sim.Nanosecond {
+		t.Fatalf("dependent loads overlapped: %d ps", end)
+	}
+}
+
+func TestMLPWindowLimitsOverlap(t *testing.T) {
+	// 32 independent loads with MLP=8 and 100ns latency need ~4 rounds.
+	tr := make(isa.Trace, 32)
+	for i := range tr {
+		tr[i] = isa.Op{Kind: isa.OpLoad, Addr: memory.Addr(i * 128), N: 4}
+	}
+	end, _ := runTrace(t, tr, &fixedPort{lat: 100 * sim.Nanosecond})
+	if end < 300*sim.Nanosecond || end > 500*sim.Nanosecond {
+		t.Fatalf("MLP window wrong: %d ps", end)
+	}
+}
+
+func TestStoresArePosted(t *testing.T) {
+	tr := make(isa.Trace, 100)
+	for i := range tr {
+		tr[i] = isa.Op{Kind: isa.OpStore, Addr: memory.Addr(i * 128), N: 4}
+	}
+	end, _ := runTrace(t, tr, &fixedPort{lat: 100 * sim.Nanosecond})
+	// 100 stores at issue cost ~71ps each, no stalls.
+	if end > 20*sim.Nanosecond {
+		t.Fatalf("stores stalled the core: %d ps", end)
+	}
+}
+
+func TestAtomicsSerialize(t *testing.T) {
+	tr := make(isa.Trace, 4)
+	for i := range tr {
+		tr[i] = isa.Op{Kind: isa.OpAtomic, Addr: 0, N: 4}
+	}
+	end, _ := runTrace(t, tr, &fixedPort{lat: 100 * sim.Nanosecond})
+	if end < 400*sim.Nanosecond {
+		t.Fatalf("atomics overlapped: %d ps", end)
+	}
+}
+
+func TestMultiLineAccessTouchesAllLines(t *testing.T) {
+	p := &fixedPort{lat: 0}
+	// One 512-byte load spans 4 lines.
+	runTrace(t, isa.Trace{{Kind: isa.OpLoad, Addr: 0, N: 512}}, p)
+	if p.hits != 4 {
+		t.Fatalf("line accesses = %d, want 4", p.hits)
+	}
+}
+
+func TestQuantumYielding(t *testing.T) {
+	// A long compute trace must not run in a single event.
+	tr := make(isa.Trace, 100000)
+	for i := range tr {
+		tr[i] = isa.Op{Kind: isa.OpCompute, N: 4}
+	}
+	eng := sim.NewEngine()
+	c := newCore(eng, &fixedPort{})
+	doneRan := false
+	c.RunTrace(0, stats.CPU, tr, func(sim.Tick, uint64) { doneRan = true })
+	eng.Run()
+	if !doneRan {
+		t.Fatal("trace incomplete")
+	}
+	if eng.EventsRun() < 10 {
+		t.Fatalf("quantum yielding not happening: %d events", eng.EventsRun())
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	eng := sim.NewEngine()
+	c := newCore(eng, &fixedPort{})
+	var end sim.Tick = -1
+	c.RunTrace(42, stats.CPU, nil, func(e sim.Tick, f uint64) { end = e })
+	eng.Run()
+	if end != 42 {
+		t.Fatalf("empty trace end = %d, want 42", end)
+	}
+}

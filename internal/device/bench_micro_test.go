@@ -1,0 +1,50 @@
+package device
+
+import (
+	"testing"
+
+	"repro/internal/config"
+)
+
+// BenchmarkKernelRoundTrip measures end-to-end simulated-kernel cost:
+// launch, 16k threads with one load and one store each, completion.
+func BenchmarkKernelRoundTrip(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := NewSystem(config.HeteroProcessor())
+		buf := AllocBuf[float32](s, 1<<14, "b", Host)
+		s.Launch(KernelSpec{
+			Name: "k", Grid: 64, Block: 256,
+			Func: func(t *Thread) {
+				v := Ld(t, buf, t.Global())
+				t.FLOP(1)
+				St(t, buf, t.Global(), v+1)
+			},
+		})
+	}
+}
+
+// BenchmarkCPUTaskRoundTrip measures the CPU-task path.
+func BenchmarkCPUTaskRoundTrip(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := NewSystem(config.HeteroProcessor())
+		buf := AllocBuf[float32](s, 1<<14, "b", Host)
+		s.CPUTask(CPUTaskSpec{
+			Name: "c", Threads: 4,
+			Func: func(c *CPUThread) {
+				for j := c.TID(); j < buf.Len(); j += c.Threads() {
+					Ld(c, buf, j)
+				}
+			},
+		})
+	}
+}
+
+// BenchmarkMemcpyRoundTrip measures the DMA path (1MB over PCIe).
+func BenchmarkMemcpyRoundTrip(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := NewSystem(config.DiscreteGPU())
+		h := AllocBuf[float32](s, 1<<18, "h", Host)
+		d := AllocBuf[float32](s, 1<<18, "d", Device)
+		Memcpy(s, d, h)
+	}
+}

@@ -1,0 +1,265 @@
+package device
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestMemcpyRangeAsyncMovesSubrange(t *testing.T) {
+	s := discrete()
+	h := AllocBuf[int32](s, 1024, "h", Host)
+	d := AllocBuf[int32](s, 1024, "d", Device)
+	for i := range h.V {
+		h.V[i] = int32(i)
+	}
+	s.Wait(MemcpyRangeAsync(s, d, 100, h, 200, 50))
+	if d.V[100] != 200 || d.V[149] != 249 {
+		t.Fatalf("range copy wrong: %d %d", d.V[100], d.V[149])
+	}
+	if d.V[99] != 0 || d.V[150] != 0 {
+		t.Fatal("range copy overran")
+	}
+}
+
+func TestHeteroResidualCopyStillCosts(t *testing.T) {
+	// Limited-copy benchmarks keep a few copies; in the heterogeneous
+	// processor those are in-memory DMA, bandwidth-bound but real.
+	s := hetero()
+	a := AllocBuf[float32](s, 1<<16, "a", Host)
+	b := AllocBuf[float32](s, 1<<16, "b", Host)
+	s.BeginROI()
+	Memcpy(s, b, a)
+	s.EndROI()
+	rep := s.Report("t", "x")
+	if rep.CopyActive <= 0 {
+		t.Fatal("residual copy must take time")
+	}
+	if rep.DRAMAccesses[stats.Copy] == 0 {
+		t.Fatal("residual copy must generate off-chip traffic")
+	}
+}
+
+func TestMisalignedBufferInflatesTransactions(t *testing.T) {
+	run := func(misaligned bool) uint64 {
+		s := hetero()
+		var b *Buf[float32]
+		if misaligned {
+			b = AllocBuf[float32](s, 1<<14, "b", Host, Misaligned())
+		} else {
+			b = AllocBuf[float32](s, 1<<14, "b", Host)
+		}
+		s.Launch(KernelSpec{
+			Name: "touch", Grid: 16, Block: 256,
+			Func: func(t *Thread) {
+				Ld(t, b, t.Global())
+			},
+		})
+		return s.Ctr.Get("gpu.mem_transactions")
+	}
+	aligned := run(false)
+	misaligned := run(true)
+	if misaligned <= aligned {
+		t.Fatalf("misalignment must inflate coalescing traffic: %d vs %d", misaligned, aligned)
+	}
+}
+
+func TestHandleAPI(t *testing.T) {
+	s := hetero()
+	h := s.LaunchAsync(KernelSpec{Name: "k", Grid: 1, Block: 32, Func: func(t *Thread) { t.FLOP(1) }})
+	if h.Done() {
+		t.Fatal("handle done before simulation ran")
+	}
+	s.Wait(h)
+	if !h.Done() || h.End() <= 0 {
+		t.Fatal("handle state wrong after wait")
+	}
+}
+
+func TestAfterAllAggregatesDeps(t *testing.T) {
+	s := hetero()
+	h1 := s.LaunchAsync(KernelSpec{Name: "a", Grid: 1, Block: 32, Func: func(t *Thread) { t.FLOP(100) }})
+	h2 := s.LaunchAsync(KernelSpec{Name: "b", Grid: 1, Block: 32, Func: func(t *Thread) { t.FLOP(100000) }})
+	all := s.afterAll([]*Handle{h1, h2})
+	s.Wait(all)
+	if all.End() < h2.End() {
+		t.Fatal("afterAll must complete at the latest dependency")
+	}
+}
+
+func TestLaunchValidationPanics(t *testing.T) {
+	s := hetero()
+	cases := []KernelSpec{
+		{Name: "zero-grid", Grid: 0, Block: 32, Func: func(t *Thread) {}},
+		{Name: "zero-block", Grid: 1, Block: 0, Func: func(t *Thread) {}},
+		{Name: "huge-block", Grid: 1, Block: 1 << 20, Func: func(t *Thread) {}},
+	}
+	for _, k := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("kernel %s: expected panic", k.Name)
+				}
+			}()
+			s.LaunchAsync(k)
+		}()
+	}
+}
+
+func TestMemcpyValidationPanics(t *testing.T) {
+	s := discrete()
+	a := AllocBuf[float32](s, 100, "a", Host)
+	b := AllocBuf[float32](s, 50, "b", Device)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Memcpy(s, b, a)
+}
+
+func TestChecksums(t *testing.T) {
+	if ChecksumF32([]float32{1, 2, 3}) != 6 {
+		t.Fatal("f32 checksum")
+	}
+	if ChecksumI32([]int32{-1, 5}) != 4 {
+		t.Fatal("i32 checksum")
+	}
+	if ChecksumF32(nil) != 0 {
+		t.Fatal("empty checksum")
+	}
+}
+
+func TestScratchAndSyncRecorded(t *testing.T) {
+	s := hetero()
+	s.Launch(KernelSpec{
+		Name: "scr", Grid: 1, Block: 64, ScratchBytes: 1024,
+		Func: func(t *Thread) {
+			t.ScratchOp(4)
+			t.Sync()
+			t.FLOP(1)
+		},
+	})
+	if s.Ctr.Get("gpu.scratch_ops") == 0 {
+		t.Fatal("scratch ops not counted")
+	}
+}
+
+func TestCserialVisibleWithManyTinyKernels(t *testing.T) {
+	s := discrete()
+	b := AllocBuf[float32](s, 1024, "b", Device)
+	s.BeginROI()
+	for i := 0; i < 20; i++ {
+		s.Launch(KernelSpec{Name: "tiny", Grid: 1, Block: 32, Func: func(t *Thread) {
+			Ld(t, b, t.Global())
+		}})
+	}
+	s.EndROI()
+	cs := s.Col.Cserial()
+	if cs <= 0 {
+		t.Fatal("serialized tiny kernels must expose Cserial")
+	}
+	rep := s.Report("t", "x")
+	// With fully serialized tiny kernels the overlap estimate can at best
+	// match the observed run time — never exceed it, never drop below the
+	// un-maskable serial launch term.
+	if rep.Rco > rep.ROI || rep.Rco < cs {
+		t.Fatalf("Rco %v outside [Cserial %v, ROI %v]", rep.Rco, cs, rep.ROI)
+	}
+}
+
+func TestTimingIsDeterministic(t *testing.T) {
+	run := func() int64 {
+		s := hetero()
+		b := AllocBuf[float32](s, 1<<14, "b", Host)
+		s.BeginROI()
+		s.Launch(KernelSpec{Name: "k", Grid: 16, Block: 256, Func: func(t *Thread) {
+			i := t.Global()
+			v := Ld(t, b, i)
+			t.FLOP(4)
+			St(t, b, i, v+1)
+		}})
+		s.CPUTask(CPUTaskSpec{Name: "c", Threads: 2, Func: func(c *CPUThread) {
+			for i := c.TID(); i < 1<<14; i += 2 {
+				Ld(c, b, i)
+			}
+		}})
+		s.EndROI()
+		return int64(s.Report("t", "x").ROI)
+	}
+	if run() != run() {
+		t.Fatal("simulation must be deterministic")
+	}
+}
+
+func TestDynamicParallelism(t *testing.T) {
+	s := hetero()
+	b := AllocBuf[int32](s, 1024, "b", Host)
+	// Parent kernel spawns a child that doubles what the parent wrote.
+	h := s.LaunchAsync(KernelSpec{
+		Name: "parent", Grid: 4, Block: 256,
+		Func: func(th *Thread) {
+			i := th.Global()
+			St(th, b, i, int32(i))
+			if i == 0 {
+				th.LaunchChild(KernelSpec{
+					Name: "child", Grid: 4, Block: 256,
+					Func: func(ct *Thread) {
+						j := ct.Global()
+						v := Ld(ct, b, j)
+						ct.FLOP(1)
+						St(ct, b, j, v*2)
+					},
+				})
+			}
+		},
+	})
+	s.Wait(h)
+	if b.V[100] != 200 {
+		t.Fatalf("child did not run after parent: %d", b.V[100])
+	}
+	// Two kernel stages must have been recorded, and the handle must span
+	// both plus the device-side launch overhead.
+	if len(s.Col.Stages) != 2 {
+		t.Fatalf("stages = %d, want parent+child", len(s.Col.Stages))
+	}
+	if h.End() < s.Col.Stages[0].End+deviceLaunchOverhead {
+		t.Fatal("child launch overhead not charged")
+	}
+}
+
+func TestDynamicParallelismNested(t *testing.T) {
+	s := hetero()
+	depth := 0
+	var spawn func(level int) KernelSpec
+	spawn = func(level int) KernelSpec {
+		return KernelSpec{
+			Name: "nest", Grid: 1, Block: 32,
+			Func: func(th *Thread) {
+				if th.Global() == 0 {
+					depth = level
+					if level < 3 {
+						th.LaunchChild(spawn(level + 1))
+					}
+				}
+				th.FLOP(1)
+			},
+		}
+	}
+	s.Wait(s.LaunchAsync(spawn(1)))
+	if depth != 3 {
+		t.Fatalf("nested launches stopped at depth %d", depth)
+	}
+	if len(s.Col.Stages) != 3 {
+		t.Fatalf("stages = %d, want 3", len(s.Col.Stages))
+	}
+}
+
+func TestLaunchChildOutsideKernelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(&Thread{}).LaunchChild(KernelSpec{})
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/device"
+)
+
+// AblationRow is one configuration point of an ablation sweep.
+type AblationRow struct {
+	Knob  string
+	Value string
+	ROIms float64
+	Extra string
+}
+
+// AblateCoherence isolates what CPU-GPU cache coherence is worth to a
+// latency-bound consumer: the GPU produces a buffer that fits in its L2 and
+// the CPU immediately walks it with dependent loads. With coherence the
+// reads are cache-to-cache transfers; without it every one goes to DRAM.
+func AblateCoherence(size bench.Size) []AblationRow {
+	n := bench.ScaleN(64*1024, size) // 256kB-1MB of float32
+	var rows []AblationRow
+	for _, off := range []bool{false, true} {
+		cfg := config.HeteroProcessor()
+		cfg.NoCoherence = off
+		s := device.NewSystem(cfg)
+		buf := device.AllocBuf[float32](s, n, "pc_buffer", device.Host)
+		s.BeginROI()
+		s.Launch(device.KernelSpec{
+			Name: "produce", Grid: n / 256, Block: 256,
+			Func: func(t *device.Thread) {
+				i := t.Global()
+				t.FLOP(2)
+				device.St(t, buf, i, float32(i%7))
+			},
+		})
+		s.CPUTask(device.CPUTaskSpec{
+			Name: "consume_dependent", Threads: 1,
+			Func: func(c *device.CPUThread) {
+				var acc float32
+				for i := 0; i < n; i += 32 { // one dependent load per line
+					acc += device.LdDep(c, buf, i)
+					c.FLOP(1)
+				}
+				_ = acc
+			},
+		})
+		s.EndROI()
+		rep := s.Report("pc-micro", "ablation")
+		label := "on"
+		if off {
+			label = "off"
+		}
+		rows = append(rows, AblationRow{
+			Knob: "coherence", Value: label, ROIms: rep.ROI.Millis(),
+			Extra: fmt.Sprintf("CPU active %.3f ms, c2c transfers %d",
+				rep.CPUActive.Millis(), s.Ctr.Get("het-switch.c2c_transfers")),
+		})
+	}
+	return rows
+}
+
+// AblateFaultCost sweeps the CPU page-fault handler occupancy for srad, the
+// paper's worst fault victim, showing how its heterogeneous-processor
+// slowdown scales with handler cost.
+func AblateFaultCost(size bench.Size) []AblationRow {
+	srad, _ := bench.Get("rodinia/srad")
+	var rows []AblationRow
+	for _, us := range []float64{0, 0.5, 1, 2, 4} {
+		cfg := config.HeteroProcessor()
+		cfg.VM.CPUFaultServUs = us
+		if us == 0 {
+			cfg.VM.GPUFaultToCPU = false
+			cfg.VM.GPUFaultServNs = 0
+		}
+		s := device.NewSystem(cfg)
+		rep := bench.ExecuteOnSystem(srad, s, bench.ModeLimitedCopy, size)
+		rows = append(rows, AblationRow{
+			Knob: "fault-us", Value: fmt.Sprintf("%.1f", us), ROIms: rep.ROI.Millis(),
+			Extra: fmt.Sprintf("faults %d", s.Ctr.Get("vm.gpu_faults_to_cpu")),
+		})
+	}
+	return rows
+}
+
+// AblateGPUL2 sweeps the shared L2 capacity and reports the R-R contention
+// share of spmv — the paper's Section V-C argument that contention is a
+// capacity problem.
+func AblateGPUL2(size bench.Size) []AblationRow {
+	spmv, _ := bench.Get("parboil/spmv")
+	var rows []AblationRow
+	for _, kb := range []int{256, 512, 1024, 4096} {
+		cfg := config.HeteroProcessor()
+		cfg.GPU.L2Bytes = kb * 1024
+		s := device.NewSystem(cfg)
+		rep := bench.ExecuteOnSystem(spmv, s, bench.ModeLimitedCopy, size)
+		rows = append(rows, AblationRow{
+			Knob: "gpu-l2-kb", Value: fmt.Sprintf("%d", kb), ROIms: rep.ROI.Millis(),
+			Extra: fmt.Sprintf("R-R contention %.1f%%", 100*rep.ClassFraction(core.ClassRRContention)),
+		})
+	}
+	return rows
+}
+
+// AblatePCIe sweeps the link bandwidth of the discrete system for kmeans —
+// the knob behind the paper's bandwidth-asymmetry argument in Section II.
+func AblatePCIe(size bench.Size) []AblationRow {
+	km, _ := bench.Get("rodinia/kmeans")
+	var rows []AblationRow
+	for _, gbs := range []float64{4, 8, 16, 32} {
+		cfg := config.DiscreteGPU()
+		cfg.PCIe.BytesPerSec = gbs * 1e9
+		s := device.NewSystem(cfg)
+		rep := bench.ExecuteOnSystem(km, s, bench.ModeCopy, size)
+		rows = append(rows, AblationRow{
+			Knob: "pcie-GB/s", Value: fmt.Sprintf("%.0f", gbs), ROIms: rep.ROI.Millis(),
+			Extra: fmt.Sprintf("copy active %.3f ms", rep.CopyActive.Millis()),
+		})
+	}
+	return rows
+}
+
+// AblationText renders every ablation sweep.
+func AblationText(size bench.Size) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ABLATIONS (design-choice sensitivity)\n")
+	render := func(title string, rows []AblationRow) {
+		fmt.Fprintf(&b, "%s\n", title)
+		for _, r := range rows {
+			fmt.Fprintf(&b, "  %-12s %-6s  ROI %9.3f ms   %s\n", r.Knob, r.Value, r.ROIms, r.Extra)
+		}
+	}
+	render("1. CPU-GPU cache coherence (producer-consumer microbenchmark):", AblateCoherence(size))
+	render("2. GPU page-fault handler cost (srad limited-copy):", AblateFaultCost(size))
+	render("3. GPU L2 capacity (spmv limited-copy):", AblateGPUL2(size))
+	render("4. PCIe bandwidth (kmeans copy):", AblatePCIe(size))
+	return b.String()
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// WriteCSVs exports the sweep as one CSV per figure into dir (created if
+// needed), for external plotting. Files: fig4_footprint.csv,
+// fig5_accesses.csv, fig6_runtime.csv, fig78_models.csv,
+// fig9_classification.csv.
+func WriteCSVs(dir string, r *Results) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, header []string, rows [][]string) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w := csv.NewWriter(f)
+		if err := w.Write(header); err != nil {
+			return err
+		}
+		if err := w.WriteAll(rows); err != nil {
+			return err
+		}
+		w.Flush()
+		return w.Error()
+	}
+	ff := func(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+	// Figure 4: footprint partition.
+	var rows [][]string
+	for _, name := range r.Names() {
+		for _, pair := range []struct {
+			ver string
+			rep *core.Report
+		}{{"copy", r.Copy[name]}, {"limited", r.Limited[name]}} {
+			row := []string{name, pair.ver, strconv.FormatUint(pair.rep.FootprintBytes, 10)}
+			for _, set := range stats.AllComponentSets() {
+				row = append(row, strconv.FormatUint(pair.rep.Footprint[set], 10))
+			}
+			rows = append(rows, row)
+		}
+	}
+	hdr := []string{"benchmark", "version", "total_bytes"}
+	for _, set := range stats.AllComponentSets() {
+		hdr = append(hdr, set.String()+"_bytes")
+	}
+	if err := write("fig4_footprint.csv", hdr, rows); err != nil {
+		return err
+	}
+
+	// Figure 5: off-chip accesses by component.
+	rows = rows[:0]
+	for _, name := range r.Names() {
+		for _, pair := range []struct {
+			ver string
+			rep *core.Report
+		}{{"copy", r.Copy[name]}, {"limited", r.Limited[name]}} {
+			rows = append(rows, []string{
+				name, pair.ver,
+				strconv.FormatUint(pair.rep.DRAMAccesses[stats.CPU], 10),
+				strconv.FormatUint(pair.rep.DRAMAccesses[stats.GPU], 10),
+				strconv.FormatUint(pair.rep.DRAMAccesses[stats.Copy], 10),
+			})
+		}
+	}
+	if err := write("fig5_accesses.csv",
+		[]string{"benchmark", "version", "cpu", "gpu", "copy"}, rows); err != nil {
+		return err
+	}
+
+	// Figure 6: run time and activity.
+	rows = rows[:0]
+	for _, name := range r.Names() {
+		for _, pair := range []struct {
+			ver string
+			rep *core.Report
+		}{{"copy", r.Copy[name]}, {"limited", r.Limited[name]}} {
+			rep := pair.rep
+			rows = append(rows, []string{
+				name, pair.ver,
+				ff(rep.ROI.Millis()), ff(rep.CPUActive.Millis()),
+				ff(rep.GPUActive.Millis()), ff(rep.CopyActive.Millis()),
+				ff(rep.CPUUtil), ff(rep.GPUUtil), ff(rep.OppCost),
+			})
+		}
+	}
+	if err := write("fig6_runtime.csv",
+		[]string{"benchmark", "version", "roi_ms", "cpu_ms", "gpu_ms", "copy_ms", "cpu_util", "gpu_util", "flop_opp_cost"}, rows); err != nil {
+		return err
+	}
+
+	// Figures 7-8: analytical model estimates.
+	rows = rows[:0]
+	for _, name := range r.Names() {
+		for _, pair := range []struct {
+			ver string
+			rep *core.Report
+		}{{"copy", r.Copy[name]}, {"limited", r.Limited[name]}} {
+			rep := pair.rep
+			rows = append(rows, []string{
+				name, pair.ver,
+				ff(rep.ROI.Millis()), ff(rep.Rco.Millis()), ff(rep.Rmc.Millis()), ff(rep.Cserial.Millis()),
+			})
+		}
+	}
+	if err := write("fig78_models.csv",
+		[]string{"benchmark", "version", "roi_ms", "rco_ms", "rmc_ms", "cserial_ms"}, rows); err != nil {
+		return err
+	}
+
+	// Figure 9: classification.
+	rows = rows[:0]
+	for _, name := range r.Names() {
+		for _, pair := range []struct {
+			ver string
+			rep *core.Report
+		}{{"copy", r.Copy[name]}, {"limited", r.Limited[name]}} {
+			rep := pair.rep
+			row := []string{name, pair.ver, fmt.Sprintf("%t", rep.BWLimitedFrac > 0.25)}
+			for c := core.Class(0); c < core.NumClasses; c++ {
+				row = append(row, strconv.FormatUint(rep.ClassCounts[c], 10))
+			}
+			rows = append(rows, row)
+		}
+	}
+	hdr = []string{"benchmark", "version", "bw_limited"}
+	for c := core.Class(0); c < core.NumClasses; c++ {
+		hdr = append(hdr, c.String())
+	}
+	return write("fig9_classification.csv", hdr, rows)
+}

@@ -1,0 +1,371 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation from simulation runs: Table I (system parameters), Table II
+// (pipeline-construct census), Figure 3 (kmeans case study), Figures 4-6
+// (footprint / off-chip accesses / run-time activity, copy vs limited-copy),
+// Figures 7-8 (component-overlap and migrated-compute estimates), and
+// Figure 9 (off-chip access classification).
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Results caches one full sweep: every benchmark in copy and limited-copy
+// mode, plus the restructured organizations where implemented.
+type Results struct {
+	Size bench.Size
+	// Copy and Limited are keyed by full benchmark name.
+	Copy    map[string]*core.Report
+	Limited map[string]*core.Report
+	// Extra[mode] holds restructured-organization runs.
+	Extra map[bench.Mode]map[string]*core.Report
+}
+
+// Run executes the full sweep. With onProgress non-nil it is called before
+// each run.
+func Run(size bench.Size, onProgress func(name, mode string)) *Results {
+	r := &Results{
+		Size:    size,
+		Copy:    map[string]*core.Report{},
+		Limited: map[string]*core.Report{},
+		Extra: map[bench.Mode]map[string]*core.Report{
+			bench.ModeAsyncStreams:    {},
+			bench.ModeParallelChunked: {},
+		},
+	}
+	for _, b := range bench.All() {
+		name := b.Info().FullName()
+		if onProgress != nil {
+			onProgress(name, "copy")
+		}
+		r.Copy[name] = bench.Execute(b, bench.ModeCopy, size)
+		if onProgress != nil {
+			onProgress(name, "limited-copy")
+		}
+		r.Limited[name] = bench.Execute(b, bench.ModeLimitedCopy, size)
+		for _, m := range b.Info().ExtraModes {
+			if onProgress != nil {
+				onProgress(name, m.String())
+			}
+			r.Extra[m][name] = bench.Execute(b, m, size)
+		}
+	}
+	return r
+}
+
+// Names lists benchmark names in sorted order.
+func (r *Results) Names() []string {
+	out := make([]string, 0, len(r.Copy))
+	for n := range r.Copy {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// geomean of a slice of positive ratios.
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			x = 1e-12
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Table1 renders the Table I system parameters.
+func Table1() string {
+	var b strings.Builder
+	d, h := config.DiscreteGPU(), config.HeteroProcessor()
+	fmt.Fprintf(&b, "TABLE I. HETEROGENEOUS SYSTEM PARAMETERS\n")
+	fmt.Fprintf(&b, "%-22s %s\n", "Component", "Parameters")
+	fmt.Fprintf(&b, "%-22s (%d) %d-wide out-of-order, x86-like, %.1fGHz, %.0f GFLOP/s peak each\n",
+		"CPU cores", d.CPU.Cores, d.CPU.IssueWidth, d.CPU.ClockHz/1e9, d.CPU.PeakFLOPs()/float64(d.CPU.Cores)/1e9)
+	fmt.Fprintf(&b, "%-22s per-core %dkB L1I + %dkB L1D, private %dkB L2, %dB lines\n",
+		"CPU caches", d.CPU.L1IBytes/1024, d.CPU.L1DBytes/1024, d.CPU.L2Bytes/1024, d.LineBytes)
+	fmt.Fprintf(&b, "%-22s (%d) %d CTAs, %d warps of %d threads, %.0fMHz, %.1f GFLOP/s peak each\n",
+		"GPU cores (SMs)", d.GPU.SMs, d.GPU.MaxCTAsPerSM, d.GPU.MaxWarpsPerSM, d.GPU.WarpSize,
+		d.GPU.ClockHz/1e6, d.GPU.PeakFLOPs()/float64(d.GPU.SMs)/1e9)
+	fmt.Fprintf(&b, "%-22s %dkB scratch + %dkB L1 per SM; shared %dkB L2, %d banks\n",
+		"GPU caches", d.GPU.ScratchBytesPkSM/1024, d.GPU.L1Bytes/1024, d.GPU.L2Bytes/1024, d.GPU.L2Banks)
+	fmt.Fprintf(&b, "-- Discrete GPU system --\n")
+	fmt.Fprintf(&b, "%-22s (%d) %s channels, %.0f GB/s peak\n", "CPU memory", d.CPUMem.Channels, d.CPUMem.Name, d.CPUMem.BytesPerSec/1e9)
+	fmt.Fprintf(&b, "%-22s (%d) %s channels, %.0f GB/s peak\n", "GPU memory", d.GPUMem.Channels, d.GPUMem.Name, d.GPUMem.BytesPerSec/1e9)
+	fmt.Fprintf(&b, "%-22s %.0f GB/s peak, GPU-local page faults\n", "PCI Express", d.PCIe.BytesPerSec/1e9)
+	fmt.Fprintf(&b, "-- Heterogeneous CPU-GPU processor --\n")
+	fmt.Fprintf(&b, "%-22s (%d) %s channels, %.0f GB/s peak, shared\n", "Memory", h.GPUMem.Channels, h.GPUMem.Name, h.GPUMem.BytesPerSec/1e9)
+	fmt.Fprintf(&b, "%-22s coherent 12-port switch, c2c %.0fns; GPU faults CPU-handled (%.1fus)\n",
+		"Interconnect", h.CacheToCacheNs, h.VM.CPUFaultServUs)
+	return b.String()
+}
+
+// Table2Text renders Table II from the census.
+func Table2Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TABLE II. PRODUCER-CONSUMER RELATIONSHIPS IN BENCHMARKS\n")
+	fmt.Fprintf(&b, "%-10s %5s %8s %6s %8s %9s %8s\n", "Suite", "Num", "P-CComm", "Pipe", "Regular", "Irregular", "SWQueue")
+	rows := bench.Table2()
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %5d %8d %6d %8d %9d %8d\n",
+			r.Suite, r.Num, r.PCComm, r.PipeParal, r.Regular, r.Irreg, r.SWQue)
+	}
+	tot := rows[len(rows)-1]
+	fmt.Fprintf(&b, "%-10s %5s %7.0f%% %5.0f%% %7.0f%% %8.0f%% %7.0f%%\n", "portion", "100%",
+		100*float64(tot.PCComm)/float64(tot.Num), 100*float64(tot.PipeParal)/float64(tot.Num),
+		100*float64(tot.Regular)/float64(tot.Num), 100*float64(tot.Irreg)/float64(tot.Num),
+		100*float64(tot.SWQue)/float64(tot.Num))
+	return b.String()
+}
+
+// Fig3Row is one kmeans organization of Figure 3.
+type Fig3Row struct {
+	Org       string
+	Estimated bool
+	RunTime   float64 // normalized to baseline
+	GPUUtil   float64
+}
+
+// Fig3 runs the kmeans case study organizations and returns normalized run
+// times: Baseline (copy), Asynchronous Copy (streams), No Memory Copy
+// (limited), Parallel (Eq. 1 estimate on the no-copy run, starred), and
+// Parallel + Cache (simulated chunked producer-consumer).
+func Fig3(size bench.Size) []Fig3Row {
+	km, _ := bench.Get("rodinia/kmeans")
+	base := bench.Execute(km, bench.ModeCopy, size)
+	async := bench.Execute(km, bench.ModeAsyncStreams, size)
+	nocopy := bench.Execute(km, bench.ModeLimitedCopy, size)
+	parcache := bench.Execute(km, bench.ModeParallelChunked, size)
+
+	norm := func(r *core.Report) float64 { return float64(r.ROI) / float64(base.ROI) }
+	// "Parallel" is the paper's analytical estimate: overlapped CPU and GPU
+	// on the no-copy organization.
+	parEst := float64(nocopy.Rco) / float64(base.ROI)
+	parUtil := nocopy.GPUUtil * float64(nocopy.ROI) / float64(nocopy.Rco)
+	if parUtil > 1 {
+		parUtil = 1
+	}
+	return []Fig3Row{
+		{"Baseline", false, 1.0, base.GPUUtil},
+		{"Asynchronous Copy", false, norm(async), async.GPUUtil},
+		{"No Memory Copy", false, norm(nocopy), nocopy.GPUUtil},
+		{"Parallel", true, parEst, parUtil},
+		{"Parallel + Cache", false, norm(parcache), parcache.GPUUtil},
+	}
+}
+
+// Fig3Text renders Figure 3.
+func Fig3Text(rows []Fig3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FIGURE 3. Kmeans run times by organization (normalized to Baseline; * = estimated)\n")
+	for _, r := range rows {
+		star := " "
+		if r.Estimated {
+			star = "*"
+		}
+		fmt.Fprintf(&b, "  %-20s%s %6.3f   GPU util %5.1f%%  %s\n",
+			r.Org, star, r.RunTime, 100*r.GPUUtil, bar(r.RunTime, 40))
+	}
+	return b.String()
+}
+
+func bar(frac float64, width int) string {
+	n := int(frac * float64(width))
+	if n < 0 {
+		n = 0
+	}
+	if n > 2*width {
+		n = 2 * width
+	}
+	return strings.Repeat("#", n)
+}
+
+// Fig4Text renders the footprint partition figure: per benchmark, the
+// touched footprint by exclusive component subset, copy and limited-copy
+// bars normalized to the copy total.
+func Fig4Text(r *Results) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FIGURE 4. Memory footprint by component set (normalized to copy total)\n")
+	fmt.Fprintf(&b, "%-24s %-8s %7s  %s\n", "benchmark", "version", "total", "CPU/GPU/Copy/CPU+GPU/CPU+Copy/GPU+Copy/all")
+	for _, name := range r.Names() {
+		cv, lv := r.Copy[name], r.Limited[name]
+		denom := float64(cv.FootprintBytes)
+		label := name
+		row := func(rep *core.Report, version string) {
+			fracs := make([]string, 0, 7)
+			for _, set := range stats.AllComponentSets() {
+				fracs = append(fracs, fmt.Sprintf("%4.1f%%", 100*float64(rep.Footprint[set])/denom))
+			}
+			fmt.Fprintf(&b, "%-24s %-8s %6.1f%%  %s\n", label, version,
+				100*float64(rep.FootprintBytes)/denom, strings.Join(fracs, " "))
+			label = ""
+		}
+		row(cv, "copy")
+		row(lv, "limited")
+	}
+	var reds []float64
+	for _, name := range r.Names() {
+		reds = append(reds, float64(r.Limited[name].FootprintBytes)/float64(r.Copy[name].FootprintBytes))
+	}
+	fmt.Fprintf(&b, "geomean limited-copy footprint: %.1f%% of copy footprint\n", 100*geomean(reds))
+	return b.String()
+}
+
+// Fig5Text renders the off-chip access breakdown by component.
+func Fig5Text(r *Results) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FIGURE 5. Off-chip memory accesses by component (normalized to copy total)\n")
+	fmt.Fprintf(&b, "%-24s %9s %9s %9s | %9s %9s   %s\n", "benchmark", "cpu", "gpu", "copy", "lim-cpu", "lim-gpu", "lim-total")
+	var copyShares, totalReds []float64
+	for _, name := range r.Names() {
+		cv, lv := r.Copy[name], r.Limited[name]
+		denom := float64(cv.TotalDRAM())
+		fmt.Fprintf(&b, "%-24s %8.1f%% %8.1f%% %8.1f%% | %8.1f%% %8.1f%%   %6.1f%%\n", name,
+			100*float64(cv.DRAMAccesses[stats.CPU])/denom,
+			100*float64(cv.DRAMAccesses[stats.GPU])/denom,
+			100*float64(cv.DRAMAccesses[stats.Copy])/denom,
+			100*float64(lv.DRAMAccesses[stats.CPU])/denom,
+			100*float64(lv.DRAMAccesses[stats.GPU])/denom,
+			100*float64(lv.TotalDRAM())/denom)
+		copyShares = append(copyShares, float64(cv.DRAMAccesses[stats.Copy])/denom)
+		totalReds = append(totalReds, float64(lv.TotalDRAM())/denom)
+	}
+	fmt.Fprintf(&b, "geomean copy-access share of copy version: %.1f%%\n", 100*geomean(copyShares))
+	fmt.Fprintf(&b, "geomean limited-copy total accesses: %.1f%% of copy version\n", 100*geomean(totalReds))
+	return b.String()
+}
+
+// Fig6Text renders the run-time component-activity breakdown.
+func Fig6Text(r *Results) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FIGURE 6. Run-time component activity (normalized to copy run time)\n")
+	fmt.Fprintf(&b, "%-24s %-8s %7s %7s %7s %7s %8s %6s\n", "benchmark", "version", "total", "copyact", "cpuact", "gpuact", "overlap", "idle")
+	var runReds []float64
+	for _, name := range r.Names() {
+		cv, lv := r.Copy[name], r.Limited[name]
+		denom := float64(cv.ROI)
+		label := name
+		row := func(rep *core.Report, version string) {
+			overlap := float64(rep.Breakdown.Total()) - float64(rep.Breakdown.Idle()) -
+				float64(rep.Breakdown.Exclusive(stats.CPU)) - float64(rep.Breakdown.Exclusive(stats.GPU)) - float64(rep.Breakdown.Exclusive(stats.Copy))
+			fmt.Fprintf(&b, "%-24s %-8s %6.1f%% %6.1f%% %6.1f%% %6.1f%% %7.1f%% %5.1f%%\n", label, version,
+				100*float64(rep.ROI)/denom,
+				100*float64(rep.Breakdown.Exclusive(stats.Copy))/denom,
+				100*float64(rep.Breakdown.Exclusive(stats.CPU))/denom,
+				100*float64(rep.Breakdown.Exclusive(stats.GPU))/denom,
+				100*overlap/denom,
+				100*float64(rep.Breakdown.Idle())/denom)
+			label = ""
+		}
+		row(cv, "copy")
+		row(lv, "limited")
+		runReds = append(runReds, float64(lv.ROI)/float64(cv.ROI))
+	}
+	fmt.Fprintf(&b, "geomean limited-copy run time: %.1f%% of copy (%.1f%% improvement)\n",
+		100*geomean(runReds), 100*(1-geomean(runReds)))
+	return b.String()
+}
+
+// Fig7Text renders the component-overlap (Eq. 1) estimates.
+func Fig7Text(r *Results) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FIGURE 7. Component-overlap run-time estimates, Eq. 1 (normalized to copy run time)\n")
+	fmt.Fprintf(&b, "%-24s %10s %11s %12s %13s\n", "benchmark", "copy Rco", "copy gain", "limited Rco", "limited gain")
+	var gains []float64
+	for _, name := range r.Names() {
+		cv, lv := r.Copy[name], r.Limited[name]
+		denom := float64(cv.ROI)
+		fmt.Fprintf(&b, "%-24s %9.1f%% %10.1f%% %11.1f%% %12.1f%%\n", name,
+			100*float64(cv.Rco)/denom, 100*(1-float64(cv.Rco)/float64(cv.ROI)),
+			100*float64(lv.Rco)/denom, 100*(1-float64(lv.Rco)/float64(lv.ROI)))
+		gains = append(gains, float64(cv.Rco)/float64(cv.ROI))
+	}
+	fmt.Fprintf(&b, "geomean copy-version overlap gain: %.1f%%\n", 100*(1-geomean(gains)))
+
+	// Validation against the restructured implementations (Section V-A).
+	fmt.Fprintf(&b, "validation (measured restructured vs estimate):\n")
+	for _, name := range []string{"rodinia/backprop", "rodinia/kmeans", "rodinia/streamcluster"} {
+		if as, ok := r.Extra[bench.ModeAsyncStreams][name]; ok {
+			est := r.Copy[name].Rco
+			fmt.Fprintf(&b, "  %-22s async-streams measured %6.3fms vs copy-Rco %6.3fms (%+.1f%%)\n",
+				name, as.ROI.Millis(), est.Millis(), 100*(float64(as.ROI)-float64(est))/float64(est))
+		}
+		if pc, ok := r.Extra[bench.ModeParallelChunked][name]; ok {
+			est := r.Limited[name].Rco
+			fmt.Fprintf(&b, "  %-22s parallel-chunked measured %6.3fms vs limited-Rco %6.3fms (%+.1f%%)\n",
+				name, pc.ROI.Millis(), est.Millis(), 100*(float64(pc.ROI)-float64(est))/float64(est))
+		}
+	}
+	return b.String()
+}
+
+// Fig8Text renders the migrated-compute (Eqs. 2-4) estimates.
+func Fig8Text(r *Results) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FIGURE 8. Migrated-compute run-time estimates, Eqs. 2-4 (normalized to copy run time)\n")
+	fmt.Fprintf(&b, "%-24s %10s %12s %13s\n", "benchmark", "copy Rmc", "limited Rmc", "vs limited")
+	var gains []float64
+	for _, name := range r.Names() {
+		cv, lv := r.Copy[name], r.Limited[name]
+		denom := float64(cv.ROI)
+		fmt.Fprintf(&b, "%-24s %9.1f%% %11.1f%% %12.1f%%\n", name,
+			100*float64(cv.Rmc)/denom, 100*float64(lv.Rmc)/denom,
+			100*(1-float64(lv.Rmc)/float64(lv.ROI)))
+		gains = append(gains, float64(lv.Rmc)/float64(lv.ROI))
+	}
+	fmt.Fprintf(&b, "geomean potential gain from migrating compute (limited-copy): %.1f%%\n", 100*(1-geomean(gains)))
+	return b.String()
+}
+
+// Fig9Text renders the off-chip access classification.
+func Fig9Text(r *Results) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FIGURE 9. Off-chip accesses by cause (%% of version's accesses; * = bandwidth-limited)\n")
+	fmt.Fprintf(&b, "%-24s %-8s %9s %9s %8s %8s %8s %8s\n",
+		"benchmark", "version", "compuls", "longrng", "W-Rspill", "R-Rspill", "W-Rcont", "R-Rcont")
+	var rrConts, spills []float64
+	for _, name := range r.Names() {
+		label := name
+		row := func(rep *core.Report, version string) {
+			mark := " "
+			if rep.BWLimitedFrac > 0.25 {
+				mark = "*"
+			}
+			fmt.Fprintf(&b, "%-24s %-8s%s %8.1f%% %8.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n", label, version, mark,
+				100*rep.ClassFraction(core.ClassCompulsory),
+				100*rep.ClassFraction(core.ClassLongRange),
+				100*rep.ClassFraction(core.ClassWRSpill),
+				100*rep.ClassFraction(core.ClassRRSpill),
+				100*rep.ClassFraction(core.ClassWRContention),
+				100*rep.ClassFraction(core.ClassRRContention))
+			label = ""
+		}
+		row(r.Copy[name], "copy")
+		lv := r.Limited[name]
+		row(lv, "limited")
+		rrConts = append(rrConts, lv.ClassFraction(core.ClassRRContention))
+		spills = append(spills, lv.ClassFraction(core.ClassWRSpill)+lv.ClassFraction(core.ClassRRSpill))
+	}
+	var rrMean, spillMean float64
+	for i := range rrConts {
+		rrMean += rrConts[i]
+		spillMean += spills[i]
+	}
+	rrMean /= float64(len(rrConts))
+	spillMean /= float64(len(spills))
+	fmt.Fprintf(&b, "mean R-R contention share (limited-copy): %.1f%%   mean spill share: %.1f%%\n",
+		100*rrMean, 100*spillMean)
+	return b.String()
+}

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+
+	_ "repro/internal/suites/lonestar"
+	_ "repro/internal/suites/pannotia"
+	_ "repro/internal/suites/parboil"
+	_ "repro/internal/suites/rodinia"
+)
+
+func TestTable1Renders(t *testing.T) {
+	txt := Table1()
+	for _, want := range []string{"CPU cores", "GDDR5", "PCI Express", "Heterogeneous"} {
+		if !strings.Contains(txt, want) {
+			t.Fatalf("table 1 missing %q:\n%s", want, txt)
+		}
+	}
+}
+
+func TestTable2Renders(t *testing.T) {
+	txt := Table2Text()
+	for _, want := range []string{"lonestar", "pannotia", "parboil", "rodinia", "58", "88%"} {
+		if !strings.Contains(txt, want) {
+			t.Fatalf("table 2 missing %q:\n%s", want, txt)
+		}
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := geomean([]float64{1, 4}); g < 1.99 || g > 2.01 {
+		t.Fatalf("geomean = %v", g)
+	}
+	if geomean(nil) != 0 {
+		t.Fatal("empty geomean")
+	}
+	// Non-positive values are clamped, not fatal.
+	if g := geomean([]float64{0, 1}); g <= 0 {
+		t.Fatalf("clamped geomean = %v", g)
+	}
+}
+
+// TestFig3Ordering pins the paper's headline case-study result: the five
+// kmeans organizations must improve monotonically (the Parallel estimate
+// may only beat the simulated Parallel+Cache by the caching effect).
+func TestFig3Ordering(t *testing.T) {
+	rows := Fig3(bench.SizeSmall)
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].RunTime != 1.0 {
+		t.Fatal("baseline must be 1.0")
+	}
+	// Async beats baseline; no-copy beats async; parallel+cache beats
+	// no-copy.
+	if !(rows[1].RunTime < rows[0].RunTime) {
+		t.Fatalf("async-streams (%v) must beat baseline", rows[1].RunTime)
+	}
+	if !(rows[2].RunTime < rows[1].RunTime) {
+		t.Fatalf("no-copy (%v) must beat async (%v)", rows[2].RunTime, rows[1].RunTime)
+	}
+	if !(rows[4].RunTime < rows[2].RunTime) {
+		t.Fatalf("parallel+cache (%v) must beat no-copy (%v)", rows[4].RunTime, rows[2].RunTime)
+	}
+	// GPU utilization climbs from baseline to the final organization
+	// (paper: 18% -> 80%).
+	if !(rows[4].GPUUtil > rows[0].GPUUtil*2) {
+		t.Fatalf("GPU util did not climb: %v -> %v", rows[0].GPUUtil, rows[4].GPUUtil)
+	}
+	if !rows[3].Estimated || rows[0].Estimated {
+		t.Fatal("estimated flags wrong")
+	}
+	if !strings.Contains(Fig3Text(rows), "Parallel + Cache") {
+		t.Fatal("fig 3 text malformed")
+	}
+}
+
+// fakeResults builds a tiny synthetic Results so the figure renderers can
+// be tested without a full sweep.
+func fakeResults() *Results {
+	mk := func(roi sim.Tick, copyAcc, gpuAcc uint64) *core.Report {
+		r := &core.Report{ROI: roi, FootprintBytes: 1024}
+		r.Footprint = map[stats.ComponentSet]uint64{
+			stats.ComponentSet(0).Set(stats.GPU): 1024,
+		}
+		r.DRAMAccesses[stats.Copy] = copyAcc
+		r.DRAMAccesses[stats.GPU] = gpuAcc
+		r.Breakdown = stats.Breakdown{Start: 0, End: roi, BySet: map[stats.ComponentSet]sim.Tick{}}
+		r.Rco = roi / 2
+		r.Rmc = roi / 4
+		r.ClassCounts[core.ClassCompulsory] = gpuAcc
+		return r
+	}
+	return &Results{
+		Copy:    map[string]*core.Report{"x/y": mk(1000, 50, 100)},
+		Limited: map[string]*core.Report{"x/y": mk(800, 0, 100)},
+		Extra:   map[bench.Mode]map[string]*core.Report{bench.ModeAsyncStreams: {}, bench.ModeParallelChunked: {}},
+	}
+}
+
+func TestFigureRenderersOnFakeData(t *testing.T) {
+	r := fakeResults()
+	for name, txt := range map[string]string{
+		"fig4": Fig4Text(r),
+		"fig5": Fig5Text(r),
+		"fig6": Fig6Text(r),
+		"fig7": Fig7Text(r),
+		"fig8": Fig8Text(r),
+		"fig9": Fig9Text(r),
+	} {
+		if !strings.Contains(txt, "x/y") {
+			t.Fatalf("%s missing benchmark row:\n%s", name, txt)
+		}
+		if strings.Contains(txt, "NaN") || strings.Contains(txt, "%!") {
+			t.Fatalf("%s has formatting garbage:\n%s", name, txt)
+		}
+	}
+}
+
+// TestAblationsRespond pins the qualitative direction of each ablation.
+func TestAblationsRespond(t *testing.T) {
+	t.Run("coherence", func(t *testing.T) {
+		rows := AblateCoherence(bench.SizeSmall)
+		if len(rows) != 2 || rows[0].ROIms >= rows[1].ROIms {
+			t.Fatalf("coherence must help the consumer: %+v", rows)
+		}
+	})
+	t.Run("faults", func(t *testing.T) {
+		rows := AblateFaultCost(bench.SizeSmall)
+		for i := 1; i < len(rows); i++ {
+			if rows[i].ROIms < rows[i-1].ROIms {
+				t.Fatalf("fault cost must monotonically hurt srad: %+v", rows)
+			}
+		}
+	})
+	t.Run("pcie", func(t *testing.T) {
+		rows := AblatePCIe(bench.SizeSmall)
+		for i := 1; i < len(rows); i++ {
+			if rows[i].ROIms > rows[i-1].ROIms {
+				t.Fatalf("more PCIe bandwidth must help kmeans: %+v", rows)
+			}
+		}
+	})
+	t.Run("l2", func(t *testing.T) {
+		rows := AblateGPUL2(bench.SizeSmall)
+		first, last := rows[0], rows[len(rows)-1]
+		if last.ROIms > first.ROIms {
+			t.Fatalf("bigger L2 must not hurt spmv: %+v", rows)
+		}
+	})
+}
+
+func TestWriteCSVs(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteCSVs(dir, fakeResults()); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{
+		"fig4_footprint.csv", "fig5_accesses.csv", "fig6_runtime.csv",
+		"fig78_models.csv", "fig9_classification.csv",
+	} {
+		b, err := os.ReadFile(filepath.Join(dir, f))
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+		if len(lines) != 3 { // header + copy + limited for the one benchmark
+			t.Fatalf("%s: %d lines", f, len(lines))
+		}
+		if !strings.Contains(lines[1], "x/y") {
+			t.Fatalf("%s: missing benchmark row", f)
+		}
+	}
+}

@@ -1,0 +1,433 @@
+// Package gpucore is the trace-driven GPU timing model: 16 Fermi-like SMs,
+// each running up to 8 CTAs / 48 warps of 32 lanes, with per-warp SIMT
+// replay, address coalescing into 128B transactions, stall-on-use memory
+// behaviour (latency hidden across warps), CTA-wide barriers, and
+// greedy-then-oldest-approximating issue arbitration via a per-SM issue
+// port.
+//
+// Lane traces are generated lazily per CTA by the device layer (CUDA
+// semantics make CTAs order-independent), so peak trace memory is bounded by
+// the resident CTA set rather than the whole grid.
+package gpucore
+
+import (
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/memory"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/vm"
+)
+
+// quantum bounds how far a warp replays ahead of global time in one event.
+const quantum = 100 * sim.Nanosecond
+
+// Kernel describes one launched grid for the timing model.
+type Kernel struct {
+	Name         string
+	CTAs         int
+	ThreadsPerTA int // threads per CTA (block size)
+	ScratchBytes int // scratch per CTA
+	// Gen lazily produces the lane traces for CTA cta (ThreadsPerTA traces).
+	Gen func(cta int) []isa.Trace
+	// Done fires when the last CTA completes. flops is the total FLOPs the
+	// kernel executed.
+	Done func(end sim.Tick, flops uint64)
+
+	remaining int // CTAs not yet dispatched
+	live      int // CTAs resident on SMs
+	flops     uint64
+	lastEnd   sim.Tick
+}
+
+// GPU is the whole device: SMs sharing an L2 through their L1s.
+type GPU struct {
+	Eng *sim.Engine
+	Clk sim.Clock
+	Cfg config.GPUConfig
+	VM  *vm.Manager
+	Ctr *stats.Counters
+	// L1s[i] is SM i's private L1 (write-through no-allocate for stores).
+	L1s       []*memory.Cache
+	LineBytes int
+
+	sms    []*sm
+	queue  []*Kernel // FIFO of kernels with undispatched CTAs
+	warpsz int
+}
+
+type sm struct {
+	g         *GPU
+	id        int
+	issue     sim.BusyModel
+	liveCTAs  int
+	liveWarps int
+	scratch   int
+}
+
+// New builds a GPU. l1s must have Cfg.SMs entries.
+func New(eng *sim.Engine, cfg config.GPUConfig, l1s []*memory.Cache, vmgr *vm.Manager, lineBytes int, ctr *stats.Counters) *GPU {
+	if len(l1s) != cfg.SMs {
+		panic("gpucore: need one L1 per SM")
+	}
+	if ctr == nil {
+		ctr = stats.NewCounters()
+	}
+	g := &GPU{
+		Eng:       eng,
+		Clk:       sim.NewClock(cfg.ClockHz),
+		Cfg:       cfg,
+		VM:        vmgr,
+		Ctr:       ctr,
+		L1s:       l1s,
+		LineBytes: lineBytes,
+		warpsz:    cfg.WarpSize,
+	}
+	for i := 0; i < cfg.SMs; i++ {
+		g.sms = append(g.sms, &sm{g: g, id: i})
+	}
+	return g
+}
+
+// Launch enqueues a kernel to start at time at. Multiple in-flight kernels
+// share the CTA dispatch queue FIFO, so a later kernel's CTAs backfill SMs
+// as an earlier kernel drains.
+func (g *GPU) Launch(at sim.Tick, k *Kernel) {
+	if k.CTAs <= 0 || k.ThreadsPerTA <= 0 {
+		panic("gpucore: kernel needs at least one CTA and one thread")
+	}
+	k.remaining = k.CTAs
+	g.Eng.At(at, func() {
+		g.queue = append(g.queue, k)
+		g.dispatch()
+	})
+}
+
+// warpsNeeded reports warps per CTA for kernel k.
+func (g *GPU) warpsNeeded(k *Kernel) int {
+	return (k.ThreadsPerTA + g.warpsz - 1) / g.warpsz
+}
+
+// dispatch fills SMs with CTAs from the queue head.
+func (g *GPU) dispatch() {
+	for len(g.queue) > 0 {
+		k := g.queue[0]
+		if k.remaining == 0 {
+			g.queue = g.queue[1:]
+			continue
+		}
+		placed := false
+		for _, s := range g.sms {
+			if k.remaining == 0 {
+				break
+			}
+			if s.canTake(k) {
+				s.startCTA(k, k.CTAs-k.remaining)
+				k.remaining--
+				k.live++
+				placed = true
+			}
+		}
+		if !placed {
+			return // all SMs full; retry when a CTA finishes
+		}
+	}
+}
+
+func (s *sm) canTake(k *Kernel) bool {
+	w := s.g.warpsNeeded(k)
+	return s.liveCTAs < s.g.Cfg.MaxCTAsPerSM &&
+		s.liveWarps+w <= s.g.Cfg.MaxWarpsPerSM &&
+		s.scratch+k.ScratchBytes <= s.g.Cfg.ScratchBytesPkSM
+}
+
+// ctaState tracks one resident CTA, including its barrier.
+type ctaState struct {
+	sm        *sm
+	k         *Kernel
+	liveWarps int
+	// barrier state
+	arrived int
+	maxT    sim.Tick
+	waiting []*warp
+}
+
+func (s *sm) startCTA(k *Kernel, ctaIdx int) {
+	now := s.g.Eng.Now()
+	traces := k.Gen(ctaIdx)
+	if len(traces) != k.ThreadsPerTA {
+		panic("gpucore: Gen returned wrong lane count for kernel " + k.Name)
+	}
+	w := s.g.warpsNeeded(k)
+	cs := &ctaState{sm: s, k: k, liveWarps: w}
+	s.liveCTAs++
+	s.liveWarps += w
+	s.scratch += k.ScratchBytes
+	s.g.Ctr.Inc("gpu.ctas")
+	for wi := 0; wi < w; wi++ {
+		lo := wi * s.g.warpsz
+		hi := lo + s.g.warpsz
+		if hi > len(traces) {
+			hi = len(traces)
+		}
+		wp := &warp{sm: s, cta: cs, t: now}
+		for _, tr := range traces[lo:hi] {
+			wp.lanes = append(wp.lanes, laneCursor{tr: tr})
+		}
+		s.g.Eng.At(now, wp.step)
+	}
+}
+
+func (cs *ctaState) warpDone(end sim.Tick) {
+	s := cs.sm
+	cs.liveWarps--
+	s.liveWarps--
+	if cs.liveWarps > 0 {
+		// If the remaining live warps are all parked at the barrier, a
+		// retired warp must not keep them waiting (tolerates traces whose
+		// sync counts differ across warps).
+		cs.tryRelease()
+		return
+	}
+	// CTA complete: release resources, backfill, maybe finish the kernel.
+	s.liveCTAs--
+	s.scratch -= cs.k.ScratchBytes
+	cs.k.live--
+	if end > cs.k.lastEnd {
+		cs.k.lastEnd = end
+	}
+	k := cs.k
+	if k.remaining == 0 && k.live == 0 {
+		if k.Done != nil {
+			k.Done(k.lastEnd, k.flops)
+		}
+	}
+	s.g.dispatch()
+}
+
+type laneCursor struct {
+	tr  isa.Trace
+	idx int
+}
+
+func (lc *laneCursor) done() bool { return lc.idx >= len(lc.tr) }
+
+type warp struct {
+	sm    *sm
+	cta   *ctaState
+	lanes []laneCursor
+	t     sim.Tick
+	ended bool
+}
+
+// step replays warp instructions until it blocks on memory, hits a barrier,
+// exhausts its quantum, or finishes.
+func (w *warp) step() {
+	g := w.sm.g
+	limit := w.t + quantum
+
+	for w.t < limit {
+		// SIMT merge: the lowest-numbered unfinished lane leads; every
+		// unfinished lane whose next op matches its kind participates.
+		// Divergent lanes wait for a later slot — branch serialization.
+		lead := -1
+		for i := range w.lanes {
+			if !w.lanes[i].done() {
+				lead = i
+				break
+			}
+		}
+		if lead < 0 {
+			w.finish()
+			return
+		}
+		kind := w.lanes[lead].tr[w.lanes[lead].idx].Kind
+
+		switch kind {
+		case isa.OpSync:
+			// All unfinished lanes must be at the barrier in well-formed
+			// code; advance every lane currently at a sync.
+			for i := range w.lanes {
+				lc := &w.lanes[i]
+				if !lc.done() && lc.tr[lc.idx].Kind == isa.OpSync {
+					lc.idx++
+				}
+			}
+			if w.barrier() {
+				return // suspended until the last warp arrives
+			}
+			continue
+
+		case isa.OpCompute:
+			var maxN uint32
+			var sum uint64
+			for i := range w.lanes {
+				lc := &w.lanes[i]
+				if !lc.done() && lc.tr[lc.idx].Kind == isa.OpCompute {
+					n := lc.tr[lc.idx].N
+					if n > maxN {
+						maxN = n
+					}
+					sum += uint64(n)
+					lc.idx++
+				}
+			}
+			cyc := int64(maxN)
+			if cyc < 1 {
+				cyc = 1
+			}
+			start := w.sm.issue.Claim(w.t, g.Clk.Cycles(cyc))
+			w.t = start + g.Clk.Cycles(cyc)
+			w.cta.k.flops += sum
+			g.Ctr.Add("gpu.flops", sum)
+
+		case isa.OpScratch:
+			for i := range w.lanes {
+				lc := &w.lanes[i]
+				if !lc.done() && lc.tr[lc.idx].Kind == isa.OpScratch {
+					lc.idx++
+				}
+			}
+			start := w.sm.issue.Claim(w.t, g.Clk.Cycles(1))
+			w.t = start + g.Clk.Cycles(1)
+			g.Ctr.Inc("gpu.scratch_ops")
+
+		case isa.OpLoad, isa.OpLoadDep, isa.OpStore, isa.OpAtomic:
+			blocked := w.memoryOp(kind)
+			if blocked {
+				return // rescheduled at completion time
+			}
+		}
+	}
+	g.Eng.At(w.t, w.step)
+}
+
+// memoryOp issues a coalesced memory instruction. Loads and atomics block
+// the warp until all transactions complete (stall-on-use); stores are
+// posted. It reports whether the warp suspended (a resume event was
+// scheduled).
+func (w *warp) memoryOp(kind isa.OpKind) bool {
+	g := w.sm.g
+	write := kind == isa.OpStore || kind == isa.OpAtomic
+
+	// Gather participant addresses and coalesce into unique lines.
+	var lines []memory.Addr
+	for i := range w.lanes {
+		lc := &w.lanes[i]
+		if lc.done() || lc.tr[lc.idx].Kind != kind {
+			continue
+		}
+		op := lc.tr[lc.idx]
+		lc.idx++
+		n := memory.LinesSpanned(op.Addr, int(op.N), g.LineBytes)
+		for j := 0; j < n; j++ {
+			a := memory.LineAddr(op.Addr, g.LineBytes) + memory.Addr(j*g.LineBytes)
+			dup := false
+			for _, l := range lines {
+				if l == a {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				lines = append(lines, a)
+			}
+		}
+	}
+	g.Ctr.Add("gpu.mem_transactions", uint64(len(lines)))
+	if kind == isa.OpAtomic {
+		g.Ctr.Inc("gpu.atomics")
+	}
+
+	l1 := g.L1s[w.sm.id]
+	var worst sim.Tick
+	t := w.t
+	for _, a := range lines {
+		start := w.sm.issue.Claim(t, g.Clk.Cycles(1))
+		issueAt := start + g.Clk.Cycles(1)
+		ready := g.VM.Translate(issueAt, a, true)
+		done := l1.Access(ready, memory.Request{Addr: a, Write: write, Comp: stats.GPU, SrcID: gpuSrcID})
+		if done > worst {
+			worst = done
+		}
+		t = issueAt
+	}
+
+	if kind == isa.OpStore {
+		w.t = t // posted
+		return false
+	}
+	if worst <= w.t {
+		w.t = t
+		return false
+	}
+	w.t = worst
+	g.Eng.At(worst, w.step)
+	return true
+}
+
+// barrier registers arrival; returns true if the warp suspended.
+func (w *warp) barrier() bool {
+	cs := w.cta
+	cs.arrived++
+	if w.t > cs.maxT {
+		cs.maxT = w.t
+	}
+	if cs.arrived < cs.liveWarps {
+		cs.waiting = append(cs.waiting, w)
+		return true
+	}
+	// Last live warp to arrive: release everyone at the max arrival time.
+	releaseT := cs.maxT
+	waiters := cs.waiting
+	cs.arrived = 0
+	cs.maxT = 0
+	cs.waiting = nil
+	for _, ww := range waiters {
+		ww.t = releaseT
+		w.sm.g.Eng.At(releaseT, ww.step)
+	}
+	w.t = releaseT
+	return false
+}
+
+// tryRelease frees barrier waiters when every still-live warp has arrived.
+func (cs *ctaState) tryRelease() {
+	if len(cs.waiting) == 0 || cs.arrived < cs.liveWarps {
+		return
+	}
+	releaseT := cs.maxT
+	waiters := cs.waiting
+	cs.arrived = 0
+	cs.maxT = 0
+	cs.waiting = nil
+	for _, ww := range waiters {
+		ww.t = releaseT
+		cs.sm.g.Eng.At(releaseT, ww.step)
+	}
+}
+
+func (w *warp) finish() {
+	if w.ended {
+		return
+	}
+	w.ended = true
+	w.sm.g.Ctr.Inc("gpu.warps_retired")
+	w.cta.warpDone(w.t)
+}
+
+// gpuSrcID is the Request.SrcID for the GPU cache hierarchy; the device
+// layer wires fabrics with matching probe-group IDs.
+const gpuSrcID = 100
+
+// SrcID reports the GPU hierarchy's coherence source ID.
+func SrcID() int { return gpuSrcID }
+
+// BusyIssueTime sums per-SM issue-port busy time, a utilization aid.
+func (g *GPU) BusyIssueTime() sim.Tick {
+	var t sim.Tick
+	for _, s := range g.sms {
+		t += s.issue.BusyTime()
+	}
+	return t
+}

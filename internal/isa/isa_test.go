@@ -1,0 +1,44 @@
+package isa
+
+import (
+	"testing"
+	"unsafe"
+)
+
+func TestSummarize(t *testing.T) {
+	tr := Trace{
+		{Kind: OpCompute, N: 10},
+		{Kind: OpCompute, N: 5},
+		{Kind: OpLoad, Addr: 0, N: 4},
+		{Kind: OpLoadDep, Addr: 8, N: 4},
+		{Kind: OpStore, Addr: 16, N: 4},
+		{Kind: OpAtomic, Addr: 24, N: 4},
+		{Kind: OpScratch, N: 4},
+		{Kind: OpSync},
+	}
+	s := Summarize(tr)
+	if s.FLOPs != 15 {
+		t.Fatalf("flops = %d", s.FLOPs)
+	}
+	if s.Loads != 2 {
+		t.Fatalf("loads = %d", s.Loads)
+	}
+	if s.Stores != 1 || s.Atomics != 1 || s.ScratchOps != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s != (Stats{}) {
+		t.Fatalf("empty trace stats = %+v", s)
+	}
+}
+
+func TestOpStaysCompact(t *testing.T) {
+	// The trace format must stay compact: lazily generated per-CTA traces
+	// are the simulator's main memory consumer.
+	var op Op
+	if got := unsafe.Sizeof(op); got > 16 {
+		t.Fatalf("Op is %d bytes, want <= 16", got)
+	}
+}

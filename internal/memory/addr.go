@@ -1,0 +1,62 @@
+// Package memory implements the physical memory system of both simulated
+// machines: address spaces and allocation, set-associative write-back caches
+// with LRU replacement, DRAM channel models with bandwidth queueing, and the
+// coherence fabric that connects L2-level caches to the memory controllers.
+//
+// Timing follows a latency-forwarding discipline: an access computes its
+// completion time synchronously from per-resource busy-until state, and the
+// caller schedules its continuation at that time on the event engine. Cache
+// tag state mutates at call time, which is accurate to within a hop latency
+// because cores issue their requests as events in global time order.
+package memory
+
+import (
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Addr is a physical byte address.
+type Addr uint64
+
+// Request is one line-granularity memory access descriptor.
+type Request struct {
+	Addr  Addr
+	Write bool
+	// Writeback marks a full-line eviction write: a cache below installs it
+	// without fetching the line first, and DRAM just absorbs it.
+	Writeback bool
+	Comp      stats.Component
+	// SrcID identifies the issuing cache hierarchy for coherence probing
+	// (a fabric never probes the requester's own hierarchy).
+	SrcID int
+}
+
+// Port is anything that can service line-granularity requests: a cache, a
+// fabric, or a DRAM. Access returns the absolute completion time; internal
+// state (tags, busy-until) is updated immediately.
+type Port interface {
+	Access(now sim.Tick, req Request) sim.Tick
+}
+
+// LineAddr masks addr down to its cache-line base.
+func LineAddr(addr Addr, lineBytes int) Addr {
+	return addr &^ Addr(lineBytes-1)
+}
+
+// LinesSpanned reports how many lineBytes-sized lines [addr, addr+size)
+// touches.
+func LinesSpanned(addr Addr, size, lineBytes int) int {
+	if size <= 0 {
+		return 0
+	}
+	first := LineAddr(addr, lineBytes)
+	last := LineAddr(addr+Addr(size)-1, lineBytes)
+	return int((last-first)/Addr(lineBytes)) + 1
+}
+
+// StageClock is the global pipeline-stage counter. The analysis layer bumps
+// it at every stage boundary (kernel launch, memcpy, CPU phase); the DRAM
+// access classifier reads it to compute stage-granularity reuse distance.
+type StageClock struct {
+	S int
+}

@@ -1,0 +1,56 @@
+package memory
+
+import "fmt"
+
+// Space is a bump allocator over a contiguous physical address range. The
+// discrete system has two disjoint spaces (CPU DDR3 and GPU GDDR5); the
+// heterogeneous processor has one shared space. Disjoint ranges let a single
+// analysis see which memory an address belongs to.
+type Space struct {
+	Name       string
+	Base, Lim  Addr
+	next       Addr
+	allocAlign int
+}
+
+// NewSpace builds a space covering [base, base+size). Allocations are
+// aligned to align bytes (typically the cache line size; the paper notes
+// CUDA cache-line-aligns GPU allocations).
+func NewSpace(name string, base Addr, size uint64, align int) *Space {
+	if align <= 0 {
+		align = 1
+	}
+	return &Space{Name: name, Base: base, Lim: base + Addr(size), next: base, allocAlign: align}
+}
+
+// Alloc reserves n bytes and returns the base address. It panics if the
+// space is exhausted — simulated workloads are sized by the caller, so
+// exhaustion is a programming error, not a runtime condition.
+func (s *Space) Alloc(n int) Addr {
+	return s.AllocAligned(n, s.allocAlign)
+}
+
+// AllocAligned reserves n bytes at the given alignment. The paper observes
+// that CPU-GPU-shared allocations in limited-copy benchmarks can lose the
+// CUDA allocator's line alignment, increasing GPU coalescing traffic; pass
+// align < line size to model a misaligned allocator.
+func (s *Space) AllocAligned(n, align int) Addr {
+	if n < 0 {
+		panic(fmt.Sprintf("space %s: negative allocation %d", s.Name, n))
+	}
+	if align <= 0 {
+		align = 1
+	}
+	a := (s.next + Addr(align-1)) &^ Addr(align-1)
+	if a+Addr(n) > s.Lim {
+		panic(fmt.Sprintf("space %s exhausted: need %d bytes at %#x, limit %#x", s.Name, n, a, s.Lim))
+	}
+	s.next = a + Addr(n)
+	return a
+}
+
+// Used reports bytes consumed so far.
+func (s *Space) Used() uint64 { return uint64(s.next - s.Base) }
+
+// Contains reports whether addr falls inside this space's range.
+func (s *Space) Contains(addr Addr) bool { return addr >= s.Base && addr < s.Lim }

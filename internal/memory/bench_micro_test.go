@@ -1,0 +1,47 @@
+package memory
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkCacheHit measures the hot path of the memory system.
+func BenchmarkCacheHit(b *testing.B) {
+	sink := &sinkPort{lat: 100}
+	c := NewCache(CacheConfig{
+		Name: "c", SizeBytes: 64 * 1024, Assoc: 8, LineBytes: 128,
+		Policy: WriteBack, HitLat: 10, Serv: 1, Next: sink,
+	})
+	c.Access(0, Request{Addr: 0})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(sim.Tick(i), Request{Addr: 0})
+	}
+}
+
+// BenchmarkCacheMissStream measures the streaming-miss path including
+// victim selection and writeback generation.
+func BenchmarkCacheMissStream(b *testing.B) {
+	sink := &sinkPort{lat: 100}
+	c := NewCache(CacheConfig{
+		Name: "c", SizeBytes: 64 * 1024, Assoc: 8, LineBytes: 128,
+		Policy: WriteBack, HitLat: 10, Serv: 1, Next: sink,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(sim.Tick(i), Request{Addr: Addr(i * 128), Write: i%2 == 0})
+		if len(sink.reqs) > 1<<16 {
+			sink.reqs = sink.reqs[:0]
+		}
+	}
+}
+
+// BenchmarkDRAMAccess measures the channel-queueing model.
+func BenchmarkDRAMAccess(b *testing.B) {
+	d := NewDRAM("m", 4, 179e9, 70*sim.Nanosecond, 128, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Access(sim.Tick(i), Request{Addr: Addr(i * 128)})
+	}
+}

@@ -1,0 +1,110 @@
+package memory
+
+import (
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// ProbeGroup is one coherent cache hierarchy attached to a fabric: a CPU
+// core's private L1D+L2 stack, or the GPU's shared L2. The SrcID matches
+// Request.SrcID so a fabric never probes the requester's own hierarchy.
+type ProbeGroup struct {
+	SrcID  int
+	Caches []*Cache
+}
+
+// Fabric is the L2-to-memory-controller interconnect: a port-limited switch
+// plus, in the heterogeneous processor, the coherence point. Read misses
+// that hit a peer cache are serviced by cache-to-cache transfer instead of
+// going off-chip; a dirty peer copy downgraded by a read probe is written
+// back to DRAM (MESI, no owned state).
+type Fabric struct {
+	Name     string
+	lat      sim.Tick // switch traversal latency
+	serv     sim.Tick // per-access switch occupancy
+	port     sim.BusyModel
+	coherent bool
+	c2cLat   sim.Tick
+	groups   []ProbeGroup
+	dram     *DRAM
+	ctr      *stats.Counters
+}
+
+// FabricConfig collects Fabric constructor parameters.
+type FabricConfig struct {
+	Name     string
+	Lat      sim.Tick
+	Serv     sim.Tick
+	Coherent bool
+	C2CLat   sim.Tick
+	DRAM     *DRAM
+	Counters *stats.Counters
+}
+
+// NewFabric builds a fabric in front of dram.
+func NewFabric(cfg FabricConfig) *Fabric {
+	if cfg.Counters == nil {
+		cfg.Counters = stats.NewCounters()
+	}
+	return &Fabric{
+		Name:     cfg.Name,
+		lat:      cfg.Lat,
+		serv:     cfg.Serv,
+		coherent: cfg.Coherent,
+		c2cLat:   cfg.C2CLat,
+		dram:     cfg.DRAM,
+		ctr:      cfg.Counters,
+	}
+}
+
+// Attach registers a coherent hierarchy for probing.
+func (f *Fabric) Attach(g ProbeGroup) { f.groups = append(f.groups, g) }
+
+// Counters exposes the fabric counter group.
+func (f *Fabric) Counters() *stats.Counters { return f.ctr }
+
+// DRAM returns the memory behind this fabric.
+func (f *Fabric) DRAM() *DRAM { return f.dram }
+
+// Access routes one request: coherence probe for read fills, then DRAM.
+// Writes (always writebacks or DMA stores) skip probing — a dirty line has a
+// single owner, and DMA ranges are invalidated explicitly before transfer.
+func (f *Fabric) Access(now sim.Tick, req Request) sim.Tick {
+	start := f.port.Claim(now, f.serv)
+	t := start + f.lat
+
+	if f.coherent && !req.Write {
+		for gi := range f.groups {
+			g := &f.groups[gi]
+			if g.SrcID == req.SrcID {
+				continue
+			}
+			for _, c := range g.Caches {
+				found, dirty, comp := c.Probe(req.Addr, false)
+				if !found {
+					continue
+				}
+				f.ctr.Inc(f.Name + ".c2c_transfers")
+				if dirty {
+					// Downgrade writes the dirty data back; the transfer to
+					// the requester proceeds in parallel.
+					f.ctr.Inc(f.Name + ".c2c_dirty_writebacks")
+					f.dram.Access(t, Request{Addr: req.Addr, Write: true, Comp: comp, SrcID: g.SrcID})
+				}
+				return t + f.c2cLat
+			}
+		}
+	}
+	return f.dram.Access(t, req)
+}
+
+// InvalidateRange invalidates [base, base+size) in every attached hierarchy,
+// writing dirty lines back to DRAM. Used by the DMA engine before a copy
+// lands in a destination range.
+func (f *Fabric) InvalidateRange(now sim.Tick, base Addr, size int, comp stats.Component) {
+	for gi := range f.groups {
+		for _, c := range f.groups[gi].Caches {
+			c.InvalidateRange(now, base, size, comp)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package pcie
+
+import (
+	"testing"
+
+	"repro/internal/memory"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+type countPort struct {
+	reads, writes int
+	lastT         sim.Tick
+}
+
+func (p *countPort) Access(now sim.Tick, req memory.Request) sim.Tick {
+	if req.Write {
+		p.writes++
+	} else {
+		p.reads++
+	}
+	if now > p.lastT {
+		p.lastT = now
+	}
+	if req.Comp != stats.Copy {
+		panic("DMA access not attributed to Copy")
+	}
+	return now
+}
+
+func TestTransferBandwidthAndAccesses(t *testing.T) {
+	eng := sim.NewEngine()
+	e := New(eng, 8e9, 0, 128, nil) // 8 GB/s, no setup
+	src, dst := &countPort{}, &countPort{}
+
+	n := 1 << 20 // 1 MiB
+	var start, end sim.Tick
+	e.Transfer(0, 0, 0x1000000, n, src, dst, func(s, en sim.Tick) { start, end = s, en })
+	eng.Run()
+
+	wantDur := sim.Tick(float64(n) / 8e9 * float64(sim.Second))
+	if start != 0 {
+		t.Fatalf("start = %d", start)
+	}
+	if diff := end - wantDur; diff < -wantDur/100 || diff > wantDur/100 {
+		t.Fatalf("duration = %d, want ~%d", end, wantDur)
+	}
+	lines := n / 128
+	if src.reads != lines || dst.writes != lines {
+		t.Fatalf("accesses: src reads %d, dst writes %d, want %d", src.reads, dst.writes, lines)
+	}
+	// Accesses are paced across the window, not front-loaded.
+	if src.lastT < end*9/10 {
+		t.Fatalf("accesses front-loaded: last at %d of %d", src.lastT, end)
+	}
+	if e.Ctr.Get("pcie.bytes") != uint64(n) {
+		t.Fatal("bytes not counted")
+	}
+}
+
+func TestTransfersSerializeOnLink(t *testing.T) {
+	eng := sim.NewEngine()
+	e := New(eng, 8e9, 1500*sim.Nanosecond, 128, nil)
+	sink := &countPort{}
+	var ends []sim.Tick
+	e.Transfer(0, 0, 0, 128*1024, sink, sink, func(s, en sim.Tick) { ends = append(ends, en) })
+	e.Transfer(0, 0, 0, 128*1024, sink, sink, func(s, en sim.Tick) { ends = append(ends, en) })
+	eng.Run()
+	if len(ends) != 2 {
+		t.Fatalf("completions = %d", len(ends))
+	}
+	if ends[1] < 2*ends[0]-ends[0]/10 {
+		t.Fatalf("transfers overlapped on the link: %v", ends)
+	}
+	if e.BusyTime() != ends[1] {
+		t.Fatalf("link busy = %d, want %d", e.BusyTime(), ends[1])
+	}
+}
+
+func TestSetupLatencyDominatesSmallCopies(t *testing.T) {
+	eng := sim.NewEngine()
+	setup := 1500 * sim.Nanosecond
+	e := New(eng, 8e9, setup, 128, nil)
+	sink := &countPort{}
+	var end sim.Tick
+	e.Transfer(0, 0, 0, 128, sink, sink, func(s, en sim.Tick) { end = en })
+	eng.Run()
+	if end < setup {
+		t.Fatalf("small copy faster than setup: %d", end)
+	}
+}

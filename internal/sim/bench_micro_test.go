@@ -1,0 +1,27 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineThroughput measures raw event-processing rate — the
+// simulator's fundamental speed limit.
+func BenchmarkEngineThroughput(b *testing.B) {
+	e := NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.Schedule(100, tick)
+		}
+	}
+	e.Schedule(0, tick)
+	b.ResetTimer()
+	e.Run()
+}
+
+func BenchmarkBusyModelClaim(b *testing.B) {
+	var m BusyModel
+	for i := 0; i < b.N; i++ {
+		m.Claim(Tick(i), 10)
+	}
+}

@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("wrong order: %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("now = %d, want 30", e.Now())
+	}
+}
+
+func TestEngineSameTimeFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events out of order: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var hits int
+	var rec func()
+	rec = func() {
+		hits++
+		if hits < 100 {
+			e.Schedule(7, rec)
+		}
+	}
+	e.Schedule(0, rec)
+	e.Run()
+	if hits != 100 {
+		t.Fatalf("hits = %d, want 100", hits)
+	}
+	if e.Now() != 7*99 {
+		t.Fatalf("now = %d, want %d", e.Now(), 7*99)
+	}
+}
+
+func TestEnginePastEventClamped(t *testing.T) {
+	e := NewEngine()
+	ranAt := Tick(-1)
+	e.Schedule(100, func() {
+		e.At(50, func() { ranAt = e.Now() }) // in the past; clamps to 100
+	})
+	e.Run()
+	if ranAt != 100 {
+		t.Fatalf("past event ran at %d, want 100", ranAt)
+	}
+}
+
+func TestEngineNegativeDelay(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Schedule(-5, func() { ran = true })
+	e.Run()
+	if !ran || e.Now() != 0 {
+		t.Fatalf("negative delay mishandled: ran=%v now=%d", ran, e.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var ran []Tick
+	for _, d := range []Tick{5, 10, 15, 20} {
+		d := d
+		e.Schedule(d, func() { ran = append(ran, d) })
+	}
+	e.RunUntil(12)
+	if len(ran) != 2 {
+		t.Fatalf("ran %v, want first two", ran)
+	}
+	if e.Now() != 12 {
+		t.Fatalf("now = %d, want 12", e.Now())
+	}
+	e.Run()
+	if len(ran) != 4 {
+		t.Fatalf("remaining events lost: %v", ran)
+	}
+}
+
+func TestTickConversions(t *testing.T) {
+	if Second.Seconds() != 1.0 {
+		t.Fatal("Seconds broken")
+	}
+	if Millisecond.Millis() != 1.0 {
+		t.Fatal("Millis broken")
+	}
+	if Microsecond.Micros() != 1.0 {
+		t.Fatal("Micros broken")
+	}
+	if FromSeconds(0.5) != 500*Millisecond {
+		t.Fatal("FromSeconds broken")
+	}
+}
+
+func TestClock(t *testing.T) {
+	c := NewClock(1e9) // 1GHz → 1000ps
+	if c.Period() != 1000 {
+		t.Fatalf("period = %d", c.Period())
+	}
+	if c.Cycles(5) != 5000 {
+		t.Fatalf("cycles = %d", c.Cycles(5))
+	}
+	if c.ToCycles(5500) != 5 {
+		t.Fatalf("tocycles = %d", c.ToCycles(5500))
+	}
+	if c.CyclesF(0.1) != 100 {
+		t.Fatalf("cyclesf = %d", c.CyclesF(0.1))
+	}
+	if c.CyclesF(0) != 0 {
+		t.Fatalf("cyclesf(0) = %d", c.CyclesF(0))
+	}
+	// 3.5GHz rounds to 286ps.
+	if p := NewClock(3.5e9).Period(); p != 286 {
+		t.Fatalf("3.5GHz period = %d, want 286", p)
+	}
+	// Stupid-fast clocks clamp to 1ps.
+	if p := NewClock(1e15).Period(); p != 1 {
+		t.Fatalf("fast clock period = %d", p)
+	}
+}
+
+func TestBusyModelSerializes(t *testing.T) {
+	var b BusyModel
+	s1 := b.Claim(0, 100)
+	s2 := b.Claim(0, 100)
+	s3 := b.Claim(500, 100)
+	if s1 != 0 || s2 != 100 || s3 != 500 {
+		t.Fatalf("starts = %d,%d,%d", s1, s2, s3)
+	}
+	if b.BusyTime() != 300 {
+		t.Fatalf("busy = %d", b.BusyTime())
+	}
+	if b.FreeAt() != 600 {
+		t.Fatalf("freeAt = %d", b.FreeAt())
+	}
+}
+
+// Property: no matter the schedule order, events execute in nondecreasing
+// time order and the engine ends at the max scheduled time.
+func TestEngineTimeMonotonicProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		e := NewEngine()
+		var last Tick = -1
+		ok := true
+		var max Tick
+		for _, d := range delays {
+			d := Tick(d)
+			if d > max {
+				max = d
+			}
+			e.Schedule(d, func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		e.Run()
+		return ok && e.Now() == max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BusyModel never double-books — total busy time equals the sum of
+// requested durations and start times never overlap.
+func TestBusyModelNoOverlapProperty(t *testing.T) {
+	f := func(reqs []uint8) bool {
+		var b BusyModel
+		var now Tick
+		var sum Tick
+		prevEnd := Tick(0)
+		for _, r := range reqs {
+			dur := Tick(r%50) + 1
+			now += Tick(r % 7)
+			start := b.Claim(now, dur)
+			if start < prevEnd || start < now {
+				return false
+			}
+			prevEnd = start + dur
+			sum += dur
+		}
+		return b.BusyTime() == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,77 @@
+// Package stats holds the measurement plumbing shared by every hardware
+// model: the component taxonomy (CPU / GPU / copy engine), busy-interval
+// timelines that the run-time breakdowns are computed from, counter groups,
+// and bandwidth utilization tracking.
+package stats
+
+import "fmt"
+
+// Component identifies which system component performed an action. The
+// paper's figures break down footprint, memory accesses, and run time by
+// exactly these three requesters.
+type Component int
+
+const (
+	CPU Component = iota
+	GPU
+	Copy // the PCIe DMA copy engine
+	NumComponents
+)
+
+// String names the component as the paper's figures do.
+func (c Component) String() string {
+	switch c {
+	case CPU:
+		return "CPU"
+	case GPU:
+		return "GPU"
+	case Copy:
+		return "Copy"
+	default:
+		return fmt.Sprintf("Component(%d)", int(c))
+	}
+}
+
+// ComponentSet is a bitmask of components, used to partition a memory
+// footprint into mutually exclusive subsets (Figure 4).
+type ComponentSet uint8
+
+// Set adds c to the set.
+func (s ComponentSet) Set(c Component) ComponentSet { return s | 1<<uint(c) }
+
+// Has reports whether c is in the set.
+func (s ComponentSet) Has(c Component) bool { return s&(1<<uint(c)) != 0 }
+
+// Empty reports whether no component is in the set.
+func (s ComponentSet) Empty() bool { return s == 0 }
+
+// String renders the set as e.g. "CPU+GPU".
+func (s ComponentSet) String() string {
+	if s == 0 {
+		return "none"
+	}
+	out := ""
+	for c := Component(0); c < NumComponents; c++ {
+		if s.Has(c) {
+			if out != "" {
+				out += "+"
+			}
+			out += c.String()
+		}
+	}
+	return out
+}
+
+// AllComponentSets enumerates the 7 non-empty subsets in a stable order:
+// singletons first, then pairs, then the full set.
+func AllComponentSets() []ComponentSet {
+	return []ComponentSet{
+		ComponentSet(0).Set(CPU),
+		ComponentSet(0).Set(GPU),
+		ComponentSet(0).Set(Copy),
+		ComponentSet(0).Set(CPU).Set(GPU),
+		ComponentSet(0).Set(CPU).Set(Copy),
+		ComponentSet(0).Set(GPU).Set(Copy),
+		ComponentSet(0).Set(CPU).Set(GPU).Set(Copy),
+	}
+}

@@ -1,0 +1,52 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counters is a named group of monotonically increasing counts. Hardware
+// models expose one and the analysis layer reads them by name, keeping the
+// models free of any dependency on the reporting code.
+type Counters struct {
+	m map[string]uint64
+}
+
+// NewCounters returns an empty group.
+func NewCounters() *Counters { return &Counters{m: map[string]uint64{}} }
+
+// Add increments name by n.
+func (c *Counters) Add(name string, n uint64) { c.m[name] += n }
+
+// Inc increments name by 1.
+func (c *Counters) Inc(name string) { c.m[name]++ }
+
+// Get reads a counter (zero if never written).
+func (c *Counters) Get(name string) uint64 { return c.m[name] }
+
+// Names lists all counter names in sorted order.
+func (c *Counters) Names() []string {
+	out := make([]string, 0, len(c.m))
+	for k := range c.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Merge adds every counter from other into c.
+func (c *Counters) Merge(other *Counters) {
+	for k, v := range other.m {
+		c.m[k] += v
+	}
+}
+
+// String renders the group one counter per line, sorted by name.
+func (c *Counters) String() string {
+	var b strings.Builder
+	for _, k := range c.Names() {
+		fmt.Fprintf(&b, "%-40s %12d\n", k, c.m[k])
+	}
+	return b.String()
+}

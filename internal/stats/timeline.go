@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Interval is a half-open busy span [Start, End).
+type Interval struct {
+	Start, End sim.Tick
+}
+
+// Dur reports the interval length.
+func (iv Interval) Dur() sim.Tick { return iv.End - iv.Start }
+
+// Timeline records when each component was busy. The run-time breakdown
+// figures (Fig 3, Fig 6) are computed from it: for every instant we know the
+// set of active components, so we can report both per-component activity and
+// the exclusive/overlapped decomposition of total run time.
+type Timeline struct {
+	busy [NumComponents][]Interval
+}
+
+// NewTimeline returns an empty timeline.
+func NewTimeline() *Timeline { return &Timeline{} }
+
+// Add records that component c was busy over [start, end). Zero-length or
+// inverted spans are ignored.
+func (tl *Timeline) Add(c Component, start, end sim.Tick) {
+	if end <= start {
+		return
+	}
+	tl.busy[c] = append(tl.busy[c], Interval{start, end})
+}
+
+// merged returns c's intervals merged into a sorted, disjoint set.
+func (tl *Timeline) merged(c Component) []Interval {
+	ivs := append([]Interval(nil), tl.busy[c]...)
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].Start < ivs[j].Start })
+	out := ivs[:0]
+	for _, iv := range ivs {
+		if n := len(out); n > 0 && iv.Start <= out[n-1].End {
+			if iv.End > out[n-1].End {
+				out[n-1].End = iv.End
+			}
+		} else {
+			out = append(out, iv)
+		}
+	}
+	return out
+}
+
+// Active reports the total time c was busy (overlaps merged).
+func (tl *Timeline) Active(c Component) sim.Tick {
+	var tot sim.Tick
+	for _, iv := range tl.merged(c) {
+		tot += iv.Dur()
+	}
+	return tot
+}
+
+// Breakdown is the decomposition of a run's wall-clock time by which set of
+// components was active during each instant.
+type Breakdown struct {
+	Start, End sim.Tick
+	// BydSet[set] is the time during which exactly that component set was
+	// active. The zero set is idle time.
+	BySet map[ComponentSet]sim.Tick
+}
+
+// Total is End-Start.
+func (b Breakdown) Total() sim.Tick { return b.End - b.Start }
+
+// Exclusive reports time where only c was active.
+func (b Breakdown) Exclusive(c Component) sim.Tick {
+	return b.BySet[ComponentSet(0).Set(c)]
+}
+
+// Idle reports time where nothing was active.
+func (b Breakdown) Idle() sim.Tick { return b.BySet[ComponentSet(0)] }
+
+// AnyActive reports time where c was active (alone or overlapped).
+func (b Breakdown) AnyActive(c Component) sim.Tick {
+	var tot sim.Tick
+	for set, t := range b.BySet {
+		if set.Has(c) {
+			tot += t
+		}
+	}
+	return tot
+}
+
+// Utilization reports the fraction of total time that c was active.
+func (b Breakdown) Utilization(c Component) float64 {
+	tot := b.Total()
+	if tot <= 0 {
+		return 0
+	}
+	return float64(b.AnyActive(c)) / float64(tot)
+}
+
+// Breakdown sweeps the timeline between start and end and accounts each
+// instant to the set of components active then.
+func (tl *Timeline) Breakdown(start, end sim.Tick) Breakdown {
+	type edge struct {
+		t     sim.Tick
+		c     Component
+		delta int
+	}
+	var edges []edge
+	for c := Component(0); c < NumComponents; c++ {
+		for _, iv := range tl.merged(c) {
+			s, e := iv.Start, iv.End
+			if s < start {
+				s = start
+			}
+			if e > end {
+				e = end
+			}
+			if e <= s {
+				continue
+			}
+			edges = append(edges, edge{s, c, +1}, edge{e, c, -1})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].t < edges[j].t })
+
+	b := Breakdown{Start: start, End: end, BySet: map[ComponentSet]sim.Tick{}}
+	var counts [NumComponents]int
+	cur := start
+	setOf := func() ComponentSet {
+		var s ComponentSet
+		for c := Component(0); c < NumComponents; c++ {
+			if counts[c] > 0 {
+				s = s.Set(c)
+			}
+		}
+		return s
+	}
+	for i := 0; i < len(edges); {
+		t := edges[i].t
+		if t > cur {
+			b.BySet[setOf()] += t - cur
+			cur = t
+		}
+		for i < len(edges) && edges[i].t == t {
+			counts[edges[i].c] += edges[i].delta
+			i++
+		}
+	}
+	if cur < end {
+		b.BySet[setOf()] += end - cur
+	}
+	return b
+}

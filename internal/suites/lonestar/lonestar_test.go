@@ -1,0 +1,132 @@
+package lonestar
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/workload"
+)
+
+// hostBFS computes exact BFS hop counts.
+func hostBFS(g *workload.Graph) []int32 {
+	dist := make([]int32, g.N)
+	for i := range dist {
+		dist[i] = 1 << 30
+	}
+	dist[0] = 0
+	frontier := []int32{0}
+	for len(frontier) > 0 {
+		var next []int32
+		for _, v := range frontier {
+			for e := g.RowPtr[v]; e < g.RowPtr[v+1]; e++ {
+				d := g.ColIdx[e]
+				if dist[d] == 1<<30 {
+					dist[d] = dist[v] + 1
+					next = append(next, d)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}
+
+// hostDijkstra computes exact weighted shortest paths (integer weights).
+func hostDijkstra(g *workload.Graph) []int32 {
+	const inf = 1 << 30
+	dist := make([]int32, g.N)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[0] = 0
+	// Dial-style buckets work since weights are small integers.
+	visited := make([]bool, g.N)
+	for {
+		u, best := -1, int32(inf)
+		for v := 0; v < g.N; v++ {
+			if !visited[v] && dist[v] < best {
+				u, best = v, dist[v]
+			}
+		}
+		if u < 0 {
+			break
+		}
+		visited[u] = true
+		for e := g.RowPtr[u]; e < g.RowPtr[u+1]; e++ {
+			d := g.ColIdx[e]
+			if nd := dist[u] + int32(g.EdgeWeigh[e]); nd < dist[d] {
+				dist[d] = nd
+			}
+		}
+	}
+	return dist
+}
+
+// TestBFSWLMatchesHostBFS: the worklist BFS must converge to exact hop
+// counts on the identical generated graph.
+func TestBFSWLMatchesHostBFS(t *testing.T) {
+	n := bench.ScaleN(32768, bench.SizeSmall)
+	g := workload.RMATGraph(n, 8, 101)
+	ref := hostBFS(g)
+	var want float64
+	for _, v := range ref {
+		want += float64(v)
+	}
+	_, res := bench.ExecuteWithResult(BFSWL{}, bench.ModeCopy, bench.SizeSmall)
+	if res[0] != want {
+		t.Fatalf("bfs_wlc dist digest = %v, want %v", res[0], want)
+	}
+}
+
+// TestSSSPWLSound: bounded-round SSSP relaxation can only over-estimate
+// true distances, never under-estimate; the source stays zero; and most of
+// the graph must have converged within the round budget.
+func TestSSSPWLSound(t *testing.T) {
+	n := bench.ScaleN(32768, bench.SizeSmall)
+	g := workload.RMATGraph(n, 8, 103)
+	ref := hostDijkstra(g)
+
+	s := bench.SystemFor(bench.ModeLimitedCopy)
+	gb := setupGraph(s, n, 103)
+	runWorklist(s, gb, true, 24)
+
+	exact, reachable := 0, 0
+	for v := 0; v < n; v++ {
+		got := gb.dist.V[v]
+		if got < ref[v] {
+			t.Fatalf("dist[%d] = %d below true shortest path %d", v, got, ref[v])
+		}
+		if ref[v] < 1<<30 {
+			reachable++
+			if got == ref[v] {
+				exact++
+			}
+		}
+	}
+	if gb.dist.V[0] != 0 {
+		t.Fatal("source distance must be 0")
+	}
+	if reachable == 0 {
+		t.Fatal("degenerate graph")
+	}
+	if frac := float64(exact) / float64(reachable); frac < 0.9 {
+		t.Fatalf("only %.1f%% of reachable vertices converged in the round budget", 100*frac)
+	}
+}
+
+// TestWorklistCopyVsLimitedIdentity: identical results across machines.
+func TestWorklistCopyVsLimitedIdentity(t *testing.T) {
+	for _, b := range []bench.Benchmark{BFSWL{}, SSSPWL{}} {
+		b := b
+		t.Run(b.Info().Name, func(t *testing.T) {
+			t.Parallel()
+			_, cv := bench.ExecuteWithResult(b, bench.ModeCopy, bench.SizeSmall)
+			_, lv := bench.ExecuteWithResult(b, bench.ModeLimitedCopy, bench.SizeSmall)
+			for i := range cv {
+				if cv[i] != lv[i] {
+					t.Fatalf("digest[%d]: copy %v != limited %v", i, cv[i], lv[i])
+				}
+			}
+		})
+	}
+}

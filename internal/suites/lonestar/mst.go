@@ -1,0 +1,148 @@
+package lonestar
+
+import (
+	"repro/internal/bench"
+	"repro/internal/device"
+	"repro/internal/workload"
+)
+
+// MST is LonestarGPU's Boruvka-style minimum spanning tree skeleton: per
+// round a GPU kernel finds each component's lightest outgoing edge (atomic
+// min over an encoded weight/edge key), then the CPU merges components
+// through a union-find — heavy CPU-GPU ping-pong over irregular data.
+type MST struct{}
+
+func init() { bench.Register(MST{}) }
+
+// Info describes mst.
+func (MST) Info() bench.Info {
+	return bench.Info{
+		Suite: "lonestar", Name: "mst",
+		Desc:   "Boruvka MST: GPU lightest-edge rounds + CPU component merge",
+		PCComm: true, PipeParal: true, Regular: true, Irregular: true, SWQueue: true,
+	}
+}
+
+// Run executes mst.
+func (MST) Run(s *device.System, mode bench.Mode, size bench.Size) {
+	n := bench.ScaleN(16384, size)
+	g := workload.RMATGraph(n, 8, 105)
+	block := 256
+
+	rowPtr := device.AllocBuf[int32](s, n+1, "row_ptr", device.Host)
+	colIdx := device.AllocBuf[int32](s, g.M(), "col_idx", device.Host)
+	weights := device.AllocBuf[int32](s, g.M(), "weights", device.Host)
+	comp := device.AllocBuf[int32](s, n, "component", device.Host)
+	// best[c] holds the encoded (weight, edge) key of component c's
+	// lightest outgoing edge this round.
+	best := device.AllocBuf[int32](s, n, "best_edge", device.Host)
+	copy(rowPtr.V, g.RowPtr)
+	copy(colIdx.V, g.ColIdx)
+	for e := range weights.V {
+		weights.V[e] = int32(g.EdgeWeigh[e])
+	}
+	for v := range comp.V {
+		comp.V[v] = int32(v)
+	}
+
+	const inf = int32(1) << 30
+	encode := func(w int32, e int) int32 {
+		enc := w<<20 | int32(e&0xFFFFF)
+		if enc < 0 {
+			enc = inf - 1
+		}
+		return enc
+	}
+
+	s.BeginROI()
+	dRow, _ := device.ToDevice(s, rowPtr)
+	dCol, _ := device.ToDevice(s, colIdx)
+	dW, _ := device.ToDevice(s, weights)
+	dComp, _ := device.ToDevice(s, comp)
+	dBest, _ := device.ToDevice(s, best)
+	s.Drain()
+
+	mstWeight := int64(0)
+	components := n
+	for round := 0; round < 12 && components > 1; round++ {
+		// Reset best keys.
+		s.Launch(device.KernelSpec{
+			Name: "mst_reset", Grid: n / block, Block: block,
+			Func: func(t *device.Thread) {
+				device.St(t, dBest, t.Global(), inf)
+			},
+		})
+		// Find each component's lightest outgoing edge.
+		s.Launch(device.KernelSpec{
+			Name: "mst_find_min", Grid: n / block, Block: block,
+			Func: func(t *device.Thread) {
+				v := t.Global()
+				cv := device.Ld(t, dComp, v)
+				lo := int(device.Ld(t, dRow, v))
+				hi := int(device.Ld(t, dRow, v+1))
+				for e := lo; e < hi; e++ {
+					u := int(device.Ld(t, dCol, e))
+					cu := device.Ld(t, dComp, u)
+					if cu == cv {
+						continue
+					}
+					w := device.Ld(t, dW, e)
+					device.AtomicMinI32(t, dBest, int(cv), encode(w, e))
+					t.FLOP(2)
+				}
+			},
+		})
+		if !s.Unified() {
+			device.Memcpy(s, best, dBest)
+			device.Memcpy(s, comp, dComp)
+		}
+		// CPU: union components along chosen edges (pointer chasing).
+		merged := 0
+		s.CPUTask(device.CPUTaskSpec{
+			Name: "mst_merge", Threads: 1,
+			Func: func(c *device.CPUThread) {
+				var find func(x int32) int32
+				find = func(x int32) int32 {
+					for {
+						p := device.LdDep(c, comp, int(x))
+						if p == x {
+							return x
+						}
+						x = p
+					}
+				}
+				for v := 0; v < n; v++ {
+					key := device.Ld(c, best, v)
+					if key >= inf {
+						continue
+					}
+					e := int(key & 0xFFFFF)
+					w := key >> 20
+					// Edge endpoints: source owner v (component id), target.
+					u := int(colIdx.V[e])
+					ra, rb := find(int32(v)), find(int32(u))
+					if ra == rb {
+						continue
+					}
+					device.St(c, comp, int(ra), rb)
+					mstWeight += int64(w)
+					merged++
+					c.FLOP(4)
+				}
+				// Path-compress for the next round.
+				for v := 0; v < n; v++ {
+					device.St(c, comp, v, find(int32(v)))
+				}
+			},
+		})
+		components -= merged
+		if merged == 0 {
+			break
+		}
+		if !s.Unified() {
+			device.Memcpy(s, dComp, comp)
+		}
+	}
+	s.EndROI()
+	s.AddResult(float64(mstWeight), device.ChecksumI32(comp.V))
+}

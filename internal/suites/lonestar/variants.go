@@ -1,0 +1,296 @@
+package lonestar
+
+import (
+	"repro/internal/bench"
+	"repro/internal/device"
+)
+
+// pushAgg selects how a worklist kernel aggregates its output-queue pushes,
+// the axis along which LonestarGPU's _wla/_wlc/_wlw variants differ.
+type pushAgg int
+
+const (
+	// aggPerThread: one atomic queue-cursor bump per pushed vertex (wlc).
+	aggPerThread pushAgg = iota
+	// aggPerCTA: threads collect pushes in scratch; the CTA's last thread
+	// reserves one slot range with a single atomic and scatters (wla).
+	aggPerCTA
+	// aggPerWarp: per-warp aggregation — one atomic per 32 lanes (wlw).
+	aggPerWarp
+	// aggFiltered: per-thread pushes guarded by an in-worklist membership
+	// mask, trading extra accesses for a smaller queue (wlf).
+	aggFiltered
+)
+
+// relaxRoundAgg builds one worklist-processing kernel with the requested
+// push-aggregation strategy. Functional behaviour is identical across
+// strategies (same relaxations, same worklist contents up to order); the
+// recorded atomic/scratch traffic differs exactly as the variants do.
+func relaxRoundAgg(gb *graphBufs, dRow, dCol *device.Buf[int32], dW *device.Buf[float32],
+	dDist, dIn, dOut, dSize, dMask *device.Buf[int32], count int, weighted bool, block int, agg pushAgg) device.KernelSpec {
+	grid := (count + block - 1) / block
+	if grid == 0 {
+		grid = 1
+	}
+	// Per-CTA / per-warp pending-push buffers, filled during functional
+	// execution (threads of a CTA generate sequentially).
+	pend := make([][]int32, grid*block/32+grid)
+	return device.KernelSpec{
+		Name: "wl_relax_" + [...]string{"wlc", "wla", "wlw", "wlf"}[agg],
+		Grid: grid, Block: block,
+		ScratchBytes: map[pushAgg]int{aggPerCTA: block * 8, aggPerWarp: 32 * 8}[agg],
+		Func: func(t *device.Thread) {
+			idx := t.Global()
+			var group int
+			switch agg {
+			case aggPerCTA:
+				group = t.CTA()
+			case aggPerWarp:
+				group = t.CTA()*(t.Block()/32) + t.Lane()/32
+			}
+			flush := func() {
+				if len(pend[group]) == 0 {
+					return
+				}
+				slot := device.AtomicAddI32(t, dSize, 0, int32(len(pend[group])))
+				if int(slot)+len(pend[group]) <= gb.wlOut.Len() {
+					device.StN(t, dOut, int(slot), pend[group])
+				}
+				pend[group] = pend[group][:0]
+			}
+			if idx < count {
+				v := int(device.Ld(t, dIn, idx))
+				lo := int(device.Ld(t, dRow, v))
+				hi := int(device.Ld(t, dRow, v+1))
+				dv := device.Ld(t, dDist, v)
+				if agg == aggFiltered {
+					device.St(t, dMask, v, 0) // leaving the worklist
+				}
+				for e := lo; e < hi; e++ {
+					dst := int(device.Ld(t, dCol, e))
+					w := int32(1)
+					if weighted {
+						w = int32(device.Ld(t, dW, e))
+					}
+					nd := dv + w
+					old := device.AtomicMinI32(t, dDist, dst, nd)
+					if nd >= old {
+						t.FLOP(2)
+						continue
+					}
+					switch agg {
+					case aggPerThread:
+						slot := device.AtomicAddI32(t, dSize, 0, 1)
+						if int(slot) < gb.wlOut.Len() {
+							device.St(t, dOut, int(slot), int32(dst))
+						}
+					case aggFiltered:
+						// Push only if not already queued this round.
+						if device.AtomicCASI32(t, dMask, dst, 0, 1) == 0 {
+							slot := device.AtomicAddI32(t, dSize, 0, 1)
+							if int(slot) < gb.wlOut.Len() {
+								device.St(t, dOut, int(slot), int32(dst))
+							}
+						}
+					default:
+						t.ScratchOp(1)
+						pend[group] = append(pend[group], int32(dst))
+					}
+					t.FLOP(2)
+				}
+			}
+			// Aggregated variants flush at the group boundary.
+			switch agg {
+			case aggPerCTA:
+				t.Sync()
+				if t.Lane() == t.Block()-1 {
+					flush()
+				}
+			case aggPerWarp:
+				if t.Lane()%32 == 31 || t.Lane() == t.Block()-1 {
+					flush()
+				}
+			}
+		},
+	}
+}
+
+// runWorklistAgg drives the shared outer loop for the aggregation variants.
+func runWorklistAgg(s *device.System, gb *graphBufs, weighted bool, maxRounds int, agg pushAgg, block int) {
+	s.BeginROI()
+	dRow, _ := device.ToDevice(s, gb.rowPtr)
+	dCol, _ := device.ToDevice(s, gb.colIdx)
+	dW, _ := device.ToDevice(s, gb.weights)
+	dDist, _ := device.ToDevice(s, gb.dist)
+	dIn, _ := device.ToDevice(s, gb.wlIn)
+	dOut, _ := device.ToDevice(s, gb.wlOut)
+	dSize, _ := device.ToDevice(s, gb.wlSize)
+	mask := device.AllocBuf[int32](s, gb.n, "wl_mask", device.Host)
+	dMask, _ := device.ToDevice(s, mask)
+	s.Drain()
+
+	count := 1
+	for round := 0; round < maxRounds && count > 0; round++ {
+		gb.wlSize.V[0] = 0
+		if !s.Unified() {
+			device.Memcpy(s, dSize, gb.wlSize)
+		}
+		s.Launch(relaxRoundAgg(gb, dRow, dCol, dW, dDist, dIn, dOut, dSize, dMask, count, weighted, block, agg))
+		if !s.Unified() {
+			device.Memcpy(s, gb.hostWl, dSize)
+		} else {
+			gb.hostWl.V[0] = dSize.V[0]
+		}
+		next := 0
+		s.CPUTask(device.CPUTaskSpec{
+			Name: "wl_check", Threads: 1,
+			Func: func(c *device.CPUThread) {
+				next = int(device.Ld(c, gb.hostWl, 0))
+				c.FLOP(1)
+			},
+		})
+		if next > gb.wlOut.Len() {
+			next = gb.wlOut.Len()
+		}
+		count = next
+		dIn, dOut = dOut, dIn
+	}
+	s.Wait(device.FromDevice(s, gb.dist, dDist))
+	s.EndROI()
+	s.AddResult(device.ChecksumI32(gb.dist.V))
+}
+
+// wlVariant is the shared shape of the worklist-variant benchmarks.
+type wlVariant struct {
+	name     string
+	weighted bool
+	agg      pushAgg
+	seed     int64
+}
+
+// Info describes the variant.
+func (v wlVariant) Info() bench.Info {
+	return bench.Info{
+		Suite: "lonestar", Name: v.name,
+		Desc:   "worklist " + map[bool]string{false: "BFS", true: "SSSP"}[v.weighted] + " (" + v.name + " aggregation variant)",
+		PCComm: true, PipeParal: true, Regular: true, Irregular: true, SWQueue: true,
+	}
+}
+
+// Run executes the variant.
+func (v wlVariant) Run(s *device.System, mode bench.Mode, size bench.Size) {
+	gb := setupGraph(s, bench.ScaleN(32768, size), v.seed)
+	runWorklistAgg(s, gb, v.weighted, 24, v.agg, 256)
+}
+
+func init() {
+	bench.Register(wlVariant{name: "bfs_wla", weighted: false, agg: aggPerCTA, seed: 101})
+	bench.Register(wlVariant{name: "bfs_wlw", weighted: false, agg: aggPerWarp, seed: 101})
+	bench.Register(wlVariant{name: "sssp_wln", weighted: true, agg: aggPerCTA, seed: 103})
+	bench.Register(wlVariant{name: "sssp_wlf", weighted: true, agg: aggFiltered, seed: 103})
+}
+
+// TopoBFS is LonestarGPU's topology-driven bfs: every round sweeps all
+// vertices looking for the current level (no worklist), with a host-read
+// changed flag.
+type TopoBFS struct{}
+
+func init() { bench.Register(TopoBFS{}) }
+
+// Info describes bfs.
+func (TopoBFS) Info() bench.Info {
+	return bench.Info{
+		Suite: "lonestar", Name: "bfs",
+		Desc:   "topology-driven BFS (level sweeps, no worklist)",
+		PCComm: true, PipeParal: true, Regular: true, Irregular: true,
+	}
+}
+
+// Run executes bfs.
+func (TopoBFS) Run(s *device.System, mode bench.Mode, size bench.Size) {
+	runTopology(s, bench.ScaleN(32768, size), 101, false)
+}
+
+// TopoSSSP is LonestarGPU's topology-driven sssp (Bellman-Ford sweeps).
+type TopoSSSP struct{}
+
+func init() { bench.Register(TopoSSSP{}) }
+
+// Info describes sssp.
+func (TopoSSSP) Info() bench.Info {
+	return bench.Info{
+		Suite: "lonestar", Name: "sssp",
+		Desc:   "topology-driven SSSP (Bellman-Ford sweeps)",
+		PCComm: true, PipeParal: true, Regular: true, Irregular: true,
+	}
+}
+
+// Run executes sssp.
+func (TopoSSSP) Run(s *device.System, mode bench.Mode, size bench.Size) {
+	runTopology(s, bench.ScaleN(32768, size), 103, true)
+}
+
+// runTopology sweeps all vertices every round until nothing changes.
+func runTopology(s *device.System, n int, seed int64, weighted bool) {
+	gb := setupGraph(s, n, seed)
+	block := 256
+	s.BeginROI()
+	dRow, _ := device.ToDevice(s, gb.rowPtr)
+	dCol, _ := device.ToDevice(s, gb.colIdx)
+	dW, _ := device.ToDevice(s, gb.weights)
+	dDist, _ := device.ToDevice(s, gb.dist)
+	dFlag, _ := device.ToDevice(s, gb.wlSize)
+	s.Drain()
+
+	for round := 0; round < 48; round++ {
+		gb.wlSize.V[0] = 0
+		if !s.Unified() {
+			device.Memcpy(s, dFlag, gb.wlSize)
+		} else {
+			dFlag.V[0] = 0
+		}
+		s.Launch(device.KernelSpec{
+			Name: "topo_relax", Grid: n / block, Block: block,
+			Func: func(t *device.Thread) {
+				v := t.Global()
+				dv := device.Ld(t, dDist, v)
+				if dv >= 1<<30 {
+					return
+				}
+				lo := int(device.Ld(t, dRow, v))
+				hi := int(device.Ld(t, dRow, v+1))
+				for e := lo; e < hi; e++ {
+					dst := int(device.Ld(t, dCol, e))
+					w := int32(1)
+					if weighted {
+						w = int32(device.Ld(t, dW, e))
+					}
+					nd := dv + w
+					if device.AtomicMinI32(t, dDist, dst, nd) > nd {
+						device.St(t, dFlag, 0, 1)
+					}
+					t.FLOP(2)
+				}
+			},
+		})
+		if !s.Unified() {
+			device.Memcpy(s, gb.hostWl, dFlag)
+		} else {
+			gb.hostWl.V[0] = dFlag.V[0]
+		}
+		changed := false
+		s.CPUTask(device.CPUTaskSpec{
+			Name: "topo_check", Threads: 1,
+			Func: func(c *device.CPUThread) {
+				changed = device.Ld(c, gb.hostWl, 0) != 0
+				c.FLOP(1)
+			},
+		})
+		if !changed {
+			break
+		}
+	}
+	s.Wait(device.FromDevice(s, gb.dist, dDist))
+	s.EndROI()
+	s.AddResult(device.ChecksumI32(gb.dist.V))
+}

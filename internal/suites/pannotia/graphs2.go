@@ -1,0 +1,399 @@
+package pannotia
+
+import (
+	"repro/internal/bench"
+	"repro/internal/device"
+	"repro/internal/workload"
+)
+
+// ColorMax is Pannotia's color_max greedy graph coloring: per round a
+// kernel colors every uncolored vertex whose id beats all uncolored
+// neighbours, and the host checks a copied-back remaining-count to decide
+// whether to continue.
+type ColorMax struct{}
+
+func init() { bench.Register(ColorMax{}) }
+
+// Info describes color_max.
+func (ColorMax) Info() bench.Info {
+	return bench.Info{
+		Suite: "pannotia", Name: "color_max",
+		Desc:   "greedy max-id graph coloring with host loop",
+		PCComm: true, PipeParal: true, Regular: true, Irregular: true,
+	}
+}
+
+// Run executes color_max.
+func (ColorMax) Run(s *device.System, mode bench.Mode, size bench.Size) {
+	n := bench.ScaleN(16384, size)
+	g := workload.Symmetrize(workload.RMATGraph(n, 8, 221))
+	runColoring(s, n, g, false)
+}
+
+// colorPrio is the vertex priority for the greedy extrema selection — a
+// hash, not the raw id, so rounds stay logarithmic (Jones-Plassmann).
+func colorPrio(v int) uint32 { return uint32(v) * 2654435761 }
+
+// runColoring drives the two-kernel coloring rounds shared by color_max
+// and color_maxmin: the first kernel marks local extrema against the
+// previous round's colors, the second assigns — matching Pannotia's
+// structure and avoiding intra-round visibility races.
+func runColoring(s *device.System, n int, g *workload.Graph, maxmin bool) {
+	block := 256
+	rowPtr := device.AllocBuf[int32](s, n+1, "row_ptr", device.Host)
+	colIdx := device.AllocBuf[int32](s, g.M(), "col_idx", device.Host)
+	color := device.AllocBuf[int32](s, n, "color", device.Host)
+	flag := device.AllocBuf[int32](s, n, "extremum_flag", device.Host)
+	remaining := device.AllocBuf[int32](s, 1, "remaining", device.Host)
+	copy(rowPtr.V, g.RowPtr)
+	copy(colIdx.V, g.ColIdx)
+	for i := range color.V {
+		color.V[i] = -1
+	}
+
+	s.BeginROI()
+	dRow, _ := device.ToDevice(s, rowPtr)
+	dCol, _ := device.ToDevice(s, colIdx)
+	dColor, _ := device.ToDevice(s, color)
+	dFlag, _ := device.ToDevice(s, flag)
+	dRem, _ := device.ToDevice(s, remaining)
+	s.Drain()
+
+	for round := int32(0); round < 224; round++ {
+		remaining.V[0] = 0
+		if !s.Unified() {
+			device.Memcpy(s, dRem, remaining)
+		} else {
+			dRem.V[0] = 0
+		}
+		// Kernel 1: mark extrema against the stable previous-round colors.
+		s.Launch(device.KernelSpec{
+			Name: "color_mark", Grid: n / block, Block: block,
+			Func: func(t *device.Thread) {
+				v := t.Global()
+				if device.Ld(t, dColor, v) >= 0 {
+					return
+				}
+				lo := int(device.Ld(t, dRow, v))
+				hi := int(device.Ld(t, dRow, v+1))
+				isMax, isMin := true, true
+				pv := colorPrio(v)
+				for e := lo; e < hi; e++ {
+					u := int(device.Ld(t, dCol, e))
+					if u == v || device.Ld(t, dColor, u) >= 0 {
+						continue
+					}
+					if pu := colorPrio(u); pu > pv {
+						isMax = false
+					} else if pu < pv {
+						isMin = false
+					}
+					t.FLOP(2)
+				}
+				switch {
+				case isMax:
+					device.St(t, dFlag, v, 1)
+				case isMin && maxmin:
+					device.St(t, dFlag, v, 2)
+				default:
+					device.AtomicAddI32(t, dRem, 0, 1)
+				}
+			},
+		})
+		// Kernel 2: assign colors to the marked vertices.
+		rr := round
+		s.Launch(device.KernelSpec{
+			Name: "color_assign", Grid: n / block, Block: block,
+			Func: func(t *device.Thread) {
+				v := t.Global()
+				f := device.Ld(t, dFlag, v)
+				if f == 0 {
+					return
+				}
+				device.St(t, dFlag, v, 0)
+				if maxmin {
+					device.St(t, dColor, v, 2*rr+f-1)
+				} else {
+					device.St(t, dColor, v, rr)
+				}
+			},
+		})
+		if !s.Unified() {
+			device.Memcpy(s, remaining, dRem)
+		}
+		done := false
+		s.CPUTask(device.CPUTaskSpec{
+			Name: "color_check", Threads: 1,
+			Func: func(c *device.CPUThread) {
+				done = device.Ld(c, remaining, 0) == 0
+				c.FLOP(1)
+			},
+		})
+		if done {
+			break
+		}
+	}
+	s.Wait(device.FromDevice(s, color, dColor))
+	s.EndROI()
+	s.AddResult(device.ChecksumI32(color.V))
+}
+
+// MIS is Pannotia's maximal independent set: rounds of a local-max kernel
+// admitting vertices and excluding their neighbours, with the same host
+// loop-condition pattern.
+type MIS struct{}
+
+func init() { bench.Register(MIS{}) }
+
+// Info describes mis.
+func (MIS) Info() bench.Info {
+	return bench.Info{
+		Suite: "pannotia", Name: "mis",
+		Desc:   "maximal independent set via local-max rounds",
+		PCComm: true, PipeParal: true, Regular: true, Irregular: true,
+	}
+}
+
+// Run executes mis.
+func (MIS) Run(s *device.System, mode bench.Mode, size bench.Size) {
+	n := bench.ScaleN(16384, size)
+	g := workload.Symmetrize(workload.RMATGraph(n, 8, 231))
+	block := 256
+
+	rowPtr := device.AllocBuf[int32](s, n+1, "row_ptr", device.Host)
+	colIdx := device.AllocBuf[int32](s, g.M(), "col_idx", device.Host)
+	state := device.AllocBuf[int32](s, n, "mis_state", device.Host) // 0 undecided, 1 in, 2 out
+	pending := device.AllocBuf[int32](s, 1, "pending", device.Host)
+	copy(rowPtr.V, g.RowPtr)
+	copy(colIdx.V, g.ColIdx)
+
+	s.BeginROI()
+	dRow, _ := device.ToDevice(s, rowPtr)
+	dCol, _ := device.ToDevice(s, colIdx)
+	dState, _ := device.ToDevice(s, state)
+	dPend, _ := device.ToDevice(s, pending)
+	s.Drain()
+
+	for round := 0; round < 64; round++ {
+		pending.V[0] = 0
+		if !s.Unified() {
+			device.Memcpy(s, dPend, pending)
+		} else {
+			dPend.V[0] = 0
+		}
+		// Admit local maxima among undecided vertices.
+		s.Launch(device.KernelSpec{
+			Name: "mis_admit", Grid: n / block, Block: block,
+			Func: func(t *device.Thread) {
+				v := t.Global()
+				if device.Ld(t, dState, v) != 0 {
+					return
+				}
+				lo := int(device.Ld(t, dRow, v))
+				hi := int(device.Ld(t, dRow, v+1))
+				isMax := true
+				for e := lo; e < hi; e++ {
+					u := int(device.Ld(t, dCol, e))
+					if u != v && device.Ld(t, dState, u) == 0 && u > v {
+						isMax = false
+					}
+					t.FLOP(1)
+				}
+				if isMax {
+					device.St(t, dState, v, 1)
+				}
+			},
+		})
+		// Exclude neighbours of admitted vertices; count what's left.
+		s.Launch(device.KernelSpec{
+			Name: "mis_exclude", Grid: n / block, Block: block,
+			Func: func(t *device.Thread) {
+				v := t.Global()
+				if device.Ld(t, dState, v) != 0 {
+					return
+				}
+				lo := int(device.Ld(t, dRow, v))
+				hi := int(device.Ld(t, dRow, v+1))
+				for e := lo; e < hi; e++ {
+					u := int(device.Ld(t, dCol, e))
+					if u != v && device.Ld(t, dState, u) == 1 {
+						device.St(t, dState, v, 2)
+						return
+					}
+					t.FLOP(1)
+				}
+				device.AtomicAddI32(t, dPend, 0, 1)
+			},
+		})
+		if !s.Unified() {
+			device.Memcpy(s, pending, dPend)
+		}
+		done := false
+		s.CPUTask(device.CPUTaskSpec{
+			Name: "mis_check", Threads: 1,
+			Func: func(c *device.CPUThread) {
+				done = device.Ld(c, pending, 0) == 0
+				c.FLOP(1)
+			},
+		})
+		if done {
+			break
+		}
+	}
+	s.Wait(device.FromDevice(s, state, dState))
+	s.EndROI()
+	s.AddResult(device.ChecksumI32(state.V))
+}
+
+// BC is Pannotia's betweenness centrality skeleton: for a handful of
+// sources, forward BFS level kernels count shortest paths, then backward
+// kernels accumulate dependencies level by level — the most kernel-dense
+// benchmark in the suite.
+type BC struct{}
+
+func init() { bench.Register(BC{}) }
+
+// Info describes bc.
+func (BC) Info() bench.Info {
+	return bench.Info{
+		Suite: "pannotia", Name: "bc",
+		Desc:   "betweenness centrality: per-source forward/backward sweeps",
+		PCComm: true, PipeParal: true, Regular: true, Irregular: true,
+	}
+}
+
+// Run executes bc.
+func (BC) Run(s *device.System, mode bench.Mode, size bench.Size) {
+	n := bench.ScaleN(8192, size)
+	g := workload.RMATGraph(n, 8, 241)
+	block := 256
+	sources := 3
+
+	rowPtr := device.AllocBuf[int32](s, n+1, "row_ptr", device.Host)
+	colIdx := device.AllocBuf[int32](s, g.M(), "col_idx", device.Host)
+	bc := device.AllocBuf[float32](s, n, "bc_scores", device.Host)
+	level := device.AllocBuf[int32](s, n, "level", device.Host)
+	sigma := device.AllocBuf[float32](s, n, "sigma", device.Host)
+	delta := device.AllocBuf[float32](s, n, "delta", device.Host)
+	cont := device.AllocBuf[int32](s, 1, "continue", device.Host)
+	copy(rowPtr.V, g.RowPtr)
+	copy(colIdx.V, g.ColIdx)
+
+	s.BeginROI()
+	dRow, _ := device.ToDevice(s, rowPtr)
+	dCol, _ := device.ToDevice(s, colIdx)
+	dBC, _ := device.ToDevice(s, bc)
+	dLvl, _ := device.ToDevice(s, level)
+	dSig, _ := device.ToDevice(s, sigma)
+	dDel, _ := device.ToDevice(s, delta)
+	dCont, _ := device.ToDevice(s, cont)
+	s.Drain()
+
+	for src := 0; src < sources; src++ {
+		// Reset per-source state on the GPU.
+		s0 := src * 977 % n
+		s.Launch(device.KernelSpec{
+			Name: "bc_reset", Grid: n / block, Block: block,
+			Func: func(t *device.Thread) {
+				v := t.Global()
+				lv, sg := int32(-1), float32(0)
+				if v == s0 {
+					lv, sg = 0, 1
+				}
+				device.St(t, dLvl, v, lv)
+				device.St(t, dSig, v, sg)
+				device.St(t, dDel, v, 0)
+			},
+		})
+		// Forward sweep.
+		maxLevel := int32(0)
+		for lvl := int32(0); lvl < 48; lvl++ {
+			cont.V[0] = 0
+			if !s.Unified() {
+				device.Memcpy(s, dCont, cont)
+			} else {
+				dCont.V[0] = 0
+			}
+			ll := lvl
+			s.Launch(device.KernelSpec{
+				Name: "bc_forward", Grid: n / block, Block: block,
+				Func: func(t *device.Thread) {
+					v := t.Global()
+					if device.Ld(t, dLvl, v) != ll {
+						return
+					}
+					sg := device.Ld(t, dSig, v)
+					lo := int(device.Ld(t, dRow, v))
+					hi := int(device.Ld(t, dRow, v+1))
+					for e := lo; e < hi; e++ {
+						u := int(device.Ld(t, dCol, e))
+						ul := device.Ld(t, dLvl, u)
+						if ul == -1 {
+							device.St(t, dLvl, u, ll+1)
+							ul = ll + 1
+							device.St(t, dCont, 0, 1)
+						}
+						if ul == ll+1 {
+							device.AtomicAddF32(t, dSig, u, sg)
+						}
+						t.FLOP(2)
+					}
+				},
+			})
+			if !s.Unified() {
+				device.Memcpy(s, cont, dCont)
+			}
+			goOn := false
+			s.CPUTask(device.CPUTaskSpec{
+				Name: "bc_fwd_check", Threads: 1,
+				Func: func(c *device.CPUThread) {
+					goOn = device.Ld(c, cont, 0) != 0
+					c.FLOP(1)
+				},
+			})
+			if !goOn {
+				maxLevel = lvl
+				break
+			}
+			maxLevel = lvl + 1
+		}
+		// Backward dependency accumulation, level by level.
+		for lvl := maxLevel; lvl > 0; lvl-- {
+			ll := lvl
+			s.Launch(device.KernelSpec{
+				Name: "bc_backward", Grid: n / block, Block: block,
+				Func: func(t *device.Thread) {
+					v := t.Global()
+					if device.Ld(t, dLvl, v) != ll-1 {
+						return
+					}
+					sv := device.Ld(t, dSig, v)
+					if sv == 0 {
+						return
+					}
+					lo := int(device.Ld(t, dRow, v))
+					hi := int(device.Ld(t, dRow, v+1))
+					var acc float32
+					for e := lo; e < hi; e++ {
+						u := int(device.Ld(t, dCol, e))
+						if device.Ld(t, dLvl, u) == ll {
+							su := device.Ld(t, dSig, u)
+							if su > 0 {
+								acc += sv / su * (1 + device.Ld(t, dDel, u))
+							}
+						}
+						t.FLOP(4)
+					}
+					device.St(t, dDel, v, acc)
+					if v != s0 {
+						old := device.Ld(t, dBC, v)
+						device.St(t, dBC, v, old+acc)
+					}
+				},
+			})
+		}
+	}
+	s.Wait(device.FromDevice(s, bc, dBC))
+	s.EndROI()
+	s.AddResult(device.ChecksumF32(bc.V))
+}

@@ -1,0 +1,201 @@
+// Package pannotia re-implements the Pannotia graph benchmarks this study
+// uses: irregular graph analytics structured to expose work without
+// software queues, ported (as in the paper) from OpenCL to the CUDA-like
+// runtime.
+package pannotia
+
+import (
+	"repro/internal/bench"
+	"repro/internal/device"
+	"repro/internal/workload"
+)
+
+// FW is Pannotia's blocked Floyd-Warshall all-pairs shortest paths: for
+// each k-block a phase of dependent kernels sweeps the whole distance
+// matrix — an O(n^2) working set re-read every phase, the archetypal
+// R-R contention benchmark.
+type FW struct{}
+
+func init() { bench.Register(FW{}) }
+
+// Info describes fw.
+func (FW) Info() bench.Info {
+	return bench.Info{
+		Suite: "pannotia", Name: "fw",
+		Desc:   "blocked Floyd-Warshall APSP",
+		PCComm: true, PipeParal: true, Regular: true, Irregular: true,
+	}
+}
+
+// Run executes fw.
+func (FW) Run(s *device.System, mode bench.Mode, size bench.Size) {
+	n := bench.ScaleSide(192, size)
+	const B = 32
+	block := 256
+
+	dist := device.AllocBuf[float32](s, n*n, "dist", device.Host)
+	g := workload.UniformGraph(n, 6, 201)
+	for i := range dist.V {
+		dist.V[i] = 1e9
+	}
+	for v := 0; v < n; v++ {
+		dist.V[v*n+v] = 0
+		for e := g.RowPtr[v]; e < g.RowPtr[v+1]; e++ {
+			dist.V[v*n+int(g.ColIdx[e])] = g.EdgeWeigh[e]
+		}
+	}
+
+	s.BeginROI()
+	dD, _ := device.ToDevice(s, dist)
+	s.Drain()
+
+	for k0 := 0; k0 < n; k0 += B {
+		kb := k0
+		// One kernel sweeps all cells for this k-block; each thread owns a
+		// row segment and relaxes through the B pivots.
+		s.Launch(device.KernelSpec{
+			Name: "fw_sweep", Grid: (n*(n/B) + block - 1) / block, Block: block,
+			Func: func(t *device.Thread) {
+				// Thread handles one (row, col-segment-of-B) pair.
+				idx := t.Global()
+				if idx >= n*(n/B) {
+					return
+				}
+				r := idx / (n / B)
+				c0 := (idx % (n / B)) * B
+				row := device.LdN(t, dD, r*n+c0, B)
+				viaRow := device.LdN(t, dD, r*n+kb, B) // d(r, k)
+				out := make([]float32, B)
+				copy(out, row)
+				for kk := 0; kk < B; kk++ {
+					dk := viaRow[kk]
+					kRow := device.LdN(t, dD, (kb+kk)*n+c0, B) // d(k, c)
+					for c := 0; c < B; c++ {
+						if v := dk + kRow[c]; v < out[c] {
+							out[c] = v
+						}
+					}
+					t.FLOP(2 * B)
+				}
+				device.StN(t, dD, r*n+c0, out)
+			},
+		})
+	}
+	s.Wait(device.FromDevice(s, dist, dD))
+	s.EndROI()
+	s.AddResult(device.ChecksumF32(dist.V))
+}
+
+// PageRankSpMV is Pannotia's pr_spmv: rank propagation as a sparse
+// matrix-vector product per iteration, with the new rank vector in a
+// GPU-temporary buffer (a page-fault victim on the heterogeneous
+// processor, as the paper reports) and a host convergence check.
+type PageRankSpMV struct{}
+
+func init() { bench.Register(PageRankSpMV{}) }
+
+// Info describes pr_spmv.
+func (PageRankSpMV) Info() bench.Info {
+	return bench.Info{
+		Suite: "pannotia", Name: "pr_spmv",
+		Desc:   "PageRank via SpMV with host convergence check",
+		PCComm: true, PipeParal: true, Regular: true, Irregular: true,
+	}
+}
+
+// Run executes pr_spmv.
+func (PageRankSpMV) Run(s *device.System, mode bench.Mode, size bench.Size) {
+	n := bench.ScaleN(32768, size)
+	g := workload.RMATGraph(n, 8, 211)
+	block := 256
+	iters := 5
+
+	rowPtr := device.AllocBuf[int32](s, n+1, "row_ptr", device.Host)
+	colIdx := device.AllocBuf[int32](s, g.M(), "col_idx", device.Host)
+	rank := device.AllocBuf[float32](s, n, "rank", device.Host)
+	outDeg := device.AllocBuf[int32](s, n, "out_degree", device.Host)
+	delta := device.AllocBuf[float32](s, 1, "delta", device.Host)
+	copy(rowPtr.V, g.RowPtr)
+	copy(colIdx.V, g.ColIdx)
+	for v := 0; v < n; v++ {
+		rank.V[v] = 1.0 / float32(n)
+		outDeg.V[v] = g.RowPtr[v+1] - g.RowPtr[v]
+		if outDeg.V[v] == 0 {
+			outDeg.V[v] = 1
+		}
+	}
+
+	s.BeginROI()
+	dRow, _ := device.ToDevice(s, rowPtr)
+	dCol, _ := device.ToDevice(s, colIdx)
+	dRank, _ := device.ToDevice(s, rank)
+	dDeg, _ := device.ToDevice(s, outDeg)
+	dDelta, _ := device.ToDevice(s, delta)
+	// The new-rank vector lives only on the GPU — never CPU-touched.
+	dNew := device.AllocBuf[float32](s, n, "rank_new", device.Device)
+	s.Drain()
+
+	for it := 0; it < iters; it++ {
+		delta.V[0] = 0
+		if !s.Unified() {
+			device.Memcpy(s, dDelta, delta)
+		} else {
+			dDelta.V[0] = 0
+		}
+		// SpMV kernel: gather neighbour ranks (note: treats colIdx rows as
+		// in-edges, as pannotia's transposed representation does).
+		s.Launch(device.KernelSpec{
+			Name: "pr_spmv", Grid: n / block, Block: block,
+			Func: func(t *device.Thread) {
+				v := t.Global()
+				lo := int(device.Ld(t, dRow, v))
+				hi := int(device.Ld(t, dRow, v+1))
+				var acc float32
+				for e := lo; e < hi; e++ {
+					u := int(device.Ld(t, dCol, e))
+					r := device.Ld(t, dRank, u)
+					d := device.Ld(t, dDeg, u)
+					acc += r / float32(d)
+				}
+				t.FLOP(2 * (hi - lo))
+				device.St(t, dNew, v, 0.15/float32(n)+0.85*acc)
+			},
+		})
+		// Rank-update kernel: swap in the new ranks and accumulate |delta|.
+		s.Launch(device.KernelSpec{
+			Name: "pr_update", Grid: n / block, Block: block,
+			Func: func(t *device.Thread) {
+				v := t.Global()
+				old := device.Ld(t, dRank, v)
+				nw := device.Ld(t, dNew, v)
+				df := nw - old
+				if df < 0 {
+					df = -df
+				}
+				t.FLOP(2)
+				device.St(t, dRank, v, nw)
+				if df > 1.0/float32(n) {
+					device.AtomicAddF32(t, dDelta, 0, df)
+				}
+			},
+		})
+		// Host convergence check.
+		if !s.Unified() {
+			device.Memcpy(s, delta, dDelta)
+		}
+		stop := false
+		s.CPUTask(device.CPUTaskSpec{
+			Name: "pr_check", Threads: 1,
+			Func: func(c *device.CPUThread) {
+				stop = device.Ld(c, delta, 0) < 1e-4
+				c.FLOP(1)
+			},
+		})
+		if stop {
+			break
+		}
+	}
+	s.Wait(device.FromDevice(s, rank, dRank))
+	s.EndROI()
+	s.AddResult(device.ChecksumF32(rank.V))
+}

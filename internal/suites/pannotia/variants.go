@@ -1,0 +1,377 @@
+package pannotia
+
+import (
+	"repro/internal/bench"
+	"repro/internal/device"
+	"repro/internal/workload"
+)
+
+// ColorMaxMin is Pannotia's color_maxmin variant: each round colors both
+// the local-maximum and local-minimum uncolored vertices, halving rounds at
+// the cost of a second comparison sweep per vertex.
+type ColorMaxMin struct{}
+
+func init() { bench.Register(ColorMaxMin{}) }
+
+// Info describes color_maxmin.
+func (ColorMaxMin) Info() bench.Info {
+	return bench.Info{
+		Suite: "pannotia", Name: "color_maxmin",
+		Desc:   "greedy coloring, max+min independent sets per round",
+		PCComm: true, PipeParal: true, Regular: true, Irregular: true,
+	}
+}
+
+// Run executes color_maxmin.
+func (ColorMaxMin) Run(s *device.System, mode bench.Mode, size bench.Size) {
+	n := bench.ScaleN(16384, size)
+	g := workload.Symmetrize(workload.RMATGraph(n, 8, 222))
+	runColoring(s, n, g, true)
+}
+
+// FWBlock is Pannotia's fw_block: the classic three-phase blocked
+// Floyd-Warshall (diagonal block, row/column panels, interior) — three
+// dependent kernels of very different sizes per k-block, the paper's
+// compute-migration candidate shape.
+type FWBlock struct{}
+
+func init() { bench.Register(FWBlock{}) }
+
+// Info describes fw_block.
+func (FWBlock) Info() bench.Info {
+	return bench.Info{
+		Suite: "pannotia", Name: "fw_block",
+		Desc:   "three-phase blocked Floyd-Warshall APSP",
+		PCComm: true, PipeParal: true, Regular: true, Irregular: true,
+	}
+}
+
+// Run executes fw_block.
+func (FWBlock) Run(s *device.System, mode bench.Mode, size bench.Size) {
+	n := bench.ScaleSide(192, size)
+	const B = 32
+	nb := n / B
+	block := 256
+
+	dist := device.AllocBuf[float32](s, n*n, "dist", device.Host)
+	g := workload.UniformGraph(n, 6, 202)
+	for i := range dist.V {
+		dist.V[i] = 1e9
+	}
+	for v := 0; v < n; v++ {
+		dist.V[v*n+v] = 0
+		for e := g.RowPtr[v]; e < g.RowPtr[v+1]; e++ {
+			dist.V[v*n+int(g.ColIdx[e])] = g.EdgeWeigh[e]
+		}
+	}
+
+	s.BeginROI()
+	dD, _ := device.ToDevice(s, dist)
+	s.Drain()
+
+	// relaxRange relaxes rows [r0,r1) x cols [c0,c1) through pivots
+	// kb..kb+B, buffering row-segment writes like a real kernel would.
+	relaxSeg := func(t *device.Thread, r, c0, kb int) {
+		seg := append([]float32(nil), device.LdN(t, dD, r*n+c0, B)...)
+		for kk := 0; kk < B; kk++ {
+			dk := device.Ld(t, dD, r*n+kb+kk)
+			kRow := device.LdN(t, dD, (kb+kk)*n+c0, B)
+			for c := 0; c < B; c++ {
+				if v := dk + kRow[c]; v < seg[c] {
+					seg[c] = v
+				}
+			}
+			t.FLOP(2 * B)
+		}
+		device.StN(t, dD, r*n+c0, seg)
+	}
+
+	for kb := 0; kb < n; kb += B {
+		// Phase 1: diagonal block, one small CTA.
+		s.Launch(device.KernelSpec{
+			Name: "fwb_diag", Grid: 1, Block: B,
+			ScratchBytes: B * B * 4,
+			Func: func(t *device.Thread) {
+				relaxSeg(t, kb+t.Lane(), kb, kb)
+				t.Sync()
+			},
+		})
+		if nb == 1 {
+			continue
+		}
+		// Phase 2: row and column panels.
+		s.Launch(device.KernelSpec{
+			Name: "fwb_panels", Grid: 2 * (nb - 1), Block: B,
+			ScratchBytes: 2 * B * B * 4,
+			Func: func(t *device.Thread) {
+				cta := t.CTA()
+				other := cta % (nb - 1) * B
+				if other >= kb {
+					other += B
+				}
+				if cta < nb-1 {
+					relaxSeg(t, kb+t.Lane(), other, kb) // row panel
+				} else {
+					relaxSeg(t, other+t.Lane(), kb, kb) // column panel
+				}
+			},
+		})
+		// Phase 3: interior.
+		s.Launch(device.KernelSpec{
+			Name: "fwb_interior", Grid: (n*(n/B) + block - 1) / block, Block: block,
+			Func: func(t *device.Thread) {
+				idx := t.Global()
+				if idx >= n*(n/B) {
+					return
+				}
+				r := idx / (n / B)
+				c0 := (idx % (n / B)) * B
+				if r >= kb && r < kb+B {
+					return // panels already done
+				}
+				if c0 == kb {
+					return
+				}
+				relaxSeg(t, r, c0, kb)
+			},
+		})
+	}
+	s.Wait(device.FromDevice(s, dist, dD))
+	s.EndROI()
+	s.AddResult(device.ChecksumF32(dist.V))
+}
+
+// PageRank is Pannotia's push-style pr: every vertex atomically scatters
+// rank/degree contributions to its out-neighbours — the atomics-heavy dual
+// of pr_spmv's pull formulation.
+type PageRank struct{}
+
+func init() { bench.Register(PageRank{}) }
+
+// Info describes pr.
+func (PageRank) Info() bench.Info {
+	return bench.Info{
+		Suite: "pannotia", Name: "pr",
+		Desc:   "push-style PageRank with atomic scatter",
+		PCComm: true, PipeParal: true, Regular: true, Irregular: true,
+	}
+}
+
+// Run executes pr.
+func (PageRank) Run(s *device.System, mode bench.Mode, size bench.Size) {
+	n := bench.ScaleN(16384, size)
+	g := workload.RMATGraph(n, 8, 212)
+	block := 256
+	iters := 4
+
+	rowPtr := device.AllocBuf[int32](s, n+1, "row_ptr", device.Host)
+	colIdx := device.AllocBuf[int32](s, g.M(), "col_idx", device.Host)
+	rank := device.AllocBuf[float32](s, n, "rank", device.Host)
+	acc := device.AllocBuf[float32](s, n, "rank_acc", device.Host)
+	copy(rowPtr.V, g.RowPtr)
+	copy(colIdx.V, g.ColIdx)
+	for v := 0; v < n; v++ {
+		rank.V[v] = 1.0 / float32(n)
+	}
+
+	s.BeginROI()
+	dRow, _ := device.ToDevice(s, rowPtr)
+	dCol, _ := device.ToDevice(s, colIdx)
+	dRank, _ := device.ToDevice(s, rank)
+	dAcc, _ := device.ToDevice(s, acc)
+	s.Drain()
+
+	for it := 0; it < iters; it++ {
+		// Scatter kernel: push contributions with atomics.
+		s.Launch(device.KernelSpec{
+			Name: "pr_push", Grid: n / block, Block: block,
+			Func: func(t *device.Thread) {
+				v := t.Global()
+				lo := int(device.Ld(t, dRow, v))
+				hi := int(device.Ld(t, dRow, v+1))
+				if hi == lo {
+					return
+				}
+				share := device.Ld(t, dRank, v) / float32(hi-lo)
+				for e := lo; e < hi; e++ {
+					u := int(device.Ld(t, dCol, e))
+					device.AtomicAddF32(t, dAcc, u, share)
+					t.FLOP(2)
+				}
+			},
+		})
+		// Apply kernel: fold accumulators into ranks.
+		s.Launch(device.KernelSpec{
+			Name: "pr_apply", Grid: n / block, Block: block,
+			Func: func(t *device.Thread) {
+				v := t.Global()
+				a := device.Ld(t, dAcc, v)
+				t.FLOP(3)
+				device.St(t, dRank, v, 0.15/float32(n)+0.85*a)
+				device.St(t, dAcc, v, 0)
+			},
+		})
+	}
+	s.Wait(device.FromDevice(s, rank, dRank))
+	s.EndROI()
+	s.AddResult(device.ChecksumF32(rank.V))
+}
+
+// SSSP is Pannotia's topology-driven sssp over CSR (float weights): edge
+// relaxation sweeps with a host-read changed flag.
+type SSSP struct{}
+
+func init() { bench.Register(SSSP{}) }
+
+// Info describes sssp.
+func (SSSP) Info() bench.Info {
+	return bench.Info{
+		Suite: "pannotia", Name: "sssp",
+		Desc:   "Bellman-Ford sweeps over CSR with host loop",
+		PCComm: true, PipeParal: true, Regular: true, Irregular: true,
+	}
+}
+
+// Run executes sssp.
+func (SSSP) Run(s *device.System, mode bench.Mode, size bench.Size) {
+	runPannotiaSSSP(s, size, false)
+}
+
+// SSSPEll is Pannotia's sssp_ell: the same relaxation over an ELL-packed
+// matrix — fixed-width rows, column-major, fully coalesced.
+type SSSPEll struct{}
+
+func init() { bench.Register(SSSPEll{}) }
+
+// Info describes sssp_ell.
+func (SSSPEll) Info() bench.Info {
+	return bench.Info{
+		Suite: "pannotia", Name: "sssp_ell",
+		Desc:   "Bellman-Ford sweeps over an ELL-packed graph",
+		PCComm: true, PipeParal: true, Regular: true, Irregular: true,
+	}
+}
+
+// Run executes sssp_ell.
+func (SSSPEll) Run(s *device.System, mode bench.Mode, size bench.Size) {
+	runPannotiaSSSP(s, size, true)
+}
+
+func runPannotiaSSSP(s *device.System, size bench.Size, ell bool) {
+	n := bench.ScaleN(16384, size)
+	g := workload.RMATGraph(n, 8, 213)
+	block := 256
+	const width = 12 // ELL row width (extra edges dropped, rows padded)
+
+	dist := device.AllocBuf[int32](s, n, "dist", device.Host)
+	flag := device.AllocBuf[int32](s, 1, "changed", device.Host)
+	hostFlag := device.AllocBuf[int32](s, 1, "changed_host", device.Host)
+	for i := range dist.V {
+		dist.V[i] = 1 << 30
+	}
+	dist.V[0] = 0
+
+	var rowPtr, colIdx, ellIdx *device.Buf[int32]
+	var weights, ellW *device.Buf[float32]
+	if ell {
+		// Column-major ELL: entry (v, j) at [j*n+v].
+		ellIdx = device.AllocBuf[int32](s, n*width, "ell_col", device.Host)
+		ellW = device.AllocBuf[float32](s, n*width, "ell_weight", device.Host)
+		for i := range ellIdx.V {
+			ellIdx.V[i] = -1
+		}
+		for v := 0; v < n; v++ {
+			for j, e := 0, g.RowPtr[v]; j < width && e < g.RowPtr[v+1]; j, e = j+1, e+1 {
+				ellIdx.V[j*n+v] = g.ColIdx[e]
+				ellW.V[j*n+v] = g.EdgeWeigh[e]
+			}
+		}
+	} else {
+		rowPtr = device.AllocBuf[int32](s, n+1, "row_ptr", device.Host)
+		colIdx = device.AllocBuf[int32](s, g.M(), "col_idx", device.Host)
+		weights = device.AllocBuf[float32](s, g.M(), "weights", device.Host)
+		copy(rowPtr.V, g.RowPtr)
+		copy(colIdx.V, g.ColIdx)
+		copy(weights.V, g.EdgeWeigh)
+	}
+
+	s.BeginROI()
+	dDist, _ := device.ToDevice(s, dist)
+	dFlag, _ := device.ToDevice(s, flag)
+	var dRow, dCol, dEllIdx *device.Buf[int32]
+	var dW, dEllW *device.Buf[float32]
+	if ell {
+		dEllIdx, _ = device.ToDevice(s, ellIdx)
+		dEllW, _ = device.ToDevice(s, ellW)
+	} else {
+		dRow, _ = device.ToDevice(s, rowPtr)
+		dCol, _ = device.ToDevice(s, colIdx)
+		dW, _ = device.ToDevice(s, weights)
+	}
+	s.Drain()
+
+	for round := 0; round < 24; round++ {
+		flag.V[0] = 0
+		if !s.Unified() {
+			device.Memcpy(s, dFlag, flag)
+		} else {
+			dFlag.V[0] = 0
+		}
+		s.Launch(device.KernelSpec{
+			Name: map[bool]string{false: "sssp_csr", true: "sssp_ell"}[ell],
+			Grid: n / block, Block: block,
+			Func: func(t *device.Thread) {
+				v := t.Global()
+				dv := device.Ld(t, dDist, v)
+				if dv >= 1<<30 {
+					return
+				}
+				if ell {
+					for j := 0; j < width; j++ {
+						u := device.Ld(t, dEllIdx, j*n+v) // coalesced
+						if u < 0 {
+							continue
+						}
+						w := device.Ld(t, dEllW, j*n+v)
+						nd := dv + int32(w)
+						if device.AtomicMinI32(t, dDist, int(u), nd) > nd {
+							device.St(t, dFlag, 0, 1)
+						}
+						t.FLOP(2)
+					}
+					return
+				}
+				lo := int(device.Ld(t, dRow, v))
+				hi := int(device.Ld(t, dRow, v+1))
+				for e := lo; e < hi; e++ {
+					u := int(device.Ld(t, dCol, e))
+					w := device.Ld(t, dW, e)
+					nd := dv + int32(w)
+					if device.AtomicMinI32(t, dDist, u, nd) > nd {
+						device.St(t, dFlag, 0, 1)
+					}
+					t.FLOP(2)
+				}
+			},
+		})
+		if !s.Unified() {
+			device.Memcpy(s, hostFlag, dFlag)
+		} else {
+			hostFlag.V[0] = dFlag.V[0]
+		}
+		changed := false
+		s.CPUTask(device.CPUTaskSpec{
+			Name: "sssp_check", Threads: 1,
+			Func: func(c *device.CPUThread) {
+				changed = device.Ld(c, hostFlag, 0) != 0
+				c.FLOP(1)
+			},
+		})
+		if !changed {
+			break
+		}
+	}
+	s.Wait(device.FromDevice(s, dist, dDist))
+	s.EndROI()
+	s.AddResult(device.ChecksumI32(dist.V))
+}

@@ -1,0 +1,186 @@
+package parboil
+
+import (
+	"repro/internal/bench"
+	"repro/internal/device"
+	"repro/internal/workload"
+)
+
+// PBFS is Parboil's queue-based BFS: levels expand through an atomic
+// global queue with per-CTA aggregation — the suite's one software-queue
+// benchmark.
+type PBFS struct{}
+
+func init() { bench.Register(PBFS{}) }
+
+// Info describes bfs.
+func (PBFS) Info() bench.Info {
+	return bench.Info{
+		Suite: "parboil", Name: "bfs",
+		Desc:   "queue-based BFS with per-CTA queue aggregation",
+		PCComm: true, PipeParal: true, Regular: true, Irregular: true, SWQueue: true,
+	}
+}
+
+// Run executes bfs.
+func (PBFS) Run(s *device.System, mode bench.Mode, size bench.Size) {
+	n := bench.ScaleN(32768, size)
+	g := workload.UniformGraph(n, 8, 18)
+	block := 256
+
+	rowPtr := device.AllocBuf[int32](s, n+1, "row_ptr", device.Host)
+	colIdx := device.AllocBuf[int32](s, g.M(), "col_idx", device.Host)
+	cost := device.AllocBuf[int32](s, n, "cost", device.Host)
+	qIn := device.AllocBuf[int32](s, n, "queue_in", device.Host)
+	qOut := device.AllocBuf[int32](s, n, "queue_out", device.Host)
+	qSize := device.AllocBuf[int32](s, 1, "queue_size", device.Host)
+	hostQ := device.AllocBuf[int32](s, 1, "queue_size_host", device.Host)
+	copy(rowPtr.V, g.RowPtr)
+	copy(colIdx.V, g.ColIdx)
+	for i := range cost.V {
+		cost.V[i] = -1
+	}
+	cost.V[0] = 0
+	qIn.V[0] = 0
+
+	s.BeginROI()
+	dRow, _ := device.ToDevice(s, rowPtr)
+	dCol, _ := device.ToDevice(s, colIdx)
+	dCost, _ := device.ToDevice(s, cost)
+	dIn, _ := device.ToDevice(s, qIn)
+	dOut, _ := device.ToDevice(s, qOut)
+	dSize, _ := device.ToDevice(s, qSize)
+	s.Drain()
+
+	count := 1
+	for level := int32(0); count > 0 && level < 48; level++ {
+		qSize.V[0] = 0
+		if !s.Unified() {
+			device.Memcpy(s, dSize, qSize)
+		} else {
+			dSize.V[0] = 0
+		}
+		cnt := count
+		grid := (cnt + block - 1) / block
+		lvl := level
+		pending := make([][]int32, grid)
+		s.Launch(device.KernelSpec{
+			Name: "pbfs_level", Grid: grid, Block: block,
+			ScratchBytes: block * 4,
+			Func: func(t *device.Thread) {
+				idx := t.Global()
+				cta := t.CTA()
+				if idx < cnt {
+					v := int(device.Ld(t, dIn, idx))
+					lo := int(device.Ld(t, dRow, v))
+					hi := int(device.Ld(t, dRow, v+1))
+					for e := lo; e < hi; e++ {
+						u := int(device.Ld(t, dCol, e))
+						if device.Ld(t, dCost, u) == -1 {
+							device.St(t, dCost, u, lvl+1)
+							pending[cta] = append(pending[cta], int32(u))
+							t.ScratchOp(1)
+						}
+						t.FLOP(1)
+					}
+				}
+				t.Sync()
+				if t.Lane() == t.Block()-1 && len(pending[cta]) > 0 {
+					slot := device.AtomicAddI32(t, dSize, 0, int32(len(pending[cta])))
+					if int(slot)+len(pending[cta]) <= qOut.Len() {
+						device.StN(t, dOut, int(slot), pending[cta])
+					}
+					pending[cta] = nil
+				}
+			},
+		})
+		if !s.Unified() {
+			device.Memcpy(s, hostQ, dSize)
+		} else {
+			hostQ.V[0] = dSize.V[0]
+		}
+		next := 0
+		s.CPUTask(device.CPUTaskSpec{
+			Name: "pbfs_check", Threads: 1,
+			Func: func(c *device.CPUThread) {
+				next = int(device.Ld(c, hostQ, 0))
+				c.FLOP(1)
+			},
+		})
+		if next > qOut.Len() {
+			next = qOut.Len()
+		}
+		count = next
+		dIn, dOut = dOut, dIn
+	}
+	s.Wait(device.FromDevice(s, cost, dCost))
+	s.EndROI()
+	s.AddResult(device.ChecksumI32(cost.V))
+}
+
+// MRIQ is Parboil's mri-q: for each voxel, sum a trigonometric kernel over
+// all k-space samples — compute-bound, the samples broadcast across the
+// warp and served from cache.
+type MRIQ struct{}
+
+func init() { bench.Register(MRIQ{}) }
+
+// Info describes mri-q.
+func (MRIQ) Info() bench.Info {
+	return bench.Info{
+		Suite: "parboil", Name: "mri-q",
+		Desc:   "MRI Q-matrix: per-voxel sum over k-space samples",
+		PCComm: true, PipeParal: true, Regular: true,
+	}
+}
+
+// Run executes mri-q.
+func (MRIQ) Run(s *device.System, mode bench.Mode, size bench.Size) {
+	voxels := bench.ScaleN(16384, size)
+	const K = 1024 // k-space samples
+	const batch = 64
+	block := 256
+
+	kx := device.AllocBuf[float32](s, K, "kspace_x", device.Host)
+	phi := device.AllocBuf[float32](s, K, "phi_mag", device.Host)
+	x := device.AllocBuf[float32](s, voxels, "voxel_x", device.Host)
+	qRe := device.AllocBuf[float32](s, voxels, "q_real", device.Host)
+	qIm := device.AllocBuf[float32](s, voxels, "q_imag", device.Host)
+	copy(kx.V, workload.Points(K, 1, 26))
+	copy(phi.V, workload.Points(K, 1, 27))
+	copy(x.V, workload.Points(voxels, 1, 28))
+
+	s.BeginROI()
+	dKx, _ := device.ToDevice(s, kx)
+	dPhi, _ := device.ToDevice(s, phi)
+	dX, _ := device.ToDevice(s, x)
+	dRe, _ := device.ToDevice(s, qRe)
+	dIm, _ := device.ToDevice(s, qIm)
+	s.Drain()
+
+	s.Launch(device.KernelSpec{
+		Name: "mriq_computeQ", Grid: voxels / block, Block: block,
+		Func: func(t *device.Thread) {
+			v := t.Global()
+			xv := device.Ld(t, dX, v)
+			var re, im float32
+			for k0 := 0; k0 < K; k0 += batch {
+				ks := device.LdN(t, dKx, k0, batch)
+				ph := device.LdN(t, dPhi, k0, batch)
+				for k := 0; k < batch; k++ {
+					// cos/sin stand-in: two multiply-adds per sample.
+					arg := ks[k] * xv
+					re += ph[k] * (1 - arg*arg/2)
+					im += ph[k] * arg
+				}
+				t.FLOP(6 * batch)
+			}
+			device.St(t, dRe, v, re)
+			device.St(t, dIm, v, im)
+		},
+	})
+	s.Wait(device.FromDevice(s, qRe, dRe))
+	s.Wait(device.FromDevice(s, qIm, dIm))
+	s.EndROI()
+	s.AddResult(device.ChecksumF32(qRe.V), device.ChecksumF32(qIm.V))
+}

@@ -1,0 +1,118 @@
+package rodinia
+
+import (
+	"repro/internal/bench"
+	"repro/internal/device"
+	"repro/internal/workload"
+)
+
+// BFS is Rodinia's frontier-mask breadth-first search: two kernels per
+// level plus a host-read continuation flag — the paper's canonical
+// "CPU outer-loop waits on a copied-back condition" structure.
+type BFS struct{}
+
+func init() { bench.Register(BFS{}) }
+
+// Info describes bfs.
+func (BFS) Info() bench.Info {
+	return bench.Info{
+		Suite: "rodinia", Name: "bfs",
+		Desc:   "frontier-mask BFS with host loop condition",
+		PCComm: true, PipeParal: true, Regular: true, Irregular: true,
+	}
+}
+
+// Run executes bfs.
+func (BFS) Run(s *device.System, mode bench.Mode, size bench.Size) {
+	n := bench.ScaleN(65536, size)
+	g := workload.UniformGraph(n, 8, 31)
+	block := 256
+
+	rowPtr := device.AllocBuf[int32](s, n+1, "row_ptr", device.Host)
+	colIdx := device.AllocBuf[int32](s, g.M(), "col_idx", device.Host)
+	cost := device.AllocBuf[int32](s, n, "cost", device.Host)
+	frontier := device.AllocBuf[int32](s, n, "frontier", device.Host)
+	updating := device.AllocBuf[int32](s, n, "updating", device.Host)
+	visited := device.AllocBuf[int32](s, n, "visited", device.Host)
+	cont := device.AllocBuf[int32](s, 1, "continue_flag", device.Host)
+	copy(rowPtr.V, g.RowPtr)
+	copy(colIdx.V, g.ColIdx)
+	for i := range cost.V {
+		cost.V[i] = -1
+	}
+	cost.V[0] = 0
+	frontier.V[0] = 1
+	visited.V[0] = 1
+
+	s.BeginROI()
+	dRow, _ := device.ToDevice(s, rowPtr)
+	dCol, _ := device.ToDevice(s, colIdx)
+	dCost, _ := device.ToDevice(s, cost)
+	dFr, _ := device.ToDevice(s, frontier)
+	dUp, _ := device.ToDevice(s, updating)
+	dVis, _ := device.ToDevice(s, visited)
+	dCont, _ := device.ToDevice(s, cont)
+	s.Drain()
+
+	grid := n / block
+	for level := 0; ; level++ {
+		cont.V[0] = 0
+		if !s.Unified() {
+			device.Memcpy(s, dCont, cont)
+		}
+		// Kernel 1: expand the frontier into the updating mask.
+		s.Launch(device.KernelSpec{
+			Name: "bfs_kernel1", Grid: grid, Block: block,
+			Func: func(t *device.Thread) {
+				v := t.Global()
+				if device.Ld(t, dFr, v) == 0 {
+					return
+				}
+				device.St(t, dFr, v, 0)
+				lo := device.Ld(t, dRow, v)
+				hi := device.Ld(t, dRow, v+1)
+				myCost := device.Ld(t, dCost, v)
+				for e := lo; e < hi; e++ {
+					dst := device.Ld(t, dCol, int(e))
+					if device.Ld(t, dVis, int(dst)) == 0 {
+						device.St(t, dCost, int(dst), myCost+1)
+						device.St(t, dUp, int(dst), 1)
+					}
+				}
+				t.FLOP(int(hi - lo))
+			},
+		})
+		// Kernel 2: promote updating to frontier, set the continue flag.
+		s.Launch(device.KernelSpec{
+			Name: "bfs_kernel2", Grid: grid, Block: block,
+			Func: func(t *device.Thread) {
+				v := t.Global()
+				if device.Ld(t, dUp, v) == 0 {
+					return
+				}
+				device.St(t, dUp, v, 0)
+				device.St(t, dFr, v, 1)
+				device.St(t, dVis, v, 1)
+				device.St(t, dCont, 0, 1)
+			},
+		})
+		// Host decides whether to continue: a tiny D2H copy every level.
+		if !s.Unified() {
+			device.Memcpy(s, cont, dCont)
+		}
+		done := false
+		s.CPUTask(device.CPUTaskSpec{
+			Name: "bfs_check", Threads: 1,
+			Func: func(c *device.CPUThread) {
+				done = device.Ld(c, cont, 0) == 0
+				c.FLOP(1)
+			},
+		})
+		if done || level > 64 {
+			break
+		}
+	}
+	s.Wait(device.FromDevice(s, cost, dCost))
+	s.EndROI()
+	s.AddResult(device.ChecksumI32(cost.V))
+}

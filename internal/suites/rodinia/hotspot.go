@@ -1,0 +1,80 @@
+package rodinia
+
+import (
+	"repro/internal/bench"
+	"repro/internal/device"
+	"repro/internal/workload"
+)
+
+// Hotspot is Rodinia's thermal simulation: an iterated 5-point stencil over
+// the temperature grid with a power term, double-buffered on the device.
+// Regular structure: one H2D per input, a kernel per iteration, one D2H.
+type Hotspot struct{}
+
+func init() { bench.Register(Hotspot{}) }
+
+// Info describes hotspot.
+func (Hotspot) Info() bench.Info {
+	return bench.Info{
+		Suite: "rodinia", Name: "hotspot",
+		Desc:   "thermal 5-point stencil iteration",
+		PCComm: true, PipeParal: true, Regular: true,
+	}
+}
+
+// Run executes hotspot.
+func (Hotspot) Run(s *device.System, mode bench.Mode, size bench.Size) {
+	rows := bench.ScaleSide(256, size)
+	cols := 512
+	iters := 4
+	block := 256
+
+	temp := device.AllocBuf[float32](s, rows*cols, "temp", device.Host)
+	power := device.AllocBuf[float32](s, rows*cols, "power", device.Host)
+	copy(temp.V, workload.Grid(rows, cols, 11))
+	copy(power.V, workload.Grid(rows, cols, 12))
+
+	s.BeginROI()
+	dT, _ := device.ToDevice(s, temp)
+	dP, _ := device.ToDevice(s, power)
+	// Double buffer is GPU-temporary (device-only in both versions).
+	dT2 := device.AllocBuf[float32](s, rows*cols, "temp2", device.Device)
+	s.Drain()
+
+	src, dst := dT, dT2
+	for it := 0; it < iters; it++ {
+		a, b := src, dst
+		s.Launch(device.KernelSpec{
+			Name: "hotspot_step", Grid: rows * cols / block, Block: block,
+			Func: func(t *device.Thread) {
+				i := t.Global()
+				r, c := i/cols, i%cols
+				v := device.Ld(t, a, i)
+				n, so, e, w := v, v, v, v
+				if r > 0 {
+					n = device.Ld(t, a, i-cols)
+				}
+				if r < rows-1 {
+					so = device.Ld(t, a, i+cols)
+				}
+				if c > 0 {
+					e = device.Ld(t, a, i-1)
+				}
+				if c < cols-1 {
+					w = device.Ld(t, a, i+1)
+				}
+				p := device.Ld(t, dP, i)
+				t.FLOP(10)
+				device.St(t, b, i, v+0.2*(n+so+e+w-4*v)+0.05*p)
+			},
+		})
+		src, dst = dst, src
+	}
+	// Result is in src after the final swap.
+	if src != dT {
+		device.Memcpy(s, dT, src)
+	}
+	s.Wait(device.FromDevice(s, temp, dT))
+	s.EndROI()
+	s.AddResult(device.ChecksumF32(temp.V))
+}

@@ -1,0 +1,110 @@
+// Package vm models address translation at page granularity — specifically
+// the behaviour the paper calls out: in the heterogeneous processor, CPU and
+// GPU share one page table, so GPU page faults interrupt the CPU and are
+// serviced *serially* by a software handler (IOMMU-style, as in gem5-gpu).
+// In the discrete system the GPU driver maps pages itself while the copy
+// engine or GPU runs, so minor faults are nearly free.
+//
+// TLBs are not modelled separately; the paper quantifies fault-handling
+// cost, not TLB reach, and our page-presence check captures exactly that.
+package vm
+
+import (
+	"repro/internal/memory"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Manager tracks page mappings for one simulated machine.
+type Manager struct {
+	pageBytes  int
+	mapped     map[memory.Addr]struct{}
+	faultToCPU bool
+	cpuServ    sim.Tick
+	gpuServ    sim.Tick
+	handler    sim.BusyModel // serializes the CPU fault handler
+	ctr        *stats.Counters
+
+	// OnCPUHandled observes each CPU-serviced fault's handler occupancy so
+	// the device layer can log CPU activity (and page-clearing writes, which
+	// shift memory accesses from GPU to CPU as the paper observed for srad).
+	OnCPUHandled func(start, end sim.Tick, pageBase memory.Addr)
+}
+
+// Config carries the subset of config.VMConfig the manager needs.
+type Config struct {
+	PageBytes     int
+	GPUFaultToCPU bool
+	CPUFaultServ  sim.Tick
+	GPUFaultServ  sim.Tick
+}
+
+// New builds a Manager.
+func New(cfg Config, ctr *stats.Counters) *Manager {
+	if ctr == nil {
+		ctr = stats.NewCounters()
+	}
+	return &Manager{
+		pageBytes:  cfg.PageBytes,
+		mapped:     map[memory.Addr]struct{}{},
+		faultToCPU: cfg.GPUFaultToCPU,
+		cpuServ:    cfg.CPUFaultServ,
+		gpuServ:    cfg.GPUFaultServ,
+		ctr:        ctr,
+	}
+}
+
+// Counters exposes fault counters.
+func (m *Manager) Counters() *stats.Counters { return m.ctr }
+
+// PageBytes reports the page size.
+func (m *Manager) PageBytes() int { return m.pageBytes }
+
+func (m *Manager) pageOf(addr memory.Addr) memory.Addr {
+	return addr &^ memory.Addr(m.pageBytes-1)
+}
+
+// MapRange marks [base, base+size) resident with no cost — used for pages
+// the host touched before the ROI and for copy-engine implicit mappings.
+func (m *Manager) MapRange(base memory.Addr, size int) {
+	for p := m.pageOf(base); p < base+memory.Addr(size); p += memory.Addr(m.pageBytes) {
+		m.mapped[p] = struct{}{}
+	}
+}
+
+// Mapped reports whether addr's page is resident.
+func (m *Manager) Mapped(addr memory.Addr) bool {
+	_, ok := m.mapped[m.pageOf(addr)]
+	return ok
+}
+
+// Translate resolves addr for an access at time now and returns when the
+// translation is ready. CPU minor faults map immediately (the host OS path
+// is cheap relative to everything the paper measures). GPU faults either
+// queue on the serial CPU handler (heterogeneous processor) or cost a small
+// fixed GPU-local service time (discrete GPU driver).
+func (m *Manager) Translate(now sim.Tick, addr memory.Addr, fromGPU bool) sim.Tick {
+	page := m.pageOf(addr)
+	if _, ok := m.mapped[page]; ok {
+		return now
+	}
+	m.mapped[page] = struct{}{}
+	if !fromGPU {
+		m.ctr.Inc("vm.cpu_minor_faults")
+		return now
+	}
+	if !m.faultToCPU {
+		m.ctr.Inc("vm.gpu_local_faults")
+		return now + m.gpuServ
+	}
+	m.ctr.Inc("vm.gpu_faults_to_cpu")
+	start := m.handler.Claim(now, m.cpuServ)
+	end := start + m.cpuServ
+	if m.OnCPUHandled != nil {
+		m.OnCPUHandled(start, end, page)
+	}
+	return end
+}
+
+// HandlerBusyTime reports total CPU fault-handler occupancy.
+func (m *Manager) HandlerBusyTime() sim.Tick { return m.handler.BusyTime() }

@@ -1,0 +1,39 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSymmetrizeDoublesEdges(t *testing.T) {
+	g := RMATGraph(1024, 8, 5)
+	sg := Symmetrize(g)
+	if sg.M() != 2*g.M() {
+		t.Fatalf("symmetrized edges = %d, want %d", sg.M(), 2*g.M())
+	}
+}
+
+// Property: after Symmetrize, every edge (u,v) has a matching (v,u).
+func TestSymmetrizeIsSymmetricProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := 16 + int(nRaw)%128
+		sg := Symmetrize(UniformGraph(n, 4, seed))
+		// Count directed edges per pair in both directions.
+		type pair struct{ u, v int32 }
+		cnt := map[pair]int{}
+		for u := int32(0); u < int32(sg.N); u++ {
+			for e := sg.RowPtr[u]; e < sg.RowPtr[u+1]; e++ {
+				cnt[pair{u, sg.ColIdx[e]}]++
+			}
+		}
+		for p, c := range cnt {
+			if cnt[pair{p.v, p.u}] != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformGraphShape(t *testing.T) {
+	g := UniformGraph(1000, 8, 1)
+	if g.N != 1000 || len(g.RowPtr) != 1001 {
+		t.Fatal("CSR shape wrong")
+	}
+	if g.M() < 4000 || g.M() > 13000 {
+		t.Fatalf("edges = %d, want ~8000", g.M())
+	}
+	if int(g.RowPtr[1000]) != g.M() {
+		t.Fatal("rowptr end wrong")
+	}
+	for _, c := range g.ColIdx {
+		if c < 0 || int(c) >= g.N {
+			t.Fatalf("edge target out of range: %d", c)
+		}
+	}
+}
+
+func TestGraphDeterminism(t *testing.T) {
+	a := UniformGraph(500, 6, 42)
+	b := UniformGraph(500, 6, 42)
+	if a.M() != b.M() {
+		t.Fatal("not deterministic")
+	}
+	for i := range a.ColIdx {
+		if a.ColIdx[i] != b.ColIdx[i] {
+			t.Fatal("edges differ")
+		}
+	}
+}
+
+func TestRMATGraphSkew(t *testing.T) {
+	g := RMATGraph(1<<12, 8, 7)
+	if g.M() != 8<<12 {
+		t.Fatalf("edges = %d", g.M())
+	}
+	// Power-law-ish: the max degree should far exceed the average.
+	maxDeg := int32(0)
+	for v := 0; v < g.N; v++ {
+		d := g.RowPtr[v+1] - g.RowPtr[v]
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 40 {
+		t.Fatalf("RMAT not skewed: max degree %d", maxDeg)
+	}
+	// CSR integrity under quick-check-style sweep.
+	for v := 0; v < g.N; v++ {
+		if g.RowPtr[v] > g.RowPtr[v+1] {
+			t.Fatal("rowptr not monotone")
+		}
+	}
+}
+
+func TestPointsMatrixGridRanges(t *testing.T) {
+	for _, v := range Points(100, 4, 3) {
+		if v < 0 || v >= 1 {
+			t.Fatalf("point out of range: %v", v)
+		}
+	}
+	for _, v := range Matrix(10, 10, 3) {
+		if v < -1 || v >= 1 {
+			t.Fatalf("matrix out of range: %v", v)
+		}
+	}
+	g := Grid(32, 32, 3)
+	if len(g) != 1024 {
+		t.Fatal("grid size wrong")
+	}
+	for _, v := range Sequence(100, 3) {
+		if v < 0 || v > 3 {
+			t.Fatalf("sequence code out of range: %d", v)
+		}
+	}
+}
+
+// Property: CSR arrays are always mutually consistent.
+func TestCSRConsistencyProperty(t *testing.T) {
+	f := func(seed int64, nRaw, dRaw uint8) bool {
+		n := 16 + int(nRaw)%512
+		d := 1 + int(dRaw)%16
+		g := UniformGraph(n, d, seed)
+		if len(g.RowPtr) != n+1 || g.RowPtr[0] != 0 {
+			return false
+		}
+		if int(g.RowPtr[n]) != len(g.ColIdx) || len(g.ColIdx) != len(g.EdgeWeigh) {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			if g.RowPtr[v] > g.RowPtr[v+1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
