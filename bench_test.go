@@ -16,6 +16,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/harness"
 	"repro/internal/stats"
 
 	_ "repro/internal/suites/lonestar"
@@ -30,7 +31,7 @@ var (
 )
 
 func getSweep() *experiments.Results {
-	sweepOnce.Do(func() { sweep = experiments.Run(bench.SizeSmall, nil) })
+	sweepOnce.Do(func() { sweep, _ = experiments.Run(bench.SizeSmall, nil) })
 	return sweep
 }
 
@@ -57,8 +58,8 @@ func BenchmarkTable2(b *testing.B) {
 // Copy, No Memory Copy, Parallel (estimate), Parallel + Cache.
 func BenchmarkFig3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := experiments.Fig3(bench.SizeSmall)
-		if len(rows) != 5 {
+		rows, errs := experiments.Fig3(bench.SizeSmall, harness.Budget{})
+		if len(rows) != 5 || len(errs) != 0 {
 			b.Fatal("fig 3 needs 5 organizations")
 		}
 		b.ReportMetric(rows[2].RunTime, "nocopy-vs-baseline")

@@ -2,11 +2,16 @@
 //
 // Usage:
 //
-//	experiments [-exp all|table1|table2|fig3|fig4|fig5|fig6|fig7|fig8|fig9] [-size small|medium] [-q]
+//	experiments [-exp all|table1|table2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablation|faults]
+//	            [-size small|medium] [-timeout 60s] [-max-events N] [-inject PLAN] [-q]
 //
 // Figures 4-9 come from one shared sweep of every benchmark in copy and
 // limited-copy mode; Figure 3 additionally runs the kmeans restructured
-// organizations.
+// organizations. Sweeps are fault-tolerant: a run that panics, deadlocks,
+// or exceeds its -timeout/-max-events budget is recorded and footnoted in
+// the figures instead of aborting the sweep. -inject degrades the simulated
+// hardware for every run (see -exp faults for the curated degradation
+// matrix).
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/experiments"
+	"repro/internal/harness"
 
 	_ "repro/internal/suites/lonestar"
 	_ "repro/internal/suites/pannotia"
@@ -25,9 +31,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "which experiment: all, table1, table2, fig3..fig9, ablation (comma-separated)")
+	exp := flag.String("exp", "all", "which experiment: all, table1, table2, fig3..fig9, ablation, faults (comma-separated)")
 	sizeFlag := flag.String("size", "small", "input scale: small or medium")
 	csvDir := flag.String("csv", "", "also export the sweep as CSV files into this directory")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget per run (0 = unlimited)")
+	maxEvents := flag.Uint64("max-events", 0, "simulation event budget per run (0 = unlimited)")
+	inject := flag.String("inject", "", "hardware fault plan for every run, e.g. pcie=0.25,fault=8,dram=0:100:600")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
@@ -38,6 +47,12 @@ func main() {
 		size = bench.SizeMedium
 	default:
 		fmt.Fprintf(os.Stderr, "unknown size %q\n", *sizeFlag)
+		os.Exit(2)
+	}
+	budget := harness.Budget{MaxEvents: *maxEvents, Timeout: *timeout}
+	fault, err := harness.ParseFaultPlan(*inject)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "-inject: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -60,11 +75,18 @@ func main() {
 		}
 		fmt.Println(experiments.AblationText(size))
 	}
+	if sel("faults") {
+		if !*quiet {
+			fmt.Fprintln(os.Stderr, "running fault-injection sweep (baseline + injected per case)...")
+		}
+		fmt.Println(experiments.FaultSweepText(experiments.FaultSweep(size, budget)))
+	}
 	if sel("fig3") {
 		if !*quiet {
 			fmt.Fprintln(os.Stderr, "running kmeans case study (4 organizations)...")
 		}
-		fmt.Println(experiments.Fig3Text(experiments.Fig3(size)))
+		rows, errs := experiments.Fig3(size, budget)
+		fmt.Println(experiments.Fig3Text(rows, errs))
 	}
 
 	needSweep := false
@@ -76,12 +98,19 @@ func main() {
 	if !needSweep {
 		return
 	}
-	progress := func(name, mode string) {
-		if !*quiet {
-			fmt.Fprintf(os.Stderr, "running %s (%s)...\n", name, mode)
-		}
+	opts := experiments.SweepOpts{
+		Budget: budget,
+		Fault:  fault,
+		OnProgress: func(name, mode string) {
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "running %s (%s)...\n", name, mode)
+			}
+		},
 	}
-	res := experiments.Run(size, progress)
+	res, errs := experiments.RunSweep(size, opts)
+	for i := range errs {
+		fmt.Fprintf(os.Stderr, "run failed: %v\n", &errs[i])
+	}
 	if *csvDir != "" {
 		if err := experiments.WriteCSVs(*csvDir, res); err != nil {
 			fmt.Fprintf(os.Stderr, "csv export failed: %v\n", err)

@@ -4,16 +4,25 @@
 //
 // Usage:
 //
-//	hetsim -bench rodinia/kmeans [-mode copy|limited-copy|async-streams|parallel-chunked] [-size small|medium] [-counters]
+//	hetsim -bench rodinia/kmeans [-mode copy|limited-copy|async-streams|parallel-chunked]
+//	       [-size small|medium] [-timeout 60s] [-max-events N] [-inject PLAN] [-counters]
 //	hetsim -list
+//
+// Runs execute under the fault-tolerant harness: a panic, deadlock, or
+// exceeded -timeout/-max-events budget terminates with a diagnostic
+// instead of crashing or hanging, and a budget-exceeded medium run is
+// retried once at small. -inject degrades the simulated hardware, e.g.
+// -inject pcie=0.25,fault=8,dram=0:100:600.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/bench"
+	"repro/internal/harness"
 
 	_ "repro/internal/suites/lonestar"
 	_ "repro/internal/suites/pannotia"
@@ -25,6 +34,9 @@ func main() {
 	name := flag.String("bench", "", "benchmark full name (suite/name)")
 	modeFlag := flag.String("mode", "copy", "copy, limited-copy, async-streams, or parallel-chunked")
 	sizeFlag := flag.String("size", "small", "small or medium")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the run (0 = unlimited)")
+	maxEvents := flag.Uint64("max-events", 0, "simulation event budget for the run (0 = unlimited)")
+	inject := flag.String("inject", "", "hardware fault plan, e.g. pcie=0.25,fault=8,dram=0:100:600")
 	counters := flag.Bool("counters", false, "also dump every hardware counter")
 	list := flag.Bool("list", false, "list available benchmarks")
 	flag.Parse()
@@ -63,6 +75,11 @@ func main() {
 	if *sizeFlag == "medium" {
 		size = bench.SizeMedium
 	}
+	fault, err := harness.ParseFaultPlan(*inject)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "-inject: %v\n", err)
+		os.Exit(2)
+	}
 
 	b, ok := bench.Get(*name)
 	if !ok {
@@ -70,15 +87,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "use -list to see available benchmarks")
 		os.Exit(1)
 	}
-	if !b.Info().Supports(mode) {
-		fmt.Fprintf(os.Stderr, "%s does not support mode %s\n", *name, mode)
+
+	out := harness.Run(harness.Spec{
+		Bench: b, Mode: mode, Size: size,
+		Budget: harness.Budget{MaxEvents: *maxEvents, Timeout: time.Duration(*timeout)},
+		Fault:  fault,
+	})
+	if out.Err != nil {
+		fmt.Fprintf(os.Stderr, "run failed: %v\n", out.Err)
+		if len(out.Err.Stack) > 0 {
+			fmt.Fprintf(os.Stderr, "%s\n", out.Err.Stack)
+		}
 		os.Exit(1)
 	}
-	sys := bench.SystemFor(mode)
-	rep := bench.ExecuteOnSystem(b, sys, mode, size)
-	fmt.Print(rep.String())
+	if out.Degraded {
+		fmt.Fprintf(os.Stderr, "note: ran at size %s after exceeding the budget at %s (%d attempts)\n",
+			out.Size, size, out.Attempts)
+	}
+	if fault.Active() {
+		fmt.Printf("injected faults: %s\n", fault)
+	}
+	fmt.Print(out.Report.String())
 	if *counters {
 		fmt.Println("\nhardware counters:")
-		fmt.Print(sys.Ctr.String())
+		fmt.Print(out.Sys.Ctr.String())
 	}
 }

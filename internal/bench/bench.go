@@ -59,6 +59,27 @@ const (
 	SizeMedium
 )
 
+// String names the size preset.
+func (s Size) String() string {
+	switch s {
+	case SizeSmall:
+		return "small"
+	case SizeMedium:
+		return "medium"
+	default:
+		return fmt.Sprintf("size(%d)", int(s))
+	}
+}
+
+// Smaller returns the next-smaller size preset, if one exists — the
+// harness's budget-exceeded degradation path retries there.
+func (s Size) Smaller() (Size, bool) {
+	if s == SizeMedium {
+		return SizeSmall, true
+	}
+	return s, false
+}
+
 // ScaleN scales a base element count by the size preset.
 func ScaleN(base int, size Size) int {
 	if size == SizeMedium {
@@ -149,15 +170,21 @@ func All() []Benchmark {
 	return out
 }
 
-// SystemFor builds the simulated machine a mode runs on: copy-based modes
-// use the discrete GPU system, copy-free modes the heterogeneous processor.
-func SystemFor(m Mode) *device.System {
+// ConfigFor returns the system configuration a mode runs on: copy-based
+// modes use the discrete GPU system, copy-free modes the heterogeneous
+// processor.
+func ConfigFor(m Mode) config.System {
 	switch m {
 	case ModeCopy, ModeAsyncStreams:
-		return device.NewSystem(config.DiscreteGPU())
+		return config.DiscreteGPU()
 	default:
-		return device.NewSystem(config.HeteroProcessor())
+		return config.HeteroProcessor()
 	}
+}
+
+// SystemFor builds the simulated machine a mode runs on.
+func SystemFor(m Mode) *device.System {
+	return device.NewSystem(ConfigFor(m))
 }
 
 // Execute runs one benchmark in one mode and returns the analysis report.

@@ -100,6 +100,39 @@ type VMConfig struct {
 	HandlerClearPage bool    // handler zeroes the page (CPU memory writes)
 }
 
+// FaultConfig describes deliberate hardware degradations injected into a
+// run — the harness's fault-injection experiments use these to verify the
+// analytical models degrade gracefully instead of crashing or emitting
+// NaNs. The zero value injects nothing.
+type FaultConfig struct {
+	// PCIeBWFrac, when in (0,1), scales the copy engine's link bandwidth
+	// to that fraction of peak (a throttled or degraded PCIe link).
+	PCIeBWFrac float64
+	// FaultLatMult, when > 1, multiplies page-fault service latency — both
+	// the CPU handler occupancy (hetero) and the GPU-local cost (discrete)
+	// — modelling a slow fault handler.
+	FaultLatMult float64
+	// DRAMStallChannel picks the channel of the GPU/shared memory stalled
+	// for the window below (a wedged DRAM channel: accesses mapping to it
+	// queue behind the stall).
+	DRAMStallChannel int
+	// DRAMStallStartUs/DRAMStallEndUs bound the stall window in simulated
+	// microseconds; the stall is active only when end > start.
+	DRAMStallStartUs float64
+	DRAMStallEndUs   float64
+}
+
+// Active reports whether any fault is injected.
+func (f FaultConfig) Active() bool {
+	return f.PCIeThrottled() || f.FaultLatMult > 1 || f.DRAMStalled()
+}
+
+// PCIeThrottled reports whether the link-bandwidth fault is active.
+func (f FaultConfig) PCIeThrottled() bool { return f.PCIeBWFrac > 0 && f.PCIeBWFrac < 1 }
+
+// DRAMStalled reports whether the DRAM-channel fault is active.
+func (f FaultConfig) DRAMStalled() bool { return f.DRAMStallEndUs > f.DRAMStallStartUs }
+
 // System is a complete simulated system description.
 type System struct {
 	Kind      Kind
@@ -122,6 +155,8 @@ type System struct {
 	// heterogeneous processor (ablation knob): every read miss goes to
 	// DRAM even when a peer cache holds the line.
 	NoCoherence bool
+	// Faults carries injected hardware degradations (zero value: none).
+	Faults FaultConfig
 }
 
 // Unified reports whether CPU and GPU share one physical memory space.
@@ -237,6 +272,17 @@ func (s System) Validate() error {
 		if s.PCIe.BytesPerSec <= 0 {
 			return fmt.Errorf("discrete system needs a PCIe link")
 		}
+	}
+	f := s.Faults
+	switch {
+	case f.PCIeBWFrac < 0 || f.PCIeBWFrac > 1:
+		return fmt.Errorf("fault PCIeBWFrac %v must be in [0,1]", f.PCIeBWFrac)
+	case f.FaultLatMult < 0:
+		return fmt.Errorf("fault FaultLatMult %v must be >= 0", f.FaultLatMult)
+	case f.DRAMStallEndUs < f.DRAMStallStartUs:
+		return fmt.Errorf("fault DRAM stall window [%v,%v)us inverted", f.DRAMStallStartUs, f.DRAMStallEndUs)
+	case f.DRAMStalled() && (f.DRAMStallChannel < 0 || f.DRAMStallChannel >= s.GPUMem.Channels):
+		return fmt.Errorf("fault DRAM stall channel %d out of range (memory has %d)", f.DRAMStallChannel, s.GPUMem.Channels)
 	}
 	return nil
 }

@@ -22,6 +22,7 @@ const signalLat = 200 * sim.Nanosecond
 // streams/events or in-memory signal variables would.
 type Handle struct {
 	s         *System
+	label     string // names the operation for deadlock diagnostics
 	completed bool
 	end       sim.Tick
 	cbs       []func(sim.Tick)
@@ -54,7 +55,15 @@ func (h *Handle) complete(end sim.Tick) {
 	}
 }
 
-func (s *System) newHandle() *Handle { return &Handle{s: s} }
+func (s *System) newHandle(label string) *Handle { return &Handle{s: s, label: label} }
+
+// NewHandle returns an unfulfilled handle for a user-defined asynchronous
+// operation; complete it with Complete. The label names the operation in
+// deadlock diagnostics.
+func (s *System) NewHandle(label string) *Handle { return s.newHandle(label) }
+
+// Complete marks a user-created handle done at the current simulated time.
+func (h *Handle) Complete() { h.complete(h.s.Eng.Now()) }
 
 // when invokes fn once every dep has completed, passing the latest
 // completion time (or now if there are none).
@@ -80,16 +89,27 @@ func (s *System) when(deps []*Handle, fn func(ready sim.Tick)) {
 
 // afterAll returns a handle that completes when all deps have.
 func (s *System) afterAll(deps []*Handle) *Handle {
-	h := s.newHandle()
+	h := s.newHandle("barrier")
 	s.when(deps, h.complete)
 	return h
 }
 
-// Wait runs the simulation until h completes.
+// AfterAll returns a handle that completes once every dep has — a join
+// point for fan-in dependency graphs.
+func (s *System) AfterAll(deps ...*Handle) *Handle { return s.afterAll(deps) }
+
+// Wait runs the simulation until h completes. If the event queue drains
+// first, the waited-on operation can never complete; Wait aborts the run
+// with a *DeadlockError naming the wedged stage (recovered into a run
+// error by the harness layer).
 func (s *System) Wait(h *Handle) {
 	for !h.completed {
 		if !s.Eng.Step() {
-			panic("device: deadlock — waited-on operation can never complete")
+			label := h.label
+			if label == "" {
+				label = "unlabeled operation"
+			}
+			panic(&DeadlockError{Stage: label, SimTime: s.Eng.Now(), EventsRun: s.Eng.EventsRun()})
 		}
 	}
 }
@@ -125,12 +145,12 @@ type KernelSpec struct {
 // the ingredient of Eq. 1's Cserial.
 func (s *System) LaunchAsync(k KernelSpec, deps ...*Handle) *Handle {
 	if k.Grid <= 0 || k.Block <= 0 {
-		panic(fmt.Sprintf("device: kernel %s needs positive grid and block", k.Name))
+		usageErrorf("LaunchAsync", "kernel %s needs positive grid and block (got %dx%d)", k.Name, k.Grid, k.Block)
 	}
 	if k.Block > s.Cfg.GPU.MaxWarpsPerSM*s.Cfg.GPU.WarpSize {
-		panic(fmt.Sprintf("device: kernel %s block %d exceeds SM capacity", k.Name, k.Block))
+		usageErrorf("LaunchAsync", "kernel %s block %d exceeds SM capacity", k.Name, k.Block)
 	}
-	h := s.newHandle()
+	h := s.newHandle("kernel " + k.Name)
 	s.when(deps, func(ready sim.Tick) {
 		launchDur := sim.Tick(s.Cfg.KernelLaunchNs * float64(sim.Nanosecond))
 		launchStart := s.hostMux.Claim(ready, launchDur)
@@ -179,7 +199,7 @@ func (s *System) launchOnGPU(k KernelSpec, launchStart, launchDur sim.Tick, h *H
 			remaining := len(children)
 			var lastEnd sim.Tick
 			for i, ck := range children {
-				ch := s.newHandle()
+				ch := s.newHandle("child kernel " + ck.Name)
 				ckStart := end + sim.Tick(i+1)*deviceLaunchOverhead
 				ckCopy := ck
 				s.Eng.At(ckStart, func() { s.launchOnGPU(ckCopy, ckStart, 0, ch) })
@@ -204,12 +224,12 @@ func (s *System) Launch(k KernelSpec) { s.Wait(s.LaunchAsync(k)) }
 // functional data movement at issue time (dependency-ordered).
 func (s *System) copyAsync(dst, src *Alloc, n int, funcCopy func(), deps []*Handle) *Handle {
 	if n <= 0 {
-		panic("device: empty copy")
+		usageErrorf("Memcpy", "empty copy %s->%s (%d bytes)", src.Name, dst.Name, n)
 	}
 	if n > dst.Size || n > src.Size {
-		panic(fmt.Sprintf("device: copy of %d bytes overruns %s (%d) or %s (%d)", n, dst.Name, dst.Size, src.Name, src.Size))
+		usageErrorf("Memcpy", "copy of %d bytes overruns %s (%d) or %s (%d)", n, dst.Name, dst.Size, src.Name, src.Size)
 	}
-	h := s.newHandle()
+	h := s.newHandle(fmt.Sprintf("copy %s->%s", src.Name, dst.Name))
 	s.when(deps, func(ready sim.Tick) {
 		funcCopy()
 		launchDur := sim.Tick(s.Cfg.KernelLaunchNs * float64(sim.Nanosecond))
@@ -275,7 +295,7 @@ func (s *System) allCaches() []*memory.Cache {
 // MemcpyAsync schedules a full-buffer copy (equal lengths required).
 func MemcpyAsync[T any](s *System, dst, src *Buf[T], deps ...*Handle) *Handle {
 	if len(dst.V) != len(src.V) {
-		panic(fmt.Sprintf("device: memcpy length mismatch %s(%d) != %s(%d)", dst.A.Name, len(dst.V), src.A.Name, len(src.V)))
+		usageErrorf("Memcpy", "length mismatch %s(%d) != %s(%d)", dst.A.Name, len(dst.V), src.A.Name, len(src.V))
 	}
 	return s.copyAsync(dst.A, src.A, src.A.Size, func() { copy(dst.V, src.V) }, deps)
 }
@@ -313,7 +333,7 @@ func (s *System) CPUTaskAsync(spec CPUTaskSpec, deps ...*Handle) *Handle {
 	if spec.Threads <= 0 {
 		spec.Threads = 1
 	}
-	h := s.newHandle()
+	h := s.newHandle("cpu task " + spec.Name)
 	s.when(deps, func(ready sim.Tick) {
 		s.Eng.At(ready+signalLat, func() {
 			now := s.Eng.Now()

@@ -1,0 +1,46 @@
+package device
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// UsageError reports invalid benchmark input to the device API: a bad
+// system configuration, empty or overrunning copies, or impossible kernel
+// geometry. These are user mistakes, not simulator invariants, so they are
+// delivered as typed values — harness.Run (and any recover site) turns
+// them into returned errors instead of a process crash. Internal invariant
+// violations (e.g. a handle completing twice) still panic with plain
+// strings.
+type UsageError struct {
+	Op  string // the API entry point, e.g. "LaunchAsync"
+	Msg string
+}
+
+// Error describes the misuse.
+func (e *UsageError) Error() string { return "device: " + e.Op + ": " + e.Msg }
+
+// usageErrorf aborts the current run with a *UsageError. Benchmark code has
+// no error returns (mirroring the CUDA runtime it models), so the abort
+// unwinds via a typed panic that the harness layer recovers into a plain
+// error.
+func usageErrorf(op, format string, args ...any) {
+	panic(&UsageError{Op: op, Msg: fmt.Sprintf(format, args...)})
+}
+
+// DeadlockError reports a Wait on an operation that can never complete:
+// the event queue drained while the handle was still pending. Stage names
+// the waited-on operation so sweep reports can say which launch or copy
+// wedged.
+type DeadlockError struct {
+	Stage     string   // label of the waited-on operation
+	SimTime   sim.Tick // simulated time when the queue drained
+	EventsRun uint64
+}
+
+// Error describes the deadlock.
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("device: deadlock waiting on %s — event queue drained at %.3f ms (%d events) with the operation still pending",
+		e.Stage, e.SimTime.Millis(), e.EventsRun)
+}

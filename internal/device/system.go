@@ -86,10 +86,23 @@ func ChecksumI32(v []int32) float64 {
 	return acc
 }
 
-// NewSystem builds and wires a machine from a validated configuration.
+// NewSystem builds and wires a machine from a validated configuration. An
+// invalid configuration aborts with a *UsageError (use NewSystemErr for a
+// plain error return).
 func NewSystem(cfg config.System) *System {
+	s, err := NewSystemErr(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NewSystemErr builds and wires a machine, returning an error rather than
+// aborting on an invalid configuration — the entry point the fault-tolerant
+// harness uses.
+func NewSystemErr(cfg config.System) (*System, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(fmt.Sprintf("device: invalid config: %v", err))
+		return nil, &UsageError{Op: "NewSystem", Msg: "invalid config: " + err.Error()}
 	}
 	s := &System{
 		Cfg: cfg,
@@ -135,12 +148,13 @@ func NewSystem(cfg config.System) *System {
 		s.cpuDRAM.OnAccess = s.Col.OnDRAM
 	}
 
-	// Virtual memory.
+	// Virtual memory. An injected handler fault multiplies service latency.
 	s.vmm = vm.New(vm.Config{
 		PageBytes:     cfg.VM.PageBytes,
 		GPUFaultToCPU: cfg.VM.GPUFaultToCPU,
 		CPUFaultServ:  sim.Tick(cfg.VM.CPUFaultServUs * float64(sim.Microsecond)),
 		GPUFaultServ:  sim.Tick(cfg.VM.GPUFaultServNs * float64(sim.Nanosecond)),
+		ServMult:      cfg.Faults.FaultLatMult,
 	}, s.Ctr)
 	if cfg.VM.GPUFaultToCPU {
 		s.vmm.OnCPUHandled = func(start, end sim.Tick, page memory.Addr) {
@@ -215,7 +229,19 @@ func NewSystem(cfg config.System) *System {
 		s.dma = pcie.New(s.Eng, cfg.GPUMem.BytesPerSec/4,
 			1*sim.Microsecond, line, s.Ctr)
 	}
-	return s
+
+	// Remaining injected hardware faults (the VM fault multiplier is wired
+	// above): a throttled copy-engine link and a stalled channel of the
+	// GPU/shared memory.
+	if cfg.Faults.PCIeThrottled() {
+		s.dma.Derate(cfg.Faults.PCIeBWFrac)
+	}
+	if cfg.Faults.DRAMStalled() {
+		s.gpuDRAM.StallChannel(cfg.Faults.DRAMStallChannel,
+			sim.Tick(cfg.Faults.DRAMStallStartUs*float64(sim.Microsecond)),
+			sim.Tick(cfg.Faults.DRAMStallEndUs*float64(sim.Microsecond)))
+	}
+	return s, nil
 }
 
 // Unified reports whether CPU and GPU share physical memory.

@@ -15,11 +15,14 @@ import (
 	"repro/internal/bench"
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/harness"
 	"repro/internal/stats"
 )
 
 // Results caches one full sweep: every benchmark in copy and limited-copy
-// mode, plus the restructured organizations where implemented.
+// mode, plus the restructured organizations where implemented. Sweeps are
+// fault-tolerant: runs that fail land in Failed instead of aborting the
+// sweep, and the figure renderers footnote them.
 type Results struct {
 	Size bench.Size
 	// Copy and Limited are keyed by full benchmark name.
@@ -27,11 +30,38 @@ type Results struct {
 	Limited map[string]*core.Report
 	// Extra[mode] holds restructured-organization runs.
 	Extra map[bench.Mode]map[string]*core.Report
+	// Failed records every run that did not complete.
+	Failed []harness.RunError
+	// Notes records retry substitutions (e.g. a budget-exceeded medium run
+	// that reran at small).
+	Notes []string
 }
 
-// Run executes the full sweep. With onProgress non-nil it is called before
-// each run.
-func Run(size bench.Size, onProgress func(name, mode string)) *Results {
+// SweepOpts configures a fault-tolerant sweep.
+type SweepOpts struct {
+	// Budget bounds each individual run (zero fields: unlimited).
+	Budget harness.Budget
+	// Fault injects hardware degradations into every run.
+	Fault *harness.FaultPlan
+	// Only restricts the sweep to these full benchmark names (nil: all).
+	Only []string
+	// OnProgress is called before each run.
+	OnProgress func(name, mode string)
+	// PerRun, if set, may adjust each run's spec before it executes — the
+	// hook tests use to force a specific benchmark to fail.
+	PerRun func(spec *harness.Spec)
+}
+
+// Run executes the full sweep with default options. Failed runs come back
+// in the error slice (and in Results.Failed); completed runs are unaffected.
+func Run(size bench.Size, onProgress func(name, mode string)) (*Results, []harness.RunError) {
+	return RunSweep(size, SweepOpts{OnProgress: onProgress})
+}
+
+// RunSweep executes a fault-tolerant sweep: every selected benchmark in
+// copy and limited-copy mode plus its extra modes, each isolated under
+// harness.Run so one failing benchmark cannot abort the rest.
+func RunSweep(size bench.Size, opts SweepOpts) (*Results, []harness.RunError) {
 	r := &Results{
 		Size:    size,
 		Copy:    map[string]*core.Report{},
@@ -41,49 +71,109 @@ func Run(size bench.Size, onProgress func(name, mode string)) *Results {
 			bench.ModeParallelChunked: {},
 		},
 	}
-	for _, b := range bench.All() {
-		name := b.Info().FullName()
-		if onProgress != nil {
-			onProgress(name, "copy")
-		}
-		r.Copy[name] = bench.Execute(b, bench.ModeCopy, size)
-		if onProgress != nil {
-			onProgress(name, "limited-copy")
-		}
-		r.Limited[name] = bench.Execute(b, bench.ModeLimitedCopy, size)
-		for _, m := range b.Info().ExtraModes {
-			if onProgress != nil {
-				onProgress(name, m.String())
-			}
-			r.Extra[m][name] = bench.Execute(b, m, size)
+	var only map[string]bool
+	if opts.Only != nil {
+		only = map[string]bool{}
+		for _, n := range opts.Only {
+			only[n] = true
 		}
 	}
-	return r
+	runInto := func(dst map[string]*core.Report, b bench.Benchmark, m bench.Mode) {
+		name := b.Info().FullName()
+		if opts.OnProgress != nil {
+			opts.OnProgress(name, m.String())
+		}
+		spec := harness.Spec{Bench: b, Mode: m, Size: size, Budget: opts.Budget, Fault: opts.Fault}
+		if opts.PerRun != nil {
+			opts.PerRun(&spec)
+		}
+		out := harness.Run(spec)
+		if out.Err != nil {
+			r.Failed = append(r.Failed, *out.Err)
+			return
+		}
+		dst[name] = out.Report
+		if out.Degraded {
+			r.Notes = append(r.Notes, fmt.Sprintf("%s (%s) ran at size %s after exceeding its budget at %s",
+				name, m, out.Size, size))
+		}
+	}
+	for _, b := range bench.All() {
+		if only != nil && !only[b.Info().FullName()] {
+			continue
+		}
+		runInto(r.Copy, b, bench.ModeCopy)
+		runInto(r.Limited, b, bench.ModeLimitedCopy)
+		for _, m := range b.Info().ExtraModes {
+			runInto(r.Extra[m], b, m)
+		}
+	}
+	return r, r.Failed
 }
 
-// Names lists benchmark names in sorted order.
+// Names lists benchmark names with both copy and limited-copy runs
+// completed, sorted — the rows the comparative figures can render. Failed
+// benchmarks are footnoted instead (see footnotes).
 func (r *Results) Names() []string {
 	out := make([]string, 0, len(r.Copy))
 	for n := range r.Copy {
-		out = append(out, n)
+		if _, ok := r.Limited[n]; ok {
+			out = append(out, n)
+		}
 	}
 	sort.Strings(out)
 	return out
 }
 
-// geomean of a slice of positive ratios.
-func geomean(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
+// footnotes renders the failed-run and substitution footnotes appended to
+// every figure of a partial sweep.
+func (r *Results) footnotes() string {
+	if len(r.Failed) == 0 && len(r.Notes) == 0 {
+		return ""
 	}
+	var b strings.Builder
+	for _, e := range r.Failed {
+		fmt.Fprintf(&b, "† %s (%s) failed [%s]: %s\n", e.Benchmark, e.Mode, e.Kind, e.Msg)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "‡ %s\n", n)
+	}
+	return b.String()
+}
+
+// geomean of a slice of positive ratios. Non-finite entries (the residue
+// of failed or degenerate runs) are skipped so partial sweeps never emit
+// NaN into a figure; non-positive entries are clamped.
+func geomean(xs []float64) float64 {
 	var s float64
+	n := 0
 	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
 		if x <= 0 {
 			x = 1e-12
 		}
 		s += math.Log(x)
+		n++
 	}
-	return math.Exp(s / float64(len(xs)))
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(s / float64(n))
+}
+
+// pct guards a percentage against a zero or non-finite denominator: failed
+// or empty runs must render as 0%, never NaN/Inf.
+func pct(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	v := 100 * num / den
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
 }
 
 // Table1 renders the Table I system parameters.
@@ -141,33 +231,53 @@ type Fig3Row struct {
 // Fig3 runs the kmeans case study organizations and returns normalized run
 // times: Baseline (copy), Asynchronous Copy (streams), No Memory Copy
 // (limited), Parallel (Eq. 1 estimate on the no-copy run, starred), and
-// Parallel + Cache (simulated chunked producer-consumer).
-func Fig3(size bench.Size) []Fig3Row {
+// Parallel + Cache (simulated chunked producer-consumer). Each organization
+// runs under the harness: a failed run is dropped from the rows and comes
+// back as a RunError for Fig3Text to footnote. If the Baseline itself fails
+// there is nothing to normalize against and no rows are returned.
+func Fig3(size bench.Size, budget harness.Budget) ([]Fig3Row, []harness.RunError) {
 	km, _ := bench.Get("rodinia/kmeans")
-	base := bench.Execute(km, bench.ModeCopy, size)
-	async := bench.Execute(km, bench.ModeAsyncStreams, size)
-	nocopy := bench.Execute(km, bench.ModeLimitedCopy, size)
-	parcache := bench.Execute(km, bench.ModeParallelChunked, size)
+	var errs []harness.RunError
+	run := func(m bench.Mode) *core.Report {
+		out := harness.Run(harness.Spec{Bench: km, Mode: m, Size: size, Budget: budget})
+		if out.Err != nil {
+			errs = append(errs, *out.Err)
+			return nil
+		}
+		return out.Report
+	}
+	base := run(bench.ModeCopy)
+	async := run(bench.ModeAsyncStreams)
+	nocopy := run(bench.ModeLimitedCopy)
+	parcache := run(bench.ModeParallelChunked)
+	if base == nil {
+		return nil, errs
+	}
 
 	norm := func(r *core.Report) float64 { return float64(r.ROI) / float64(base.ROI) }
-	// "Parallel" is the paper's analytical estimate: overlapped CPU and GPU
-	// on the no-copy organization.
-	parEst := float64(nocopy.Rco) / float64(base.ROI)
-	parUtil := nocopy.GPUUtil * float64(nocopy.ROI) / float64(nocopy.Rco)
-	if parUtil > 1 {
-		parUtil = 1
+	rows := []Fig3Row{{"Baseline", false, 1.0, base.GPUUtil}}
+	if async != nil {
+		rows = append(rows, Fig3Row{"Asynchronous Copy", false, norm(async), async.GPUUtil})
 	}
-	return []Fig3Row{
-		{"Baseline", false, 1.0, base.GPUUtil},
-		{"Asynchronous Copy", false, norm(async), async.GPUUtil},
-		{"No Memory Copy", false, norm(nocopy), nocopy.GPUUtil},
-		{"Parallel", true, parEst, parUtil},
-		{"Parallel + Cache", false, norm(parcache), parcache.GPUUtil},
+	if nocopy != nil {
+		rows = append(rows, Fig3Row{"No Memory Copy", false, norm(nocopy), nocopy.GPUUtil})
+		// "Parallel" is the paper's analytical estimate: overlapped CPU and
+		// GPU on the no-copy organization.
+		parEst := float64(nocopy.Rco) / float64(base.ROI)
+		parUtil := nocopy.GPUUtil * float64(nocopy.ROI) / float64(nocopy.Rco)
+		if parUtil > 1 {
+			parUtil = 1
+		}
+		rows = append(rows, Fig3Row{"Parallel", true, parEst, parUtil})
 	}
+	if parcache != nil {
+		rows = append(rows, Fig3Row{"Parallel + Cache", false, norm(parcache), parcache.GPUUtil})
+	}
+	return rows, errs
 }
 
-// Fig3Text renders Figure 3.
-func Fig3Text(rows []Fig3Row) string {
+// Fig3Text renders Figure 3, footnoting organizations that failed to run.
+func Fig3Text(rows []Fig3Row, errs []harness.RunError) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "FIGURE 3. Kmeans run times by organization (normalized to Baseline; * = estimated)\n")
 	for _, r := range rows {
@@ -177,6 +287,12 @@ func Fig3Text(rows []Fig3Row) string {
 		}
 		fmt.Fprintf(&b, "  %-20s%s %6.3f   GPU util %5.1f%%  %s\n",
 			r.Org, star, r.RunTime, 100*r.GPUUtil, bar(r.RunTime, 40))
+	}
+	if len(rows) == 0 {
+		fmt.Fprintf(&b, "  (baseline failed; nothing to normalize against)\n")
+	}
+	for _, e := range errs {
+		fmt.Fprintf(&b, "† %s (%s) failed [%s]: %s\n", e.Benchmark, e.Mode, e.Kind, e.Msg)
 	}
 	return b.String()
 }
@@ -206,10 +322,10 @@ func Fig4Text(r *Results) string {
 		row := func(rep *core.Report, version string) {
 			fracs := make([]string, 0, 7)
 			for _, set := range stats.AllComponentSets() {
-				fracs = append(fracs, fmt.Sprintf("%4.1f%%", 100*float64(rep.Footprint[set])/denom))
+				fracs = append(fracs, fmt.Sprintf("%4.1f%%", pct(float64(rep.Footprint[set]), denom)))
 			}
 			fmt.Fprintf(&b, "%-24s %-8s %6.1f%%  %s\n", label, version,
-				100*float64(rep.FootprintBytes)/denom, strings.Join(fracs, " "))
+				pct(float64(rep.FootprintBytes), denom), strings.Join(fracs, " "))
 			label = ""
 		}
 		row(cv, "copy")
@@ -220,6 +336,7 @@ func Fig4Text(r *Results) string {
 		reds = append(reds, float64(r.Limited[name].FootprintBytes)/float64(r.Copy[name].FootprintBytes))
 	}
 	fmt.Fprintf(&b, "geomean limited-copy footprint: %.1f%% of copy footprint\n", 100*geomean(reds))
+	b.WriteString(r.footnotes())
 	return b.String()
 }
 
@@ -233,17 +350,18 @@ func Fig5Text(r *Results) string {
 		cv, lv := r.Copy[name], r.Limited[name]
 		denom := float64(cv.TotalDRAM())
 		fmt.Fprintf(&b, "%-24s %8.1f%% %8.1f%% %8.1f%% | %8.1f%% %8.1f%%   %6.1f%%\n", name,
-			100*float64(cv.DRAMAccesses[stats.CPU])/denom,
-			100*float64(cv.DRAMAccesses[stats.GPU])/denom,
-			100*float64(cv.DRAMAccesses[stats.Copy])/denom,
-			100*float64(lv.DRAMAccesses[stats.CPU])/denom,
-			100*float64(lv.DRAMAccesses[stats.GPU])/denom,
-			100*float64(lv.TotalDRAM())/denom)
+			pct(float64(cv.DRAMAccesses[stats.CPU]), denom),
+			pct(float64(cv.DRAMAccesses[stats.GPU]), denom),
+			pct(float64(cv.DRAMAccesses[stats.Copy]), denom),
+			pct(float64(lv.DRAMAccesses[stats.CPU]), denom),
+			pct(float64(lv.DRAMAccesses[stats.GPU]), denom),
+			pct(float64(lv.TotalDRAM()), denom))
 		copyShares = append(copyShares, float64(cv.DRAMAccesses[stats.Copy])/denom)
 		totalReds = append(totalReds, float64(lv.TotalDRAM())/denom)
 	}
 	fmt.Fprintf(&b, "geomean copy-access share of copy version: %.1f%%\n", 100*geomean(copyShares))
 	fmt.Fprintf(&b, "geomean limited-copy total accesses: %.1f%% of copy version\n", 100*geomean(totalReds))
+	b.WriteString(r.footnotes())
 	return b.String()
 }
 
@@ -261,12 +379,12 @@ func Fig6Text(r *Results) string {
 			overlap := float64(rep.Breakdown.Total()) - float64(rep.Breakdown.Idle()) -
 				float64(rep.Breakdown.Exclusive(stats.CPU)) - float64(rep.Breakdown.Exclusive(stats.GPU)) - float64(rep.Breakdown.Exclusive(stats.Copy))
 			fmt.Fprintf(&b, "%-24s %-8s %6.1f%% %6.1f%% %6.1f%% %6.1f%% %7.1f%% %5.1f%%\n", label, version,
-				100*float64(rep.ROI)/denom,
-				100*float64(rep.Breakdown.Exclusive(stats.Copy))/denom,
-				100*float64(rep.Breakdown.Exclusive(stats.CPU))/denom,
-				100*float64(rep.Breakdown.Exclusive(stats.GPU))/denom,
-				100*overlap/denom,
-				100*float64(rep.Breakdown.Idle())/denom)
+				pct(float64(rep.ROI), denom),
+				pct(float64(rep.Breakdown.Exclusive(stats.Copy)), denom),
+				pct(float64(rep.Breakdown.Exclusive(stats.CPU)), denom),
+				pct(float64(rep.Breakdown.Exclusive(stats.GPU)), denom),
+				pct(overlap, denom),
+				pct(float64(rep.Breakdown.Idle()), denom))
 			label = ""
 		}
 		row(cv, "copy")
@@ -275,6 +393,7 @@ func Fig6Text(r *Results) string {
 	}
 	fmt.Fprintf(&b, "geomean limited-copy run time: %.1f%% of copy (%.1f%% improvement)\n",
 		100*geomean(runReds), 100*(1-geomean(runReds)))
+	b.WriteString(r.footnotes())
 	return b.String()
 }
 
@@ -288,8 +407,8 @@ func Fig7Text(r *Results) string {
 		cv, lv := r.Copy[name], r.Limited[name]
 		denom := float64(cv.ROI)
 		fmt.Fprintf(&b, "%-24s %9.1f%% %10.1f%% %11.1f%% %12.1f%%\n", name,
-			100*float64(cv.Rco)/denom, 100*(1-float64(cv.Rco)/float64(cv.ROI)),
-			100*float64(lv.Rco)/denom, 100*(1-float64(lv.Rco)/float64(lv.ROI)))
+			pct(float64(cv.Rco), denom), 100-pct(float64(cv.Rco), float64(cv.ROI)),
+			pct(float64(lv.Rco), denom), 100-pct(float64(lv.Rco), float64(lv.ROI)))
 		gains = append(gains, float64(cv.Rco)/float64(cv.ROI))
 	}
 	fmt.Fprintf(&b, "geomean copy-version overlap gain: %.1f%%\n", 100*(1-geomean(gains)))
@@ -298,16 +417,21 @@ func Fig7Text(r *Results) string {
 	fmt.Fprintf(&b, "validation (measured restructured vs estimate):\n")
 	for _, name := range []string{"rodinia/backprop", "rodinia/kmeans", "rodinia/streamcluster"} {
 		if as, ok := r.Extra[bench.ModeAsyncStreams][name]; ok {
-			est := r.Copy[name].Rco
-			fmt.Fprintf(&b, "  %-22s async-streams measured %6.3fms vs copy-Rco %6.3fms (%+.1f%%)\n",
-				name, as.ROI.Millis(), est.Millis(), 100*(float64(as.ROI)-float64(est))/float64(est))
+			if cv, ok := r.Copy[name]; ok && cv.Rco > 0 {
+				est := cv.Rco
+				fmt.Fprintf(&b, "  %-22s async-streams measured %6.3fms vs copy-Rco %6.3fms (%+.1f%%)\n",
+					name, as.ROI.Millis(), est.Millis(), 100*(float64(as.ROI)-float64(est))/float64(est))
+			}
 		}
 		if pc, ok := r.Extra[bench.ModeParallelChunked][name]; ok {
-			est := r.Limited[name].Rco
-			fmt.Fprintf(&b, "  %-22s parallel-chunked measured %6.3fms vs limited-Rco %6.3fms (%+.1f%%)\n",
-				name, pc.ROI.Millis(), est.Millis(), 100*(float64(pc.ROI)-float64(est))/float64(est))
+			if lv, ok := r.Limited[name]; ok && lv.Rco > 0 {
+				est := lv.Rco
+				fmt.Fprintf(&b, "  %-22s parallel-chunked measured %6.3fms vs limited-Rco %6.3fms (%+.1f%%)\n",
+					name, pc.ROI.Millis(), est.Millis(), 100*(float64(pc.ROI)-float64(est))/float64(est))
+			}
 		}
 	}
+	b.WriteString(r.footnotes())
 	return b.String()
 }
 
@@ -321,11 +445,12 @@ func Fig8Text(r *Results) string {
 		cv, lv := r.Copy[name], r.Limited[name]
 		denom := float64(cv.ROI)
 		fmt.Fprintf(&b, "%-24s %9.1f%% %11.1f%% %12.1f%%\n", name,
-			100*float64(cv.Rmc)/denom, 100*float64(lv.Rmc)/denom,
-			100*(1-float64(lv.Rmc)/float64(lv.ROI)))
+			pct(float64(cv.Rmc), denom), pct(float64(lv.Rmc), denom),
+			100-pct(float64(lv.Rmc), float64(lv.ROI)))
 		gains = append(gains, float64(lv.Rmc)/float64(lv.ROI))
 	}
 	fmt.Fprintf(&b, "geomean potential gain from migrating compute (limited-copy): %.1f%%\n", 100*(1-geomean(gains)))
+	b.WriteString(r.footnotes())
 	return b.String()
 }
 
@@ -359,13 +484,16 @@ func Fig9Text(r *Results) string {
 		spills = append(spills, lv.ClassFraction(core.ClassWRSpill)+lv.ClassFraction(core.ClassRRSpill))
 	}
 	var rrMean, spillMean float64
-	for i := range rrConts {
-		rrMean += rrConts[i]
-		spillMean += spills[i]
+	if len(rrConts) > 0 {
+		for i := range rrConts {
+			rrMean += rrConts[i]
+			spillMean += spills[i]
+		}
+		rrMean /= float64(len(rrConts))
+		spillMean /= float64(len(spills))
 	}
-	rrMean /= float64(len(rrConts))
-	spillMean /= float64(len(spills))
 	fmt.Fprintf(&b, "mean R-R contention share (limited-copy): %.1f%%   mean spill share: %.1f%%\n",
 		100*rrMean, 100*spillMean)
+	b.WriteString(r.footnotes())
 	return b.String()
 }

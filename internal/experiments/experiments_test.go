@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -8,6 +9,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/harness"
 	"repro/internal/sim"
 	"repro/internal/stats"
 
@@ -46,13 +48,29 @@ func TestGeomean(t *testing.T) {
 	if g := geomean([]float64{0, 1}); g <= 0 {
 		t.Fatalf("clamped geomean = %v", g)
 	}
+	// Non-finite entries — the residue of failed runs — are skipped.
+	if g := geomean([]float64{1, math.NaN(), 4, math.Inf(1)}); g < 1.99 || g > 2.01 {
+		t.Fatalf("geomean with non-finite entries = %v", g)
+	}
+	if g := geomean([]float64{math.NaN()}); g != 0 {
+		t.Fatalf("all-NaN geomean = %v", g)
+	}
+	if p := pct(1, 0); p != 0 {
+		t.Fatalf("pct with zero denominator = %v", p)
+	}
+	if p := pct(1, math.NaN()); p != 0 {
+		t.Fatalf("pct with NaN denominator = %v", p)
+	}
 }
 
 // TestFig3Ordering pins the paper's headline case-study result: the five
 // kmeans organizations must improve monotonically (the Parallel estimate
 // may only beat the simulated Parallel+Cache by the caching effect).
 func TestFig3Ordering(t *testing.T) {
-	rows := Fig3(bench.SizeSmall)
+	rows, errs := Fig3(bench.SizeSmall, harness.Budget{})
+	if len(errs) != 0 {
+		t.Fatalf("unexpected failures: %v", errs)
+	}
 	if len(rows) != 5 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -78,7 +96,7 @@ func TestFig3Ordering(t *testing.T) {
 	if !rows[3].Estimated || rows[0].Estimated {
 		t.Fatal("estimated flags wrong")
 	}
-	if !strings.Contains(Fig3Text(rows), "Parallel + Cache") {
+	if !strings.Contains(Fig3Text(rows, errs), "Parallel + Cache") {
 		t.Fatal("fig 3 text malformed")
 	}
 }
@@ -156,6 +174,89 @@ func TestAblationsRespond(t *testing.T) {
 			t.Fatalf("bigger L2 must not hurt spmv: %+v", rows)
 		}
 	})
+}
+
+// TestSweepSurvivesForcedFailure is the fault-tolerance acceptance test:
+// a sweep where one benchmark is rigged to exhaust its budget must still
+// complete the other benchmark's runs, report the failures, and render
+// every figure with the survivor's rows plus failure footnotes — and no
+// NaN anywhere.
+func TestSweepSurvivesForcedFailure(t *testing.T) {
+	res, errs := RunSweep(bench.SizeSmall, SweepOpts{
+		Only: []string{"rodinia/kmeans", "rodinia/srad"},
+		PerRun: func(spec *harness.Spec) {
+			if spec.Bench.Info().FullName() == "rodinia/kmeans" {
+				spec.Budget.MaxEvents = 1 // fails fast on every attempt
+			}
+		},
+	})
+	if len(errs) == 0 {
+		t.Fatal("rigged sweep must report failures")
+	}
+	for _, e := range errs {
+		if e.Benchmark != "rodinia/kmeans" {
+			t.Fatalf("unexpected failure: %v", &e)
+		}
+	}
+	if _, ok := res.Copy["rodinia/srad"]; !ok {
+		t.Fatal("srad copy run must survive kmeans failures")
+	}
+	if _, ok := res.Limited["rodinia/srad"]; !ok {
+		t.Fatal("srad limited run must survive kmeans failures")
+	}
+	if names := res.Names(); len(names) != 1 || names[0] != "rodinia/srad" {
+		t.Fatalf("Names() = %v", names)
+	}
+	for name, txt := range map[string]string{
+		"fig4": Fig4Text(res),
+		"fig5": Fig5Text(res),
+		"fig6": Fig6Text(res),
+		"fig7": Fig7Text(res),
+		"fig8": Fig8Text(res),
+		"fig9": Fig9Text(res),
+	} {
+		if !strings.Contains(txt, "rodinia/srad") {
+			t.Fatalf("%s missing surviving benchmark:\n%s", name, txt)
+		}
+		if !strings.Contains(txt, "†") || !strings.Contains(txt, "rodinia/kmeans") {
+			t.Fatalf("%s missing failure footnote:\n%s", name, txt)
+		}
+		if strings.Contains(txt, "NaN") || strings.Contains(txt, "%!") {
+			t.Fatalf("%s has formatting garbage:\n%s", name, txt)
+		}
+	}
+}
+
+// TestFaultSweep pins the -exp faults acceptance criteria: each injected
+// fault slows its victim down (directionally correct) while the Eq. 1 and
+// Eqs. 2-4 model outputs stay finite.
+func TestFaultSweep(t *testing.T) {
+	rows := FaultSweep(bench.SizeSmall, harness.Budget{})
+	if len(rows) != len(FaultCases()) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(FaultCases()))
+	}
+	for i := range rows {
+		fr := &rows[i]
+		if len(fr.Errs) != 0 {
+			t.Fatalf("%s: unexpected failures: %v", fr.Case.Label, fr.Errs)
+		}
+		if !fr.ModelsFinite() {
+			t.Fatalf("%s: model outputs not finite: base %+v inj %+v",
+				fr.Case.Label, fr.Baseline, fr.Injected)
+		}
+		if s := fr.Slowdown(); s < 1 {
+			t.Fatalf("%s: injected fault sped the run up (%.3fx)", fr.Case.Label, s)
+		}
+	}
+	txt := FaultSweepText(rows)
+	for _, want := range []string{"pcie-throttle", "slow-fault-handler", "dram-channel-stall", "finite"} {
+		if !strings.Contains(txt, want) {
+			t.Fatalf("fault sweep text missing %q:\n%s", want, txt)
+		}
+	}
+	if strings.Contains(txt, "BROKEN") || strings.Contains(txt, "NaN") || strings.Contains(txt, "%!") {
+		t.Fatalf("fault sweep text malformed:\n%s", txt)
+	}
 }
 
 func TestWriteCSVs(t *testing.T) {

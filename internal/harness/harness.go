@@ -1,0 +1,220 @@
+// Package harness is the fault-tolerance layer between the benchmark
+// framework and the simulator. The paper's evaluation is a 46-benchmark,
+// multi-mode sweep; without this layer any aborted run — a deadlocked
+// dependency handle, a buffer overrun, a livelocked worklist — would kill
+// the whole sweep and discard every completed result. harness.Run executes
+// one benchmark run in isolation: it recovers aborts into a structured
+// *RunError, enforces event and wall-clock budgets through the simulation
+// engine, retries budget-exceeded runs at the next-smaller input size with
+// exponential backoff, and applies injected hardware faults (FaultPlan)
+// for degradation experiments.
+package harness
+
+import (
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/sim"
+)
+
+// Kind classifies why a run failed.
+type Kind int
+
+const (
+	// KindPanic is an unclassified panic out of simulator or benchmark code.
+	KindPanic Kind = iota
+	// KindBudget is an exceeded max-event budget.
+	KindBudget
+	// KindTimeout is an exceeded wall-clock budget.
+	KindTimeout
+	// KindDeadlock is a Wait on an operation that can never complete.
+	KindDeadlock
+	// KindUsage is invalid input to the device API (bad config, bad kernel
+	// geometry, overrunning copy).
+	KindUsage
+)
+
+// String names the failure kind.
+func (k Kind) String() string {
+	switch k {
+	case KindPanic:
+		return "panic"
+	case KindBudget:
+		return "budget-exceeded"
+	case KindTimeout:
+		return "timeout"
+	case KindDeadlock:
+		return "deadlock"
+	case KindUsage:
+		return "usage-error"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// RunError is one failed benchmark run, with enough context to diagnose it
+// after the sweep: what ran, how far it got in simulated time and events,
+// and what killed it.
+type RunError struct {
+	Benchmark string
+	Mode      bench.Mode
+	Size      bench.Size // size of the failing attempt
+	Kind      Kind
+	Msg       string   // recovered message
+	SimTime   sim.Tick // simulated time reached before the failure
+	Events    uint64   // engine events executed before the failure
+	Stack     []byte   // stack of the recovery point (KindPanic only)
+	Attempt   int      // 1-based attempt number that produced this error
+}
+
+// Error summarizes the failure on one line.
+func (e *RunError) Error() string {
+	return fmt.Sprintf("%s (%s, %s): %s: %s [attempt %d, %.3f ms sim, %d events]",
+		e.Benchmark, e.Mode, e.Size, e.Kind, e.Msg, e.Attempt, e.SimTime.Millis(), e.Events)
+}
+
+// Budget bounds one run; zero fields are unlimited.
+type Budget struct {
+	MaxEvents uint64
+	Timeout   time.Duration
+}
+
+// Default retry policy: one retry (two attempts) with a 50ms base backoff.
+const (
+	defaultMaxAttempts = 2
+	defaultBackoff     = 50 * time.Millisecond
+)
+
+// Spec describes one benchmark run.
+type Spec struct {
+	Bench  bench.Benchmark
+	Mode   bench.Mode
+	Size   bench.Size
+	Budget Budget
+	// Fault, when non-nil, injects hardware degradations into the run's
+	// system configuration.
+	Fault *FaultPlan
+	// MaxAttempts caps total attempts (0 means 2: the run plus one retry
+	// at the next-smaller size). Only budget/timeout failures retry, and
+	// only when a smaller size exists to degrade to.
+	MaxAttempts int
+	// Backoff is the base delay before a retry, doubled per attempt
+	// (0 means 50ms).
+	Backoff time.Duration
+}
+
+// Outcome is the result of harness.Run: either a Report or a RunError,
+// plus how the run got there.
+type Outcome struct {
+	Report *core.Report
+	Err    *RunError // nil on success
+	// Sys is the simulated machine of the final attempt (for counter
+	// inspection); nil if system construction itself failed.
+	Sys      *device.System
+	Attempts int
+	Size     bench.Size // size that actually ran (may be degraded)
+	Degraded bool       // true when Size is smaller than requested
+	SimTime  sim.Tick
+	Events   uint64
+}
+
+// Run executes one benchmark run fault-tolerantly. It never panics and
+// never hangs (given a budget): every abort comes back as Outcome.Err.
+func Run(spec Spec) *Outcome {
+	maxAttempts := spec.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = defaultMaxAttempts
+	}
+	backoff := spec.Backoff
+	if backoff <= 0 {
+		backoff = defaultBackoff
+	}
+	size := spec.Size
+	for attempt := 1; ; attempt++ {
+		out := runOnce(spec, size, attempt)
+		out.Attempts = attempt
+		out.Size = size
+		out.Degraded = size != spec.Size
+		if out.Err == nil {
+			return out
+		}
+		// Only resource exhaustion is worth retrying, and only degraded:
+		// the simulator is deterministic, so the same input would exhaust
+		// the same budget again.
+		smaller, canDegrade := size.Smaller()
+		retryable := out.Err.Kind == KindBudget || out.Err.Kind == KindTimeout
+		if attempt >= maxAttempts || !retryable || !canDegrade {
+			return out
+		}
+		size = smaller
+		time.Sleep(backoff << (attempt - 1))
+	}
+}
+
+// runOnce executes a single attempt, recovering any abort into a RunError.
+func runOnce(spec Spec, size bench.Size, attempt int) (out *Outcome) {
+	out = &Outcome{}
+	info := spec.Bench.Info()
+	fail := func(kind Kind, msg string, stack []byte) {
+		var simT sim.Tick
+		var ev uint64
+		if out.Sys != nil {
+			simT, ev = out.Sys.Eng.Now(), out.Sys.Eng.EventsRun()
+		}
+		out.Err = &RunError{
+			Benchmark: info.FullName(), Mode: spec.Mode, Size: size,
+			Kind: kind, Msg: msg, SimTime: simT, Events: ev,
+			Stack: stack, Attempt: attempt,
+		}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			switch v := r.(type) {
+			case *sim.BudgetError:
+				kind := KindTimeout
+				if v.ExceededEvents() {
+					kind = KindBudget
+				}
+				fail(kind, v.Error(), nil)
+			case *device.DeadlockError:
+				fail(KindDeadlock, v.Error(), nil)
+			case *device.UsageError:
+				fail(KindUsage, v.Error(), nil)
+			case error:
+				fail(KindPanic, v.Error(), debug.Stack())
+			default:
+				fail(KindPanic, fmt.Sprint(v), debug.Stack())
+			}
+		}
+		if out.Sys != nil {
+			out.SimTime, out.Events = out.Sys.Eng.Now(), out.Sys.Eng.EventsRun()
+		}
+	}()
+
+	if !info.Supports(spec.Mode) {
+		fail(KindUsage, fmt.Sprintf("benchmark does not support mode %s", spec.Mode), nil)
+		return out
+	}
+	cfg := bench.ConfigFor(spec.Mode)
+	if spec.Fault != nil {
+		spec.Fault.Apply(&cfg)
+	}
+	s, err := device.NewSystemErr(cfg)
+	if err != nil {
+		fail(KindUsage, err.Error(), nil)
+		return out
+	}
+	out.Sys = s
+	s.Eng.SetBudget(sim.Budget{MaxEvents: spec.Budget.MaxEvents, WallClock: spec.Budget.Timeout})
+	spec.Bench.Run(s, spec.Mode, size)
+	if start, end := s.Col.ROI(); end <= start {
+		fail(KindUsage, "run recorded no region of interest", nil)
+		return out
+	}
+	out.Report = s.Report(info.FullName(), spec.Mode.String())
+	return out
+}

@@ -21,6 +21,11 @@ type DRAM struct {
 	// OnAccess, if set, observes every access at its service start time.
 	// The analysis layer installs the off-chip classifier here.
 	OnAccess func(now sim.Tick, req Request)
+
+	// Injected channel stall (see StallChannel).
+	stallCh   int
+	stallFrom sim.Tick
+	stallTo   sim.Tick
 }
 
 // NewDRAM builds a DRAM with the given aggregate peak bandwidth split across
@@ -47,9 +52,31 @@ func NewDRAM(name string, channels int, bytesPerSec float64, latency sim.Tick, l
 // Counters exposes the DRAM counter group.
 func (d *DRAM) Counters() *stats.Counters { return d.ctr }
 
+// StallChannel wedges channel ch for the simulated window [from, to) — the
+// fault-injection hook for a stalled DRAM channel. Accesses that would
+// begin service inside the window wait until it ends; other channels are
+// unaffected. Out-of-range channels and empty windows are ignored.
+func (d *DRAM) StallChannel(ch int, from, to sim.Tick) {
+	if ch < 0 || ch >= len(d.channels) || to <= from {
+		return
+	}
+	d.stallCh, d.stallFrom, d.stallTo = ch, from, to
+}
+
 // Access services one line access.
 func (d *DRAM) Access(now sim.Tick, req Request) sim.Tick {
-	ch := &d.channels[int(req.Addr/Addr(d.lineBytes))%len(d.channels)]
+	chIdx := int(req.Addr/Addr(d.lineBytes)) % len(d.channels)
+	ch := &d.channels[chIdx]
+	if d.stallTo > d.stallFrom && chIdx == d.stallCh {
+		// Push service past the stall window if it would begin inside it.
+		at := now
+		if f := ch.FreeAt(); f > at {
+			at = f
+		}
+		if at >= d.stallFrom && at < d.stallTo {
+			now = d.stallTo
+		}
+	}
 	start := ch.Claim(now, d.servLine)
 	if req.Write {
 		d.ctr.Inc(d.Name + ".writes")

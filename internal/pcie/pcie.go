@@ -71,3 +71,13 @@ func (e *Engine) Transfer(at sim.Tick, src, dst memory.Addr, n int, srcMem, dstM
 
 // BusyTime reports total link occupancy.
 func (e *Engine) BusyTime() sim.Tick { return e.link.BusyTime() }
+
+// Derate scales the link's effective bandwidth to frac of peak — the
+// fault-injection hook for a throttled or degraded PCIe link. Fractions
+// outside (0,1) leave the link at nominal bandwidth.
+func (e *Engine) Derate(frac float64) {
+	if frac <= 0 || frac >= 1 {
+		return
+	}
+	e.perLine = sim.Tick(float64(e.perLine) / frac)
+}

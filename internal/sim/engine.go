@@ -4,7 +4,11 @@
 // clock domains without accumulating rounding drift.
 package sim
 
-import "container/heap"
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
 
 // Tick is a point in (or span of) simulated time, in picoseconds.
 type Tick int64
@@ -52,6 +56,50 @@ func (h eventHeap) peek() event        { return h[0] }
 func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
 func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
 
+// Budget bounds one simulation run. A zero field means that dimension is
+// unlimited. Budgets are how the fault-tolerant harness keeps a runaway or
+// hung run (livelocked worklist, pathological input) from eating the whole
+// sweep.
+type Budget struct {
+	// MaxEvents caps how many events may execute after SetBudget.
+	MaxEvents uint64
+	// WallClock caps real elapsed time from the SetBudget call.
+	WallClock time.Duration
+}
+
+// BudgetError reports a run terminated for exceeding its Budget. The engine
+// delivers it as a typed panic — the only way to unwind arbitrarily nested
+// benchmark code that has no error returns — and harness.Run recovers it
+// into a structured run error; it never escapes to crash the process when
+// runs go through the harness.
+type BudgetError struct {
+	Events    uint64 // events executed when the budget tripped
+	MaxEvents uint64 // configured event cap (0 = unlimited)
+	Elapsed   time.Duration
+	WallClock time.Duration // configured wall-clock cap (0 = unlimited)
+	SimTime   Tick
+}
+
+// Error describes which budget tripped and where the run was.
+func (e *BudgetError) Error() string {
+	if e.MaxEvents > 0 && e.Events >= e.MaxEvents {
+		return fmt.Sprintf("sim: event budget exceeded (%d events, limit %d) at sim time %.3f ms",
+			e.Events, e.MaxEvents, e.SimTime.Millis())
+	}
+	return fmt.Sprintf("sim: wall-clock budget exceeded (%v, limit %v) after %d events at sim time %.3f ms",
+		e.Elapsed.Round(time.Millisecond), e.WallClock, e.Events, e.SimTime.Millis())
+}
+
+// ExceededEvents reports whether the event cap (rather than the wall clock)
+// is what tripped.
+func (e *BudgetError) ExceededEvents() bool {
+	return e.MaxEvents > 0 && e.Events >= e.MaxEvents
+}
+
+// wallCheckMask throttles time.Now calls: the wall clock is polled once
+// every 4096 events, cheap against event dispatch cost.
+const wallCheckMask = 1<<12 - 1
+
 // Engine is a single-threaded discrete-event scheduler. Events scheduled for
 // the same Tick run in the order they were scheduled.
 type Engine struct {
@@ -59,6 +107,10 @@ type Engine struct {
 	seq    uint64
 	events eventHeap
 	nRun   uint64
+
+	budget     Budget
+	budgetBase uint64 // nRun when the budget was armed
+	wallStart  time.Time
 }
 
 // NewEngine returns an engine with simulated time at zero.
@@ -92,11 +144,40 @@ func (e *Engine) At(t Tick, fn func()) {
 	e.events.pushEvent(event{when: t, seq: e.seq, fn: fn})
 }
 
+// SetBudget arms (or, with the zero Budget, disarms) run budgets. The wall
+// clock starts counting from this call; the event count from the current
+// EventsRun. When a budget is exceeded, Step panics with a *BudgetError —
+// see that type for why a typed panic is the delivery mechanism.
+func (e *Engine) SetBudget(b Budget) {
+	e.budget = b
+	e.budgetBase = e.nRun
+	if b.WallClock > 0 {
+		e.wallStart = time.Now()
+	}
+}
+
+// checkBudget panics with a *BudgetError if a budget is exceeded.
+func (e *Engine) checkBudget() {
+	used := e.nRun - e.budgetBase
+	if e.budget.MaxEvents > 0 && used >= e.budget.MaxEvents {
+		panic(&BudgetError{Events: used, MaxEvents: e.budget.MaxEvents, SimTime: e.now})
+	}
+	if e.budget.WallClock > 0 && used&wallCheckMask == 0 {
+		if elapsed := time.Since(e.wallStart); elapsed > e.budget.WallClock {
+			panic(&BudgetError{Events: used, Elapsed: elapsed, WallClock: e.budget.WallClock, SimTime: e.now})
+		}
+	}
+}
+
 // Step executes the next event, if any, advancing time to it. It reports
-// whether an event ran.
+// whether an event ran. With a Budget armed, an over-budget Step panics
+// with a *BudgetError instead of running the event.
 func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
+	}
+	if e.budget != (Budget{}) {
+		e.checkBudget()
 	}
 	ev := e.events.popEvent()
 	e.now = ev.when

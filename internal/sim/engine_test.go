@@ -1,8 +1,10 @@
 package sim
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestEngineOrdering(t *testing.T) {
@@ -152,6 +154,96 @@ func TestBusyModelSerializes(t *testing.T) {
 	}
 	if b.FreeAt() != 600 {
 		t.Fatalf("freeAt = %d", b.FreeAt())
+	}
+}
+
+// runawayLoop schedules a self-perpetuating event chain — the shape of a
+// livelocked worklist benchmark.
+func runawayLoop(e *Engine) {
+	var tick func()
+	tick = func() { e.Schedule(1, tick) }
+	e.Schedule(1, tick)
+}
+
+func recoverBudgetError(t *testing.T, fn func()) *BudgetError {
+	t.Helper()
+	var be *BudgetError
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("run under exceeded budget did not stop")
+			}
+			var ok bool
+			if be, ok = r.(*BudgetError); !ok {
+				t.Fatalf("panic value %T, want *BudgetError", r)
+			}
+		}()
+		fn()
+	}()
+	return be
+}
+
+func TestEngineEventBudget(t *testing.T) {
+	e := NewEngine()
+	e.SetBudget(Budget{MaxEvents: 100})
+	runawayLoop(e)
+	be := recoverBudgetError(t, e.Run)
+	if !be.ExceededEvents() || be.Events != 100 || be.MaxEvents != 100 {
+		t.Fatalf("budget error = %+v", be)
+	}
+	if !strings.Contains(be.Error(), "event budget exceeded") {
+		t.Fatalf("message: %s", be.Error())
+	}
+	// The engine is still usable for post-mortem queries.
+	if e.EventsRun() != 100 {
+		t.Fatalf("events run = %d", e.EventsRun())
+	}
+}
+
+// TestEngineEventBudgetCountsFromArming pins that SetBudget measures from
+// the arming point, not from engine construction — the harness re-arms per
+// retry attempt.
+func TestEngineEventBudgetCountsFromArming(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 50; i++ {
+		e.Schedule(Tick(i), func() {})
+	}
+	e.Run()
+	e.SetBudget(Budget{MaxEvents: 100})
+	runawayLoop(e)
+	be := recoverBudgetError(t, e.Run)
+	if be.Events != 100 {
+		t.Fatalf("budget counted pre-arming events: %+v", be)
+	}
+}
+
+func TestEngineWallClockBudget(t *testing.T) {
+	e := NewEngine()
+	e.SetBudget(Budget{WallClock: 20 * time.Millisecond})
+	runawayLoop(e)
+	be := recoverBudgetError(t, e.Run)
+	if be.ExceededEvents() {
+		t.Fatalf("wrong budget dimension tripped: %+v", be)
+	}
+	if be.Elapsed < be.WallClock {
+		t.Fatalf("elapsed %v under limit %v", be.Elapsed, be.WallClock)
+	}
+	if !strings.Contains(be.Error(), "wall-clock budget exceeded") {
+		t.Fatalf("message: %s", be.Error())
+	}
+}
+
+func TestEngineZeroBudgetUnlimited(t *testing.T) {
+	e := NewEngine()
+	e.SetBudget(Budget{})
+	var hits int
+	for i := 0; i < 1000; i++ {
+		e.Schedule(Tick(i), func() { hits++ })
+	}
+	e.Run()
+	if hits != 1000 {
+		t.Fatalf("zero budget limited the run: %d", hits)
 	}
 }
 

@@ -37,12 +37,20 @@ type Config struct {
 	GPUFaultToCPU bool
 	CPUFaultServ  sim.Tick
 	GPUFaultServ  sim.Tick
+	// ServMult scales both fault service latencies — the fault-injection
+	// hook for a degraded (slow) page-fault handler. Values <= 0 mean
+	// nominal (1x).
+	ServMult float64
 }
 
 // New builds a Manager.
 func New(cfg Config, ctr *stats.Counters) *Manager {
 	if ctr == nil {
 		ctr = stats.NewCounters()
+	}
+	if cfg.ServMult > 0 {
+		cfg.CPUFaultServ = sim.Tick(float64(cfg.CPUFaultServ) * cfg.ServMult)
+		cfg.GPUFaultServ = sim.Tick(float64(cfg.GPUFaultServ) * cfg.ServMult)
 	}
 	return &Manager{
 		pageBytes:  cfg.PageBytes,
