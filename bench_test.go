@@ -9,6 +9,8 @@
 package repro
 
 import (
+	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -33,6 +35,27 @@ var (
 func getSweep() *experiments.Results {
 	sweepOnce.Do(func() { sweep, _ = experiments.Run(bench.SizeSmall, nil) })
 	return sweep
+}
+
+// BenchmarkSweepSmall measures the worker-pool speedup of the sweep
+// pipeline itself: the same four-benchmark sweep serial (jobs=1) and on a
+// GOMAXPROCS-wide pool. Every run is an isolated simulation, so the sweep
+// scales with cores; on a single-core machine both cases cost the same.
+func BenchmarkSweepSmall(b *testing.B) {
+	subset := []string{"rodinia/backprop", "rodinia/bfs", "rodinia/kmeans", "rodinia/srad"}
+	for _, jobs := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, errs := experiments.RunSweep(bench.SizeSmall, experiments.SweepOpts{
+					Only: subset,
+					Jobs: jobs,
+				})
+				if len(errs) != 0 || len(res.Names()) != len(subset) {
+					b.Fatalf("sweep incomplete: %d names, %d failures", len(res.Names()), len(errs))
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkTable1 regenerates the Table I system parameter listing.

@@ -3,15 +3,18 @@
 // Usage:
 //
 //	experiments [-exp all|table1|table2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablation|faults]
-//	            [-size small|medium] [-timeout 60s] [-max-events N] [-inject PLAN] [-q]
+//	            [-size small|medium] [-jobs N] [-timeout 60s] [-max-events N]
+//	            [-inject PLAN] [-csv DIR] [-json FILE] [-q]
 //
 // Figures 4-9 come from one shared sweep of every benchmark in copy and
 // limited-copy mode; Figure 3 additionally runs the kmeans restructured
-// organizations. Sweeps are fault-tolerant: a run that panics, deadlocks,
-// or exceeds its -timeout/-max-events budget is recorded and footnoted in
-// the figures instead of aborting the sweep. -inject degrades the simulated
-// hardware for every run (see -exp faults for the curated degradation
-// matrix).
+// organizations. The sweep's runs execute on -jobs workers (default
+// GOMAXPROCS) and produce byte-identical output for every worker count.
+// Sweeps are fault-tolerant: a run that panics, deadlocks, or exceeds its
+// -timeout/-max-events budget is recorded and footnoted in the figures
+// instead of aborting the sweep. -inject degrades the simulated hardware
+// for every run (see -exp faults for the curated degradation matrix).
+// -csv and -json export the sweep's rows for external tooling.
 package main
 
 import (
@@ -34,6 +37,8 @@ func main() {
 	exp := flag.String("exp", "all", "which experiment: all, table1, table2, fig3..fig9, ablation, faults (comma-separated)")
 	sizeFlag := flag.String("size", "small", "input scale: small or medium")
 	csvDir := flag.String("csv", "", "also export the sweep as CSV files into this directory")
+	jsonPath := flag.String("json", "", "also export the sweep's rows and summaries as JSON to this file")
+	jobs := flag.Int("jobs", 0, "worker-pool size for sweep runs (0 = GOMAXPROCS, 1 = serial)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget per run (0 = unlimited)")
 	maxEvents := flag.Uint64("max-events", 0, "simulation event budget per run (0 = unlimited)")
 	inject := flag.String("inject", "", "hardware fault plan for every run, e.g. pcie=0.25,fault=8,dram=0:100:600")
@@ -101,6 +106,7 @@ func main() {
 	opts := experiments.SweepOpts{
 		Budget: budget,
 		Fault:  fault,
+		Jobs:   *jobs,
 		OnProgress: func(name, mode string) {
 			if !*quiet {
 				fmt.Fprintf(os.Stderr, "running %s (%s)...\n", name, mode)
@@ -118,6 +124,15 @@ func main() {
 		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "wrote CSVs to %s\n", *csvDir)
+		}
+	}
+	if *jsonPath != "" {
+		if err := experiments.WriteJSON(*jsonPath, res); err != nil {
+			fmt.Fprintf(os.Stderr, "json export failed: %v\n", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "wrote JSON to %s\n", *jsonPath)
 		}
 	}
 	if sel("fig4") {

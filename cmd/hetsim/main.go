@@ -1,28 +1,35 @@
-// Command hetsim runs one benchmark on one simulated system configuration
+// Command hetsim runs benchmarks on one simulated system configuration
 // and prints the full analysis report — the smallest way to poke at the
 // simulator.
 //
 // Usage:
 //
-//	hetsim -bench rodinia/kmeans [-mode copy|limited-copy|async-streams|parallel-chunked]
-//	       [-size small|medium] [-timeout 60s] [-max-events N] [-inject PLAN] [-counters]
+//	hetsim -bench rodinia/kmeans[,parboil/spmv,...] [-mode copy|limited-copy|async-streams|parallel-chunked]
+//	       [-size small|medium] [-jobs N] [-timeout 60s] [-max-events N]
+//	       [-inject PLAN] [-json FILE] [-counters]
 //	hetsim -list
 //
-// Runs execute under the fault-tolerant harness: a panic, deadlock, or
-// exceeded -timeout/-max-events budget terminates with a diagnostic
-// instead of crashing or hanging, and a budget-exceeded medium run is
-// retried once at small. -inject degrades the simulated hardware, e.g.
-// -inject pcie=0.25,fault=8,dram=0:100:600.
+// -bench takes a comma-separated list; the runs execute on -jobs workers
+// (default GOMAXPROCS) and the reports print in the order listed. Runs
+// execute under the fault-tolerant harness: a panic, deadlock, or exceeded
+// -timeout/-max-events budget terminates with a diagnostic instead of
+// crashing or hanging, and a budget-exceeded medium run is retried once at
+// small. -inject degrades the simulated hardware, e.g.
+// -inject pcie=0.25,fault=8,dram=0:100:600. -json exports every outcome
+// (report, attempts, errors) as a JSON array.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
 	"repro/internal/harness"
+	"repro/internal/sweep"
 
 	_ "repro/internal/suites/lonestar"
 	_ "repro/internal/suites/pannotia"
@@ -31,12 +38,14 @@ import (
 )
 
 func main() {
-	name := flag.String("bench", "", "benchmark full name (suite/name)")
+	name := flag.String("bench", "", "benchmark full name (suite/name), or a comma-separated list")
 	modeFlag := flag.String("mode", "copy", "copy, limited-copy, async-streams, or parallel-chunked")
 	sizeFlag := flag.String("size", "small", "small or medium")
-	timeout := flag.Duration("timeout", 0, "wall-clock budget for the run (0 = unlimited)")
-	maxEvents := flag.Uint64("max-events", 0, "simulation event budget for the run (0 = unlimited)")
+	jobs := flag.Int("jobs", 0, "worker-pool size when running several benchmarks (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget per run (0 = unlimited)")
+	maxEvents := flag.Uint64("max-events", 0, "simulation event budget per run (0 = unlimited)")
 	inject := flag.String("inject", "", "hardware fault plan, e.g. pcie=0.25,fault=8,dram=0:100:600")
+	jsonPath := flag.String("json", "", "export every run's outcome as a JSON array to this file")
 	counters := flag.Bool("counters", false, "also dump every hardware counter")
 	list := flag.Bool("list", false, "list available benchmarks")
 	flag.Parse()
@@ -81,35 +90,74 @@ func main() {
 		os.Exit(2)
 	}
 
-	b, ok := bench.Get(*name)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *name)
-		fmt.Fprintln(os.Stderr, "use -list to see available benchmarks")
-		os.Exit(1)
+	var benches []bench.Benchmark
+	for _, n := range strings.Split(*name, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		b, ok := bench.Get(n)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", n)
+			fmt.Fprintln(os.Stderr, "use -list to see available benchmarks")
+			os.Exit(1)
+		}
+		benches = append(benches, b)
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "no benchmark given; use -bench NAME[,NAME...] or -list")
+		os.Exit(2)
 	}
 
-	out := harness.Run(harness.Spec{
-		Bench: b, Mode: mode, Size: size,
-		Budget: harness.Budget{MaxEvents: *maxEvents, Timeout: time.Duration(*timeout)},
-		Fault:  fault,
+	// Run every benchmark on the worker pool; print in the order listed.
+	outs := make([]*harness.Outcome, len(benches))
+	sweep.Each(*jobs, len(benches), func(i int) {
+		outs[i] = harness.Run(harness.Spec{
+			Bench: benches[i], Mode: mode, Size: size,
+			Budget: harness.Budget{MaxEvents: *maxEvents, Timeout: time.Duration(*timeout)},
+			Fault:  fault,
+		})
 	})
-	if out.Err != nil {
-		fmt.Fprintf(os.Stderr, "run failed: %v\n", out.Err)
-		if len(out.Err.Stack) > 0 {
-			fmt.Fprintf(os.Stderr, "%s\n", out.Err.Stack)
+
+	if *jsonPath != "" {
+		docs := make([]harness.OutcomeJSON, len(outs))
+		for i, out := range outs {
+			docs[i] = out.JSON()
 		}
+		data, err := json.MarshalIndent(docs, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "json export failed: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	failed := false
+	for _, out := range outs {
+		if out.Err != nil {
+			failed = true
+			fmt.Fprintf(os.Stderr, "run failed: %v\n", out.Err)
+			if len(out.Err.Stack) > 0 {
+				fmt.Fprintf(os.Stderr, "%s\n", out.Err.Stack)
+			}
+			continue
+		}
+		if out.Degraded {
+			fmt.Fprintf(os.Stderr, "note: ran at size %s after exceeding the budget at %s (%d attempts)\n",
+				out.Size, size, out.Attempts)
+		}
+		if fault.Active() {
+			fmt.Printf("injected faults: %s\n", fault)
+		}
+		fmt.Print(out.Report.String())
+		if *counters {
+			fmt.Println("\nhardware counters:")
+			fmt.Print(out.Sys.Ctr.String())
+		}
+	}
+	if failed {
 		os.Exit(1)
-	}
-	if out.Degraded {
-		fmt.Fprintf(os.Stderr, "note: ran at size %s after exceeding the budget at %s (%d attempts)\n",
-			out.Size, size, out.Attempts)
-	}
-	if fault.Active() {
-		fmt.Printf("injected faults: %s\n", fault)
-	}
-	fmt.Print(out.Report.String())
-	if *counters {
-		fmt.Println("\nhardware counters:")
-		fmt.Print(out.Sys.Ctr.String())
 	}
 }

@@ -78,6 +78,72 @@ func BuildReport(c *Collector, bench, system, mode string, fcpu, fgpu float64) *
 	return r
 }
 
+// ReportJSON is the marshal-friendly form of a Report: times in
+// milliseconds, and the component/class-indexed arrays and bitmask-keyed
+// maps rendered as name-keyed maps (encoding/json sorts string keys, so
+// the output is deterministic).
+type ReportJSON struct {
+	Benchmark      string            `json:"benchmark"`
+	System         string            `json:"system"`
+	Mode           string            `json:"mode"`
+	ROIms          float64           `json:"roi_ms"`
+	CPUActiveMs    float64           `json:"cpu_active_ms"`
+	GPUActiveMs    float64           `json:"gpu_active_ms"`
+	CopyActiveMs   float64           `json:"copy_active_ms"`
+	CPUUtil        float64           `json:"cpu_util"`
+	GPUUtil        float64           `json:"gpu_util"`
+	CserialMs      float64           `json:"cserial_ms"`
+	RcoMs          float64           `json:"rco_ms"`
+	RmcMs          float64           `json:"rmc_ms"`
+	OppCost        float64           `json:"flop_opp_cost"`
+	FootprintBytes uint64            `json:"footprint_bytes"`
+	FootprintBySet map[string]uint64 `json:"footprint_bytes_by_set,omitempty"`
+	DRAMAccesses   map[string]uint64 `json:"dram_accesses"`
+	ClassCounts    map[string]uint64 `json:"offchip_class_counts"`
+	BWLimitedFrac  float64           `json:"bw_limited_frac"`
+	FLOPs          map[string]uint64 `json:"flops"`
+	Stages         int               `json:"stages"`
+}
+
+// JSON converts the report for machine-readable output.
+func (r *Report) JSON() ReportJSON {
+	out := ReportJSON{
+		Benchmark:      r.Benchmark,
+		System:         r.System,
+		Mode:           r.Mode,
+		ROIms:          r.ROI.Millis(),
+		CPUActiveMs:    r.CPUActive.Millis(),
+		GPUActiveMs:    r.GPUActive.Millis(),
+		CopyActiveMs:   r.CopyActive.Millis(),
+		CPUUtil:        r.CPUUtil,
+		GPUUtil:        r.GPUUtil,
+		CserialMs:      r.Cserial.Millis(),
+		RcoMs:          r.Rco.Millis(),
+		RmcMs:          r.Rmc.Millis(),
+		OppCost:        r.OppCost,
+		FootprintBytes: r.FootprintBytes,
+		DRAMAccesses:   map[string]uint64{},
+		ClassCounts:    map[string]uint64{},
+		FLOPs:          map[string]uint64{},
+		BWLimitedFrac:  r.BWLimitedFrac,
+		Stages:         r.Stages,
+	}
+	if len(r.Footprint) > 0 {
+		out.FootprintBySet = map[string]uint64{}
+		for set, b := range r.Footprint {
+			out.FootprintBySet[set.String()] = b
+		}
+	}
+	for c := stats.Component(0); c < stats.NumComponents; c++ {
+		out.DRAMAccesses[c.String()] = r.DRAMAccesses[c]
+		out.FLOPs[c.String()] = r.FLOPs[c]
+	}
+	for c := Class(0); c < NumClasses; c++ {
+		out.ClassCounts[c.String()] = r.ClassCounts[c]
+	}
+	return out
+}
+
 // TotalDRAM sums off-chip accesses across components.
 func (r *Report) TotalDRAM() uint64 {
 	var t uint64

@@ -14,7 +14,9 @@ import (
 // WriteCSVs exports the sweep as one CSV per figure into dir (created if
 // needed), for external plotting. Files: fig4_footprint.csv,
 // fig5_accesses.csv, fig6_runtime.csv, fig78_models.csv,
-// fig9_classification.csv.
+// fig9_classification.csv. Each file is rendered from the same typed rows
+// the text figures and JSON export format, so the raw columns here always
+// match the percentages those show.
 func WriteCSVs(dir string, r *Results) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -38,18 +40,14 @@ func WriteCSVs(dir string, r *Results) error {
 	ff := func(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
 
 	// Figure 4: footprint partition.
+	fig4, _ := Fig4Rows(r)
 	var rows [][]string
-	for _, name := range r.Names() {
-		for _, pair := range []struct {
-			ver string
-			rep *core.Report
-		}{{"copy", r.Copy[name]}, {"limited", r.Limited[name]}} {
-			row := []string{name, pair.ver, strconv.FormatUint(pair.rep.FootprintBytes, 10)}
-			for _, set := range stats.AllComponentSets() {
-				row = append(row, strconv.FormatUint(pair.rep.Footprint[set], 10))
-			}
-			rows = append(rows, row)
+	for _, fr := range fig4 {
+		row := []string{fr.Benchmark, fr.Version, strconv.FormatUint(fr.TotalBytes, 10)}
+		for _, set := range fr.Sets {
+			row = append(row, strconv.FormatUint(set.Bytes, 10))
 		}
+		rows = append(rows, row)
 	}
 	hdr := []string{"benchmark", "version", "total_bytes"}
 	for _, set := range stats.AllComponentSets() {
@@ -60,19 +58,15 @@ func WriteCSVs(dir string, r *Results) error {
 	}
 
 	// Figure 5: off-chip accesses by component.
+	fig5, _ := Fig5Rows(r)
 	rows = rows[:0]
-	for _, name := range r.Names() {
-		for _, pair := range []struct {
-			ver string
-			rep *core.Report
-		}{{"copy", r.Copy[name]}, {"limited", r.Limited[name]}} {
-			rows = append(rows, []string{
-				name, pair.ver,
-				strconv.FormatUint(pair.rep.DRAMAccesses[stats.CPU], 10),
-				strconv.FormatUint(pair.rep.DRAMAccesses[stats.GPU], 10),
-				strconv.FormatUint(pair.rep.DRAMAccesses[stats.Copy], 10),
-			})
-		}
+	for _, fr := range fig5 {
+		rows = append(rows, []string{
+			fr.Benchmark, fr.Version,
+			strconv.FormatUint(fr.CPU, 10),
+			strconv.FormatUint(fr.GPU, 10),
+			strconv.FormatUint(fr.Copy, 10),
+		})
 	}
 	if err := write("fig5_accesses.csv",
 		[]string{"benchmark", "version", "cpu", "gpu", "copy"}, rows); err != nil {
@@ -80,20 +74,14 @@ func WriteCSVs(dir string, r *Results) error {
 	}
 
 	// Figure 6: run time and activity.
+	fig6, _ := Fig6Rows(r)
 	rows = rows[:0]
-	for _, name := range r.Names() {
-		for _, pair := range []struct {
-			ver string
-			rep *core.Report
-		}{{"copy", r.Copy[name]}, {"limited", r.Limited[name]}} {
-			rep := pair.rep
-			rows = append(rows, []string{
-				name, pair.ver,
-				ff(rep.ROI.Millis()), ff(rep.CPUActive.Millis()),
-				ff(rep.GPUActive.Millis()), ff(rep.CopyActive.Millis()),
-				ff(rep.CPUUtil), ff(rep.GPUUtil), ff(rep.OppCost),
-			})
-		}
+	for _, fr := range fig6 {
+		rows = append(rows, []string{
+			fr.Benchmark, fr.Version,
+			ff(fr.ROIms), ff(fr.CPUms), ff(fr.GPUms), ff(fr.Copyms),
+			ff(fr.CPUUtil), ff(fr.GPUUtil), ff(fr.OppCost),
+		})
 	}
 	if err := write("fig6_runtime.csv",
 		[]string{"benchmark", "version", "roi_ms", "cpu_ms", "gpu_ms", "copy_ms", "cpu_util", "gpu_util", "flop_opp_cost"}, rows); err != nil {
@@ -101,18 +89,13 @@ func WriteCSVs(dir string, r *Results) error {
 	}
 
 	// Figures 7-8: analytical model estimates.
+	fig78, _, _ := Fig78Rows(r)
 	rows = rows[:0]
-	for _, name := range r.Names() {
-		for _, pair := range []struct {
-			ver string
-			rep *core.Report
-		}{{"copy", r.Copy[name]}, {"limited", r.Limited[name]}} {
-			rep := pair.rep
-			rows = append(rows, []string{
-				name, pair.ver,
-				ff(rep.ROI.Millis()), ff(rep.Rco.Millis()), ff(rep.Rmc.Millis()), ff(rep.Cserial.Millis()),
-			})
-		}
+	for _, fr := range fig78 {
+		rows = append(rows, []string{
+			fr.Benchmark, fr.Version,
+			ff(fr.ROIms), ff(fr.RcoMs), ff(fr.RmcMs), ff(fr.CserialMs),
+		})
 	}
 	if err := write("fig78_models.csv",
 		[]string{"benchmark", "version", "roi_ms", "rco_ms", "rmc_ms", "cserial_ms"}, rows); err != nil {
@@ -120,19 +103,14 @@ func WriteCSVs(dir string, r *Results) error {
 	}
 
 	// Figure 9: classification.
+	fig9, _ := Fig9Rows(r)
 	rows = rows[:0]
-	for _, name := range r.Names() {
-		for _, pair := range []struct {
-			ver string
-			rep *core.Report
-		}{{"copy", r.Copy[name]}, {"limited", r.Limited[name]}} {
-			rep := pair.rep
-			row := []string{name, pair.ver, fmt.Sprintf("%t", rep.BWLimitedFrac > 0.25)}
-			for c := core.Class(0); c < core.NumClasses; c++ {
-				row = append(row, strconv.FormatUint(rep.ClassCounts[c], 10))
-			}
-			rows = append(rows, row)
+	for _, fr := range fig9 {
+		row := []string{fr.Benchmark, fr.Version, fmt.Sprintf("%t", fr.BWLimited)}
+		for _, cs := range fr.Classes {
+			row = append(row, strconv.FormatUint(cs.Count, 10))
 		}
+		rows = append(rows, row)
 	}
 	hdr = []string{"benchmark", "version", "bw_limited"}
 	for c := core.Class(0); c < core.NumClasses; c++ {

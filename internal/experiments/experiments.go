@@ -4,6 +4,14 @@
 // (footprint / off-chip accesses / run-time activity, copy vs limited-copy),
 // Figures 7-8 (component-overlap and migrated-compute estimates), and
 // Figure 9 (off-chip access classification).
+//
+// The pipeline has three stages. RunSweep executes every (benchmark, mode)
+// run — each an isolated simulation — on a bounded worker pool
+// (internal/sweep) and assembles the outcomes deterministically, so the
+// Results are byte-for-byte identical for every worker count. The FigNRows
+// functions (rows.go) reduce a sweep to typed rows plus summaries. The
+// renderers (render.go, csv.go, json.go) format those rows as text
+// figures, CSV, or JSON without touching a report again.
 package experiments
 
 import (
@@ -11,12 +19,13 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/bench"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/harness"
-	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 // Results caches one full sweep: every benchmark in copy and limited-copy
@@ -30,25 +39,37 @@ type Results struct {
 	Limited map[string]*core.Report
 	// Extra[mode] holds restructured-organization runs.
 	Extra map[bench.Mode]map[string]*core.Report
-	// Failed records every run that did not complete.
+	// Failed records every run that did not complete, in the registry's
+	// stable (benchmark, mode) order regardless of how many workers ran
+	// the sweep.
 	Failed []harness.RunError
 	// Notes records retry substitutions (e.g. a budget-exceeded medium run
-	// that reran at small).
+	// that reran at small), in the same stable order.
 	Notes []string
 }
 
 // SweepOpts configures a fault-tolerant sweep.
 type SweepOpts struct {
-	// Budget bounds each individual run (zero fields: unlimited).
+	// Budget bounds each individual run (zero fields: unlimited). Prefer
+	// MaxEvents when comparing sweeps across worker counts: the event
+	// budget is deterministic, while a wall-clock Timeout burns faster
+	// when runs share the machine with other workers.
 	Budget harness.Budget
 	// Fault injects hardware degradations into every run.
 	Fault *harness.FaultPlan
 	// Only restricts the sweep to these full benchmark names (nil: all).
 	Only []string
-	// OnProgress is called before each run.
+	// Jobs is the worker-pool size runs dispatch to: 0 means GOMAXPROCS,
+	// 1 runs the sweep serially. Results are identical for every value.
+	Jobs int
+	// OnProgress is called before each run. The sweep serializes the
+	// calls, so the callback needs no locking of its own, but when
+	// Jobs > 1 the call order across benchmarks is scheduling-dependent.
 	OnProgress func(name, mode string)
 	// PerRun, if set, may adjust each run's spec before it executes — the
-	// hook tests use to force a specific benchmark to fail.
+	// hook tests use to force a specific benchmark to fail. Each call
+	// receives that run's private spec, but the hook itself must be safe
+	// for concurrent use when Jobs > 1.
 	PerRun func(spec *harness.Spec)
 }
 
@@ -60,7 +81,11 @@ func Run(size bench.Size, onProgress func(name, mode string)) (*Results, []harne
 
 // RunSweep executes a fault-tolerant sweep: every selected benchmark in
 // copy and limited-copy mode plus its extra modes, each isolated under
-// harness.Run so one failing benchmark cannot abort the rest.
+// harness.Run so one failing benchmark cannot abort the rest. Runs execute
+// concurrently on opts.Jobs workers; because every run builds its own
+// simulated machine and outcomes are collected per (benchmark, mode) slot
+// and assembled in the registry's stable order, the Results — including
+// the order of Failed and Notes — are identical for every worker count.
 func RunSweep(size bench.Size, opts SweepOpts) (*Results, []harness.RunError) {
 	r := &Results{
 		Size:    size,
@@ -78,34 +103,65 @@ func RunSweep(size bench.Size, opts SweepOpts) (*Results, []harness.RunError) {
 			only[n] = true
 		}
 	}
-	runInto := func(dst map[string]*core.Report, b bench.Benchmark, m bench.Mode) {
+
+	// One slot per (benchmark, mode) run, in the registry's stable order —
+	// the order the serial sweep ran in, and the order assembly below
+	// walks regardless of which worker finishes first.
+	type slot struct {
+		b    bench.Benchmark
+		mode bench.Mode
+		name string
+	}
+	var slots []slot
+	for _, b := range bench.All() {
 		name := b.Info().FullName()
-		if opts.OnProgress != nil {
-			opts.OnProgress(name, m.String())
+		if only != nil && !only[name] {
+			continue
 		}
-		spec := harness.Spec{Bench: b, Mode: m, Size: size, Budget: opts.Budget, Fault: opts.Fault}
+		slots = append(slots, slot{b, bench.ModeCopy, name}, slot{b, bench.ModeLimitedCopy, name})
+		for _, m := range b.Info().ExtraModes {
+			slots = append(slots, slot{b, m, name})
+		}
+	}
+
+	outs := make([]*harness.Outcome, len(slots))
+	var progressMu sync.Mutex
+	sweep.Each(opts.Jobs, len(slots), func(i int) {
+		s := slots[i]
+		if opts.OnProgress != nil {
+			progressMu.Lock()
+			opts.OnProgress(s.name, s.mode.String())
+			progressMu.Unlock()
+		}
+		spec := harness.Spec{Bench: s.b, Mode: s.mode, Size: size, Budget: opts.Budget, Fault: opts.Fault}
 		if opts.PerRun != nil {
 			opts.PerRun(&spec)
 		}
-		out := harness.Run(spec)
+		outs[i] = harness.Run(spec)
+	})
+
+	for i, s := range slots {
+		out := outs[i]
 		if out.Err != nil {
 			r.Failed = append(r.Failed, *out.Err)
-			return
-		}
-		dst[name] = out.Report
-		if out.Degraded {
-			r.Notes = append(r.Notes, fmt.Sprintf("%s (%s) ran at size %s after exceeding its budget at %s",
-				name, m, out.Size, size))
-		}
-	}
-	for _, b := range bench.All() {
-		if only != nil && !only[b.Info().FullName()] {
 			continue
 		}
-		runInto(r.Copy, b, bench.ModeCopy)
-		runInto(r.Limited, b, bench.ModeLimitedCopy)
-		for _, m := range b.Info().ExtraModes {
-			runInto(r.Extra[m], b, m)
+		var dst map[string]*core.Report
+		switch s.mode {
+		case bench.ModeCopy:
+			dst = r.Copy
+		case bench.ModeLimitedCopy:
+			dst = r.Limited
+		default:
+			if r.Extra[s.mode] == nil {
+				r.Extra[s.mode] = map[string]*core.Report{}
+			}
+			dst = r.Extra[s.mode]
+		}
+		dst[s.name] = out.Report
+		if out.Degraded {
+			r.Notes = append(r.Notes, fmt.Sprintf("%s (%s) ran at size %s after exceeding its budget at %s",
+				s.name, s.mode, out.Size, size))
 		}
 	}
 	return r, r.Failed
@@ -113,7 +169,7 @@ func RunSweep(size bench.Size, opts SweepOpts) (*Results, []harness.RunError) {
 
 // Names lists benchmark names with both copy and limited-copy runs
 // completed, sorted — the rows the comparative figures can render. Failed
-// benchmarks are footnoted instead (see footnotes).
+// benchmarks are footnoted instead (see Footnotes).
 func (r *Results) Names() []string {
 	out := make([]string, 0, len(r.Copy))
 	for n := range r.Copy {
@@ -125,17 +181,35 @@ func (r *Results) Names() []string {
 	return out
 }
 
-// footnotes renders the failed-run and substitution footnotes appended to
-// every figure of a partial sweep.
-func (r *Results) footnotes() string {
-	if len(r.Failed) == 0 && len(r.Notes) == 0 {
+// Footnotes is the failed-run and substitution metadata appended to every
+// rendered figure of a partial sweep — part of each figure's row data, in
+// marshal-friendly form.
+type Footnotes struct {
+	Failed []harness.RunErrorJSON `json:"failed,omitempty"`
+	Notes  []string               `json:"notes,omitempty"`
+}
+
+// Footnotes converts the sweep's failures and substitution notes for the
+// renderers.
+func (r *Results) Footnotes() Footnotes {
+	fn := Footnotes{Notes: r.Notes}
+	for i := range r.Failed {
+		fn.Failed = append(fn.Failed, r.Failed[i].JSON())
+	}
+	return fn
+}
+
+// String renders the footnote block (empty for a full sweep): failed runs
+// as † lines, substitutions as ‡ lines.
+func (f Footnotes) String() string {
+	if len(f.Failed) == 0 && len(f.Notes) == 0 {
 		return ""
 	}
 	var b strings.Builder
-	for _, e := range r.Failed {
+	for _, e := range f.Failed {
 		fmt.Fprintf(&b, "† %s (%s) failed [%s]: %s\n", e.Benchmark, e.Mode, e.Kind, e.Msg)
 	}
-	for _, n := range r.Notes {
+	for _, n := range f.Notes {
 		fmt.Fprintf(&b, "‡ %s\n", n)
 	}
 	return b.String()
@@ -202,30 +276,40 @@ func Table1() string {
 	return b.String()
 }
 
-// Table2Text renders Table II from the census.
-func Table2Text() string {
+// Table2TextOf renders Table II rows. The percentage line routes through
+// pct so a zero total renders as 0% instead of NaN, and an empty census
+// renders as just the header instead of panicking.
+func Table2TextOf(rows []bench.Table2Row) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "TABLE II. PRODUCER-CONSUMER RELATIONSHIPS IN BENCHMARKS\n")
 	fmt.Fprintf(&b, "%-10s %5s %8s %6s %8s %9s %8s\n", "Suite", "Num", "P-CComm", "Pipe", "Regular", "Irregular", "SWQueue")
-	rows := bench.Table2()
 	for _, r := range rows {
 		fmt.Fprintf(&b, "%-10s %5d %8d %6d %8d %9d %8d\n",
 			r.Suite, r.Num, r.PCComm, r.PipeParal, r.Regular, r.Irreg, r.SWQue)
 	}
+	if len(rows) == 0 {
+		return b.String()
+	}
 	tot := rows[len(rows)-1]
+	den := float64(tot.Num)
 	fmt.Fprintf(&b, "%-10s %5s %7.0f%% %5.0f%% %7.0f%% %8.0f%% %7.0f%%\n", "portion", "100%",
-		100*float64(tot.PCComm)/float64(tot.Num), 100*float64(tot.PipeParal)/float64(tot.Num),
-		100*float64(tot.Regular)/float64(tot.Num), 100*float64(tot.Irreg)/float64(tot.Num),
-		100*float64(tot.SWQue)/float64(tot.Num))
+		pct(float64(tot.PCComm), den), pct(float64(tot.PipeParal), den),
+		pct(float64(tot.Regular), den), pct(float64(tot.Irreg), den),
+		pct(float64(tot.SWQue), den))
 	return b.String()
+}
+
+// Table2Text renders Table II from the census.
+func Table2Text() string {
+	return Table2TextOf(bench.Table2())
 }
 
 // Fig3Row is one kmeans organization of Figure 3.
 type Fig3Row struct {
-	Org       string
-	Estimated bool
-	RunTime   float64 // normalized to baseline
-	GPUUtil   float64
+	Org       string  `json:"org"`
+	Estimated bool    `json:"estimated"`
+	RunTime   float64 `json:"run_time"` // normalized to baseline
+	GPUUtil   float64 `json:"gpu_util"`
 }
 
 // Fig3 runs the kmeans case study organizations and returns normalized run
@@ -306,194 +390,4 @@ func bar(frac float64, width int) string {
 		n = 2 * width
 	}
 	return strings.Repeat("#", n)
-}
-
-// Fig4Text renders the footprint partition figure: per benchmark, the
-// touched footprint by exclusive component subset, copy and limited-copy
-// bars normalized to the copy total.
-func Fig4Text(r *Results) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "FIGURE 4. Memory footprint by component set (normalized to copy total)\n")
-	fmt.Fprintf(&b, "%-24s %-8s %7s  %s\n", "benchmark", "version", "total", "CPU/GPU/Copy/CPU+GPU/CPU+Copy/GPU+Copy/all")
-	for _, name := range r.Names() {
-		cv, lv := r.Copy[name], r.Limited[name]
-		denom := float64(cv.FootprintBytes)
-		label := name
-		row := func(rep *core.Report, version string) {
-			fracs := make([]string, 0, 7)
-			for _, set := range stats.AllComponentSets() {
-				fracs = append(fracs, fmt.Sprintf("%4.1f%%", pct(float64(rep.Footprint[set]), denom)))
-			}
-			fmt.Fprintf(&b, "%-24s %-8s %6.1f%%  %s\n", label, version,
-				pct(float64(rep.FootprintBytes), denom), strings.Join(fracs, " "))
-			label = ""
-		}
-		row(cv, "copy")
-		row(lv, "limited")
-	}
-	var reds []float64
-	for _, name := range r.Names() {
-		reds = append(reds, float64(r.Limited[name].FootprintBytes)/float64(r.Copy[name].FootprintBytes))
-	}
-	fmt.Fprintf(&b, "geomean limited-copy footprint: %.1f%% of copy footprint\n", 100*geomean(reds))
-	b.WriteString(r.footnotes())
-	return b.String()
-}
-
-// Fig5Text renders the off-chip access breakdown by component.
-func Fig5Text(r *Results) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "FIGURE 5. Off-chip memory accesses by component (normalized to copy total)\n")
-	fmt.Fprintf(&b, "%-24s %9s %9s %9s | %9s %9s   %s\n", "benchmark", "cpu", "gpu", "copy", "lim-cpu", "lim-gpu", "lim-total")
-	var copyShares, totalReds []float64
-	for _, name := range r.Names() {
-		cv, lv := r.Copy[name], r.Limited[name]
-		denom := float64(cv.TotalDRAM())
-		fmt.Fprintf(&b, "%-24s %8.1f%% %8.1f%% %8.1f%% | %8.1f%% %8.1f%%   %6.1f%%\n", name,
-			pct(float64(cv.DRAMAccesses[stats.CPU]), denom),
-			pct(float64(cv.DRAMAccesses[stats.GPU]), denom),
-			pct(float64(cv.DRAMAccesses[stats.Copy]), denom),
-			pct(float64(lv.DRAMAccesses[stats.CPU]), denom),
-			pct(float64(lv.DRAMAccesses[stats.GPU]), denom),
-			pct(float64(lv.TotalDRAM()), denom))
-		copyShares = append(copyShares, float64(cv.DRAMAccesses[stats.Copy])/denom)
-		totalReds = append(totalReds, float64(lv.TotalDRAM())/denom)
-	}
-	fmt.Fprintf(&b, "geomean copy-access share of copy version: %.1f%%\n", 100*geomean(copyShares))
-	fmt.Fprintf(&b, "geomean limited-copy total accesses: %.1f%% of copy version\n", 100*geomean(totalReds))
-	b.WriteString(r.footnotes())
-	return b.String()
-}
-
-// Fig6Text renders the run-time component-activity breakdown.
-func Fig6Text(r *Results) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "FIGURE 6. Run-time component activity (normalized to copy run time)\n")
-	fmt.Fprintf(&b, "%-24s %-8s %7s %7s %7s %7s %8s %6s\n", "benchmark", "version", "total", "copyact", "cpuact", "gpuact", "overlap", "idle")
-	var runReds []float64
-	for _, name := range r.Names() {
-		cv, lv := r.Copy[name], r.Limited[name]
-		denom := float64(cv.ROI)
-		label := name
-		row := func(rep *core.Report, version string) {
-			overlap := float64(rep.Breakdown.Total()) - float64(rep.Breakdown.Idle()) -
-				float64(rep.Breakdown.Exclusive(stats.CPU)) - float64(rep.Breakdown.Exclusive(stats.GPU)) - float64(rep.Breakdown.Exclusive(stats.Copy))
-			fmt.Fprintf(&b, "%-24s %-8s %6.1f%% %6.1f%% %6.1f%% %6.1f%% %7.1f%% %5.1f%%\n", label, version,
-				pct(float64(rep.ROI), denom),
-				pct(float64(rep.Breakdown.Exclusive(stats.Copy)), denom),
-				pct(float64(rep.Breakdown.Exclusive(stats.CPU)), denom),
-				pct(float64(rep.Breakdown.Exclusive(stats.GPU)), denom),
-				pct(overlap, denom),
-				pct(float64(rep.Breakdown.Idle()), denom))
-			label = ""
-		}
-		row(cv, "copy")
-		row(lv, "limited")
-		runReds = append(runReds, float64(lv.ROI)/float64(cv.ROI))
-	}
-	fmt.Fprintf(&b, "geomean limited-copy run time: %.1f%% of copy (%.1f%% improvement)\n",
-		100*geomean(runReds), 100*(1-geomean(runReds)))
-	b.WriteString(r.footnotes())
-	return b.String()
-}
-
-// Fig7Text renders the component-overlap (Eq. 1) estimates.
-func Fig7Text(r *Results) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "FIGURE 7. Component-overlap run-time estimates, Eq. 1 (normalized to copy run time)\n")
-	fmt.Fprintf(&b, "%-24s %10s %11s %12s %13s\n", "benchmark", "copy Rco", "copy gain", "limited Rco", "limited gain")
-	var gains []float64
-	for _, name := range r.Names() {
-		cv, lv := r.Copy[name], r.Limited[name]
-		denom := float64(cv.ROI)
-		fmt.Fprintf(&b, "%-24s %9.1f%% %10.1f%% %11.1f%% %12.1f%%\n", name,
-			pct(float64(cv.Rco), denom), 100-pct(float64(cv.Rco), float64(cv.ROI)),
-			pct(float64(lv.Rco), denom), 100-pct(float64(lv.Rco), float64(lv.ROI)))
-		gains = append(gains, float64(cv.Rco)/float64(cv.ROI))
-	}
-	fmt.Fprintf(&b, "geomean copy-version overlap gain: %.1f%%\n", 100*(1-geomean(gains)))
-
-	// Validation against the restructured implementations (Section V-A).
-	fmt.Fprintf(&b, "validation (measured restructured vs estimate):\n")
-	for _, name := range []string{"rodinia/backprop", "rodinia/kmeans", "rodinia/streamcluster"} {
-		if as, ok := r.Extra[bench.ModeAsyncStreams][name]; ok {
-			if cv, ok := r.Copy[name]; ok && cv.Rco > 0 {
-				est := cv.Rco
-				fmt.Fprintf(&b, "  %-22s async-streams measured %6.3fms vs copy-Rco %6.3fms (%+.1f%%)\n",
-					name, as.ROI.Millis(), est.Millis(), 100*(float64(as.ROI)-float64(est))/float64(est))
-			}
-		}
-		if pc, ok := r.Extra[bench.ModeParallelChunked][name]; ok {
-			if lv, ok := r.Limited[name]; ok && lv.Rco > 0 {
-				est := lv.Rco
-				fmt.Fprintf(&b, "  %-22s parallel-chunked measured %6.3fms vs limited-Rco %6.3fms (%+.1f%%)\n",
-					name, pc.ROI.Millis(), est.Millis(), 100*(float64(pc.ROI)-float64(est))/float64(est))
-			}
-		}
-	}
-	b.WriteString(r.footnotes())
-	return b.String()
-}
-
-// Fig8Text renders the migrated-compute (Eqs. 2-4) estimates.
-func Fig8Text(r *Results) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "FIGURE 8. Migrated-compute run-time estimates, Eqs. 2-4 (normalized to copy run time)\n")
-	fmt.Fprintf(&b, "%-24s %10s %12s %13s\n", "benchmark", "copy Rmc", "limited Rmc", "vs limited")
-	var gains []float64
-	for _, name := range r.Names() {
-		cv, lv := r.Copy[name], r.Limited[name]
-		denom := float64(cv.ROI)
-		fmt.Fprintf(&b, "%-24s %9.1f%% %11.1f%% %12.1f%%\n", name,
-			pct(float64(cv.Rmc), denom), pct(float64(lv.Rmc), denom),
-			100-pct(float64(lv.Rmc), float64(lv.ROI)))
-		gains = append(gains, float64(lv.Rmc)/float64(lv.ROI))
-	}
-	fmt.Fprintf(&b, "geomean potential gain from migrating compute (limited-copy): %.1f%%\n", 100*(1-geomean(gains)))
-	b.WriteString(r.footnotes())
-	return b.String()
-}
-
-// Fig9Text renders the off-chip access classification.
-func Fig9Text(r *Results) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "FIGURE 9. Off-chip accesses by cause (%% of version's accesses; * = bandwidth-limited)\n")
-	fmt.Fprintf(&b, "%-24s %-8s %9s %9s %8s %8s %8s %8s\n",
-		"benchmark", "version", "compuls", "longrng", "W-Rspill", "R-Rspill", "W-Rcont", "R-Rcont")
-	var rrConts, spills []float64
-	for _, name := range r.Names() {
-		label := name
-		row := func(rep *core.Report, version string) {
-			mark := " "
-			if rep.BWLimitedFrac > 0.25 {
-				mark = "*"
-			}
-			fmt.Fprintf(&b, "%-24s %-8s%s %8.1f%% %8.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n", label, version, mark,
-				100*rep.ClassFraction(core.ClassCompulsory),
-				100*rep.ClassFraction(core.ClassLongRange),
-				100*rep.ClassFraction(core.ClassWRSpill),
-				100*rep.ClassFraction(core.ClassRRSpill),
-				100*rep.ClassFraction(core.ClassWRContention),
-				100*rep.ClassFraction(core.ClassRRContention))
-			label = ""
-		}
-		row(r.Copy[name], "copy")
-		lv := r.Limited[name]
-		row(lv, "limited")
-		rrConts = append(rrConts, lv.ClassFraction(core.ClassRRContention))
-		spills = append(spills, lv.ClassFraction(core.ClassWRSpill)+lv.ClassFraction(core.ClassRRSpill))
-	}
-	var rrMean, spillMean float64
-	if len(rrConts) > 0 {
-		for i := range rrConts {
-			rrMean += rrConts[i]
-			spillMean += spills[i]
-		}
-		rrMean /= float64(len(rrConts))
-		spillMean /= float64(len(spills))
-	}
-	fmt.Fprintf(&b, "mean R-R contention share (limited-copy): %.1f%%   mean spill share: %.1f%%\n",
-		100*rrMean, 100*spillMean)
-	b.WriteString(r.footnotes())
-	return b.String()
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"math"
 	"os"
 	"path/filepath"
@@ -224,6 +225,99 @@ func TestSweepSurvivesForcedFailure(t *testing.T) {
 		if strings.Contains(txt, "NaN") || strings.Contains(txt, "%!") {
 			t.Fatalf("%s has formatting garbage:\n%s", name, txt)
 		}
+	}
+}
+
+// TestTable2EmptyAndZeroGuards pins the Table II edge cases: an empty
+// census renders just the header (no panic), and a zero total renders 0%
+// rows instead of NaN.
+func TestTable2EmptyAndZeroGuards(t *testing.T) {
+	if txt := Table2TextOf(nil); !strings.Contains(txt, "Suite") || strings.Contains(txt, "portion") {
+		t.Fatalf("empty census must render header only:\n%s", txt)
+	}
+	txt := Table2TextOf([]bench.Table2Row{{Suite: "total", Num: 0}})
+	if strings.Contains(txt, "NaN") || strings.Contains(txt, "%!") {
+		t.Fatalf("zero-total census must not render NaN:\n%s", txt)
+	}
+	if !strings.Contains(txt, "portion") {
+		t.Fatalf("zero-total census must still render the portion row:\n%s", txt)
+	}
+}
+
+// TestSweepDeterministicAcrossJobs is the concurrency acceptance test: a
+// sweep with a rigged failure must produce identical Results — including
+// the order of Failed and Notes and every rendered figure — at Jobs 1 and
+// Jobs 8. Run under -race this also exercises the pool for data races.
+func TestSweepDeterministicAcrossJobs(t *testing.T) {
+	run := func(jobs int) (*Results, []harness.RunError) {
+		return RunSweep(bench.SizeSmall, SweepOpts{
+			Only: []string{"rodinia/backprop", "rodinia/kmeans", "rodinia/srad"},
+			Jobs: jobs,
+			PerRun: func(spec *harness.Spec) {
+				if spec.Bench.Info().FullName() == "rodinia/kmeans" {
+					spec.Budget.MaxEvents = 1 // fails fast on every attempt
+				}
+			},
+		})
+	}
+	serial, serialErrs := run(1)
+	wide, wideErrs := run(8)
+
+	if len(serialErrs) == 0 {
+		t.Fatal("rigged sweep must report failures")
+	}
+	if len(serialErrs) != len(wideErrs) {
+		t.Fatalf("failure count differs: %d vs %d", len(serialErrs), len(wideErrs))
+	}
+	for i := range serialErrs {
+		if serialErrs[i].Error() != wideErrs[i].Error() {
+			t.Fatalf("Failed[%d] differs:\n  jobs=1: %v\n  jobs=8: %v",
+				i, &serialErrs[i], &wideErrs[i])
+		}
+	}
+	if a, b := strings.Join(serial.Notes, "\n"), strings.Join(wide.Notes, "\n"); a != b {
+		t.Fatalf("Notes differ:\n  jobs=1: %s\n  jobs=8: %s", a, b)
+	}
+	for name, render := range map[string]func(*Results) string{
+		"fig4": Fig4Text, "fig5": Fig5Text, "fig6": Fig6Text,
+		"fig7": Fig7Text, "fig8": Fig8Text, "fig9": Fig9Text,
+	} {
+		if a, b := render(serial), render(wide); a != b {
+			t.Fatalf("%s differs between jobs=1 and jobs=8:\n--- jobs=1\n%s\n--- jobs=8\n%s", name, a, b)
+		}
+	}
+	aj, err := json.Marshal(serial.JSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := json.Marshal(wide.JSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(aj) != string(bj) {
+		t.Fatalf("JSON export differs between jobs=1 and jobs=8")
+	}
+}
+
+// TestWriteJSON exercises the sweep's JSON export end to end on fake data.
+func TestWriteJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	if err := WriteJSON(path, fakeResults()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc SweepDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc.Fig4.Rows) != 2 || doc.Fig4.Rows[0].Benchmark != "x/y" {
+		t.Fatalf("fig4 rows = %+v", doc.Fig4.Rows)
+	}
+	if len(doc.Fig78Rows) != 2 {
+		t.Fatalf("fig78 rows = %+v", doc.Fig78Rows)
 	}
 }
 

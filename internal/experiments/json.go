@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// FigDoc pairs one figure's rows with its summary in the JSON export.
+type FigDoc[Row, Summary any] struct {
+	Rows    []Row   `json:"rows"`
+	Summary Summary `json:"summary"`
+}
+
+// SweepDoc is the machine-readable export of a sweep: the same typed rows
+// the text figures and CSVs render, one section per figure, plus the
+// footnote metadata for partial sweeps. Figures 7 and 8 share their model
+// rows (fig78) and keep separate summaries.
+type SweepDoc struct {
+	Size      string                       `json:"size"`
+	Fig4      FigDoc[Fig4Row, Fig4Summary] `json:"fig4_footprint"`
+	Fig5      FigDoc[Fig5Row, Fig5Summary] `json:"fig5_accesses"`
+	Fig6      FigDoc[Fig6Row, Fig6Summary] `json:"fig6_runtime"`
+	Fig78Rows []Fig78Row                   `json:"fig78_models"`
+	Fig7      Fig7Summary                  `json:"fig7_summary"`
+	Fig8      Fig8Summary                  `json:"fig8_summary"`
+	Fig9      FigDoc[Fig9Row, Fig9Summary] `json:"fig9_classification"`
+	Footnotes Footnotes                    `json:"footnotes"`
+}
+
+// JSON reduces the sweep to its export document.
+func (r *Results) JSON() SweepDoc {
+	doc := SweepDoc{Size: r.Size.String(), Footnotes: r.Footnotes()}
+	doc.Fig4.Rows, doc.Fig4.Summary = Fig4Rows(r)
+	doc.Fig5.Rows, doc.Fig5.Summary = Fig5Rows(r)
+	doc.Fig6.Rows, doc.Fig6.Summary = Fig6Rows(r)
+	doc.Fig78Rows, doc.Fig7, doc.Fig8 = Fig78Rows(r)
+	doc.Fig9.Rows, doc.Fig9.Summary = Fig9Rows(r)
+	return doc
+}
+
+// WriteJSON exports the sweep document to path, indented.
+func WriteJSON(path string, r *Results) error {
+	data, err := json.MarshalIndent(r.JSON(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -5,9 +5,13 @@
 // the whole sweep and discard every completed result. harness.Run executes
 // one benchmark run in isolation: it recovers aborts into a structured
 // *RunError, enforces event and wall-clock budgets through the simulation
-// engine, retries budget-exceeded runs at the next-smaller input size with
-// exponential backoff, and applies injected hardware faults (FaultPlan)
-// for degradation experiments.
+// engine, retries budget-exceeded runs at the next-smaller input size, and
+// applies injected hardware faults (FaultPlan) for degradation
+// experiments.
+//
+// Run is safe for concurrent use: every run builds its own isolated
+// device.System, so sweeps dispatch independent runs onto a worker pool
+// (internal/sweep) without synchronization.
 package harness
 
 import (
@@ -77,17 +81,17 @@ func (e *RunError) Error() string {
 		e.Benchmark, e.Mode, e.Size, e.Kind, e.Msg, e.Attempt, e.SimTime.Millis(), e.Events)
 }
 
-// Budget bounds one run; zero fields are unlimited.
+// Budget bounds one run; zero fields are unlimited. MaxEvents counts
+// deterministic simulation events and is the budget to use when comparing
+// sweeps across worker counts; Timeout is wall-clock, so a run sharing the
+// machine with other sweep workers burns it faster than a run alone.
 type Budget struct {
 	MaxEvents uint64
 	Timeout   time.Duration
 }
 
-// Default retry policy: one retry (two attempts) with a 50ms base backoff.
-const (
-	defaultMaxAttempts = 2
-	defaultBackoff     = 50 * time.Millisecond
-)
+// Default retry policy: one retry (two attempts).
+const defaultMaxAttempts = 2
 
 // Spec describes one benchmark run.
 type Spec struct {
@@ -102,8 +106,11 @@ type Spec struct {
 	// at the next-smaller size). Only budget/timeout failures retry, and
 	// only when a smaller size exists to degrade to.
 	MaxAttempts int
-	// Backoff is the base delay before a retry, doubled per attempt
-	// (0 means 50ms).
+	// Backoff is the base delay before a retry, doubled per attempt. Zero
+	// means no delay: the simulator is deterministic, so waiting cannot
+	// change a retry's outcome and would only idle a sweep worker. Set it
+	// for fault-injection experiments that deliberately want spaced
+	// attempts.
 	Backoff time.Duration
 }
 
@@ -120,6 +127,10 @@ type Outcome struct {
 	Degraded bool       // true when Size is smaller than requested
 	SimTime  sim.Tick
 	Events   uint64
+	// AttemptErrors records every failed attempt in order, so a degraded
+	// success still reports what the earlier attempts hit. On an overall
+	// failure the last entry equals *Err.
+	AttemptErrors []RunError
 }
 
 // Run executes one benchmark run fault-tolerantly. It never panics and
@@ -129,16 +140,17 @@ func Run(spec Spec) *Outcome {
 	if maxAttempts <= 0 {
 		maxAttempts = defaultMaxAttempts
 	}
-	backoff := spec.Backoff
-	if backoff <= 0 {
-		backoff = defaultBackoff
-	}
 	size := spec.Size
+	var attemptErrs []RunError
 	for attempt := 1; ; attempt++ {
 		out := runOnce(spec, size, attempt)
 		out.Attempts = attempt
 		out.Size = size
 		out.Degraded = size != spec.Size
+		if out.Err != nil {
+			attemptErrs = append(attemptErrs, *out.Err)
+		}
+		out.AttemptErrors = attemptErrs
 		if out.Err == nil {
 			return out
 		}
@@ -151,7 +163,9 @@ func Run(spec Spec) *Outcome {
 			return out
 		}
 		size = smaller
-		time.Sleep(backoff << (attempt - 1))
+		if spec.Backoff > 0 {
+			time.Sleep(spec.Backoff << (attempt - 1))
+		}
 	}
 }
 

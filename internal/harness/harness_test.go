@@ -220,6 +220,77 @@ func TestRunRetryDegradesSize(t *testing.T) {
 	}
 }
 
+// TestRunAttemptErrors pins the per-attempt accounting: a degraded-size
+// success still carries the RunError its first attempt hit, and an overall
+// failure's AttemptErrors ends with the final error.
+func TestRunAttemptErrors(t *testing.T) {
+	out := Run(Spec{
+		Bench: fakeBench{name: "degrade-acct", run: func(s *device.System, mode bench.Mode, size bench.Size) {
+			n := 100
+			if size == bench.SizeMedium {
+				n = 100000
+			}
+			s.BeginROI()
+			burnEvents(s, n)
+			s.EndROI()
+		}},
+		Mode: bench.ModeLimitedCopy, Size: bench.SizeMedium,
+		Budget: Budget{MaxEvents: 10000},
+	})
+	if out.Err != nil || !out.Degraded {
+		t.Fatalf("degraded retry should have succeeded: %+v", out.Err)
+	}
+	if len(out.AttemptErrors) != 1 {
+		t.Fatalf("AttemptErrors = %v", out.AttemptErrors)
+	}
+	first := &out.AttemptErrors[0]
+	if first.Kind != KindBudget || first.Attempt != 1 || first.Size != bench.SizeMedium {
+		t.Fatalf("first attempt error = %+v", first)
+	}
+
+	out = Run(Spec{
+		Bench: fakeBench{name: "always-over", run: okRun(100000)},
+		Mode:  bench.ModeLimitedCopy, Size: bench.SizeMedium,
+		Budget: Budget{MaxEvents: 1000},
+	})
+	if out.Err == nil || len(out.AttemptErrors) != 2 {
+		t.Fatalf("err=%v attempt errors=%v", out.Err, out.AttemptErrors)
+	}
+	if last := out.AttemptErrors[len(out.AttemptErrors)-1]; last.Error() != out.Err.Error() {
+		t.Fatalf("last attempt error %v != final error %v", &last, out.Err)
+	}
+	if out.AttemptErrors[0].Size != bench.SizeMedium || out.AttemptErrors[1].Size != bench.SizeSmall {
+		t.Fatalf("attempt sizes = %v", out.AttemptErrors)
+	}
+}
+
+// TestRunRetryNoDefaultBackoff: the simulator is deterministic, so a retry
+// must not sleep unless the spec opts in — a sleeping retry would idle a
+// sweep worker for nothing. The failing medium attempt burns only 10k
+// events, so anything near the old 50ms default backoff is a regression.
+func TestRunRetryNoDefaultBackoff(t *testing.T) {
+	start := time.Now()
+	out := Run(Spec{
+		Bench: fakeBench{name: "fast-retry", run: func(s *device.System, mode bench.Mode, size bench.Size) {
+			n := 100
+			if size == bench.SizeMedium {
+				n = 100000
+			}
+			s.BeginROI()
+			burnEvents(s, n)
+			s.EndROI()
+		}},
+		Mode: bench.ModeLimitedCopy, Size: bench.SizeMedium,
+		Budget: Budget{MaxEvents: 10000},
+	})
+	if out.Err != nil || out.Attempts != 2 {
+		t.Fatalf("err=%v attempts=%d", out.Err, out.Attempts)
+	}
+	if elapsed := time.Since(start); elapsed > 40*time.Millisecond {
+		t.Fatalf("zero-backoff retry took %v; is a default backoff sleeping?", elapsed)
+	}
+}
+
 // TestRunNoRetryAtSmallest: small has nothing to degrade to, so a budget
 // failure is final (the simulator is deterministic; same input, same
 // exhaustion).

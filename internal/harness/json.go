@@ -1,0 +1,67 @@
+package harness
+
+import "repro/internal/core"
+
+// RunErrorJSON is the marshal-friendly form of a RunError: every field a
+// post-sweep diagnosis needs, with enum types rendered as their names and
+// the panic stack dropped (it is bytes of prose, not data).
+type RunErrorJSON struct {
+	Benchmark string  `json:"benchmark"`
+	Mode      string  `json:"mode"`
+	Size      string  `json:"size"`
+	Kind      string  `json:"kind"`
+	Msg       string  `json:"msg"`
+	Attempt   int     `json:"attempt"`
+	SimMs     float64 `json:"sim_ms"`
+	Events    uint64  `json:"events"`
+}
+
+// JSON converts the error for machine-readable output.
+func (e *RunError) JSON() RunErrorJSON {
+	return RunErrorJSON{
+		Benchmark: e.Benchmark,
+		Mode:      e.Mode.String(),
+		Size:      e.Size.String(),
+		Kind:      e.Kind.String(),
+		Msg:       e.Msg,
+		Attempt:   e.Attempt,
+		SimMs:     e.SimTime.Millis(),
+		Events:    e.Events,
+	}
+}
+
+// OutcomeJSON is the machine-readable form of one harness run: the
+// outcome telemetry plus either the per-run report or the failure.
+type OutcomeJSON struct {
+	Size          string           `json:"size"`
+	Attempts      int              `json:"attempts"`
+	Degraded      bool             `json:"degraded"`
+	SimMs         float64          `json:"sim_ms"`
+	Events        uint64           `json:"events"`
+	Report        *core.ReportJSON `json:"report,omitempty"`
+	Error         *RunErrorJSON    `json:"error,omitempty"`
+	AttemptErrors []RunErrorJSON   `json:"attempt_errors,omitempty"`
+}
+
+// JSON converts the outcome for machine-readable output.
+func (o *Outcome) JSON() OutcomeJSON {
+	out := OutcomeJSON{
+		Size:     o.Size.String(),
+		Attempts: o.Attempts,
+		Degraded: o.Degraded,
+		SimMs:    o.SimTime.Millis(),
+		Events:   o.Events,
+	}
+	if o.Report != nil {
+		rep := o.Report.JSON()
+		out.Report = &rep
+	}
+	if o.Err != nil {
+		e := o.Err.JSON()
+		out.Error = &e
+	}
+	for i := range o.AttemptErrors {
+		out.AttemptErrors = append(out.AttemptErrors, o.AttemptErrors[i].JSON())
+	}
+	return out
+}

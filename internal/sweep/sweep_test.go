@@ -1,0 +1,71 @@
+package sweep
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestJobsResolution(t *testing.T) {
+	if Jobs(3) != 3 {
+		t.Fatal("positive job counts pass through")
+	}
+	if Jobs(0) != runtime.GOMAXPROCS(0) || Jobs(-1) != runtime.GOMAXPROCS(0) {
+		t.Fatal("non-positive job counts default to GOMAXPROCS")
+	}
+}
+
+// TestEachFillsEverySlot is the contract the experiments layer depends on:
+// every index runs exactly once, regardless of worker count.
+func TestEachFillsEverySlot(t *testing.T) {
+	for _, jobs := range []int{1, 2, 8, 0, 100} {
+		const n = 137
+		counts := make([]int32, n)
+		Each(jobs, n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("jobs=%d: slot %d ran %d times", jobs, i, c)
+			}
+		}
+	}
+}
+
+func TestEachEmpty(t *testing.T) {
+	Each(4, 0, func(i int) { t.Fatal("no tasks should run") })
+	Each(4, -1, func(i int) { t.Fatal("no tasks should run") })
+}
+
+// TestEachSerialOrder pins that jobs=1 is a plain in-order loop — the
+// serial reference the determinism tests compare the pool against.
+func TestEachSerialOrder(t *testing.T) {
+	var order []int
+	Each(1, 5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order broken: %v", order)
+		}
+	}
+}
+
+// TestEachActuallyConcurrent proves the pool overlaps work: with 4 workers
+// and 4 tasks that rendezvous on a barrier, all tasks must be in flight at
+// once (a serial loop would deadlock here, so a watchdog fails the test
+// instead).
+func TestEachActuallyConcurrent(t *testing.T) {
+	const n = 4
+	ready := make(chan struct{}, n)
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		Each(n, n, func(i int) {
+			ready <- struct{}{}
+			<-release
+		})
+		close(done)
+	}()
+	for i := 0; i < n; i++ {
+		<-ready
+	}
+	close(release)
+	<-done
+}
