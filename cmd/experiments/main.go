@@ -5,6 +5,8 @@
 //	experiments [-exp all|table1|table2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablation|faults]
 //	            [-size small|medium] [-jobs N] [-timeout 60s] [-max-events N]
 //	            [-inject PLAN] [-csv DIR] [-json FILE] [-q]
+//	            [-trace FILE] [-flame] [-progress]
+//	            [-cpuprofile FILE] [-memprofile FILE] [-pprof ADDR]
 //
 // Figures 4-9 come from one shared sweep of every benchmark in copy and
 // limited-copy mode; Figure 3 additionally runs the kmeans restructured
@@ -15,17 +17,34 @@
 // instead of aborting the sweep. -inject degrades the simulated hardware
 // for every run (see -exp faults for the curated degradation matrix).
 // -csv and -json export the sweep's rows for external tooling.
+//
+// -trace records the shared sweep into a Chrome trace-event / Perfetto
+// JSON file (one process per run; open it at https://ui.perfetto.dev).
+// -flame prints a text flame summary of the trace to stderr. -progress
+// emits live per-run start/retry/done lines on stderr; figures on stdout
+// stay byte-identical with it on or off.
+//
+// -cpuprofile/-memprofile write pprof profiles of the command itself
+// (the simulator host process, not the simulated machine); -pprof serves
+// net/http/pprof on the given address (e.g. localhost:6060) for live
+// inspection of a long sweep.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/experiments"
 	"repro/internal/harness"
+	"repro/internal/sweep"
+	"repro/internal/trace"
 
 	_ "repro/internal/suites/lonestar"
 	_ "repro/internal/suites/pannotia"
@@ -34,6 +53,12 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run holds the real main so deferred cleanup (profile flushes) survives
+// error exits; main turns its return into the process exit code.
+func run() int {
 	exp := flag.String("exp", "all", "which experiment: all, table1, table2, fig3..fig9, ablation, faults (comma-separated)")
 	sizeFlag := flag.String("size", "small", "input scale: small or medium")
 	csvDir := flag.String("csv", "", "also export the sweep as CSV files into this directory")
@@ -43,7 +68,55 @@ func main() {
 	maxEvents := flag.Uint64("max-events", 0, "simulation event budget per run (0 = unlimited)")
 	inject := flag.String("inject", "", "hardware fault plan for every run, e.g. pcie=0.25,fault=8,dram=0:100:600")
 	quiet := flag.Bool("q", false, "suppress progress output")
+	tracePath := flag.String("trace", "", "record the shared sweep as a Chrome trace-event / Perfetto JSON trace to this file")
+	flame := flag.Bool("flame", false, "print a text flame summary of the sweep trace to stderr (implies tracing)")
+	progress := flag.Bool("progress", false, "emit live per-run progress lines on stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the command to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile of the command to this file at exit")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-cpuprofile: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "-cpuprofile: %v\n", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "-memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "-memprofile: %v\n", err)
+			}
+		}()
+	}
+	if *pprofAddr != "" {
+		go func() {
+			// net/http/pprof registers its handlers on DefaultServeMux.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "-pprof: %v\n", err)
+			}
+		}()
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+		}
+	}
 
 	size := bench.SizeSmall
 	switch *sizeFlag {
@@ -52,13 +125,13 @@ func main() {
 		size = bench.SizeMedium
 	default:
 		fmt.Fprintf(os.Stderr, "unknown size %q\n", *sizeFlag)
-		os.Exit(2)
+		return 2
 	}
 	budget := harness.Budget{MaxEvents: *maxEvents, Timeout: *timeout}
 	fault, err := harness.ParseFaultPlan(*inject)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "-inject: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
 
 	want := map[string]bool{}
@@ -101,26 +174,42 @@ func main() {
 		}
 	}
 	if !needSweep {
-		return
+		return 0
 	}
 	opts := experiments.SweepOpts{
 		Budget: budget,
 		Fault:  fault,
 		Jobs:   *jobs,
+		Trace:  *tracePath != "" || *flame,
 		OnProgress: func(name, mode string) {
 			if !*quiet {
 				fmt.Fprintf(os.Stderr, "running %s (%s)...\n", name, mode)
 			}
 		},
 	}
+	if *progress {
+		opts.Progress = sweep.NewTracker(os.Stderr, 0)
+	}
 	res, errs := experiments.RunSweep(size, opts)
 	for i := range errs {
 		fmt.Fprintf(os.Stderr, "run failed: %v\n", &errs[i])
 	}
+	if *tracePath != "" {
+		if err := trace.WriteFile(*tracePath, res.Traces); err != nil {
+			fmt.Fprintf(os.Stderr, "trace export failed: %v\n", err)
+			return 1
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "wrote trace to %s\n", *tracePath)
+		}
+	}
+	if *flame {
+		fmt.Fprint(os.Stderr, trace.FlameText(res.Traces))
+	}
 	if *csvDir != "" {
 		if err := experiments.WriteCSVs(*csvDir, res); err != nil {
 			fmt.Fprintf(os.Stderr, "csv export failed: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "wrote CSVs to %s\n", *csvDir)
@@ -129,7 +218,7 @@ func main() {
 	if *jsonPath != "" {
 		if err := experiments.WriteJSON(*jsonPath, res); err != nil {
 			fmt.Fprintf(os.Stderr, "json export failed: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "wrote JSON to %s\n", *jsonPath)
@@ -153,4 +242,5 @@ func main() {
 	if sel("fig9") {
 		fmt.Println(experiments.Fig9Text(res))
 	}
+	return 0
 }

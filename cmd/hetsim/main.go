@@ -7,6 +7,7 @@
 //	hetsim -bench rodinia/kmeans[,parboil/spmv,...] [-mode copy|limited-copy|async-streams|parallel-chunked]
 //	       [-size small|medium] [-jobs N] [-timeout 60s] [-max-events N]
 //	       [-inject PLAN] [-json FILE] [-counters]
+//	       [-trace FILE] [-flame] [-progress]
 //	hetsim -list
 //
 // -bench takes a comma-separated list; the runs execute on -jobs workers
@@ -17,6 +18,12 @@
 // small. -inject degrades the simulated hardware, e.g.
 // -inject pcie=0.25,fault=8,dram=0:100:600. -json exports every outcome
 // (report, attempts, errors) as a JSON array.
+//
+// -trace records every run into a Chrome trace-event / Perfetto JSON file
+// (one process per run; open it at https://ui.perfetto.dev). -flame prints
+// a text flame summary of the trace to stderr. -progress emits live
+// per-run start/retry/done lines on stderr; reports on stdout stay
+// byte-identical with it on or off.
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/harness"
 	"repro/internal/sweep"
+	"repro/internal/trace"
 
 	_ "repro/internal/suites/lonestar"
 	_ "repro/internal/suites/pannotia"
@@ -47,6 +55,9 @@ func main() {
 	inject := flag.String("inject", "", "hardware fault plan, e.g. pcie=0.25,fault=8,dram=0:100:600")
 	jsonPath := flag.String("json", "", "export every run's outcome as a JSON array to this file")
 	counters := flag.Bool("counters", false, "also dump every hardware counter")
+	tracePath := flag.String("trace", "", "record a Chrome trace-event / Perfetto JSON trace to this file")
+	flame := flag.Bool("flame", false, "print a text flame summary of the trace to stderr (implies tracing)")
+	progress := flag.Bool("progress", false, "emit live per-run progress lines on stderr")
 	list := flag.Bool("list", false, "list available benchmarks")
 	flag.Parse()
 
@@ -109,15 +120,64 @@ func main() {
 		os.Exit(2)
 	}
 
+	tracing := *tracePath != "" || *flame
+	var recs []*trace.Recorder
+	if tracing {
+		recs = make([]*trace.Recorder, len(benches))
+		for i := range recs {
+			recs[i] = trace.New()
+		}
+	}
+	var prog *sweep.Tracker
+	if *progress {
+		prog = sweep.NewTracker(os.Stderr, len(benches))
+	}
+
 	// Run every benchmark on the worker pool; print in the order listed.
 	outs := make([]*harness.Outcome, len(benches))
 	sweep.Each(*jobs, len(benches), func(i int) {
-		outs[i] = harness.Run(harness.Spec{
+		runName := benches[i].Info().FullName() + " " + mode.String()
+		prog.Start(runName)
+		spec := harness.Spec{
 			Bench: benches[i], Mode: mode, Size: size,
 			Budget: harness.Budget{MaxEvents: *maxEvents, Timeout: time.Duration(*timeout)},
 			Fault:  fault,
-		})
+		}
+		if tracing {
+			spec.Trace = recs[i]
+		}
+		if prog != nil {
+			spec.OnRetry = func(next bench.Size, err *harness.RunError) {
+				prog.Retry(runName, fmt.Sprintf("at %s after %s", next, err.Kind))
+			}
+		}
+		outs[i] = harness.Run(spec)
+		if out := outs[i]; out.Err != nil {
+			prog.Finish(runName, false, out.Err.Kind.String()+": "+out.Err.Msg)
+		} else {
+			prog.Finish(runName, true, fmt.Sprintf("%.3f ms sim, %d events", out.SimTime.Millis(), out.Events))
+		}
 	})
+	prog.Summary()
+
+	if tracing {
+		runs := make([]trace.RunTrace, len(benches))
+		for i, b := range benches {
+			runs[i] = trace.RunTrace{
+				Name: b.Info().FullName() + " " + mode.String() + " " + outs[i].Size.String(),
+				Rec:  recs[i],
+			}
+		}
+		if *tracePath != "" {
+			if err := trace.WriteFile(*tracePath, runs); err != nil {
+				fmt.Fprintf(os.Stderr, "trace export failed: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *flame {
+			fmt.Fprint(os.Stderr, trace.FlameText(runs))
+		}
+	}
 
 	if *jsonPath != "" {
 		docs := make([]harness.OutcomeJSON, len(outs))

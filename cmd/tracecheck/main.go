@@ -1,0 +1,53 @@
+// Command tracecheck validates a Chrome trace-event / Perfetto JSON file
+// produced by -trace: the document must parse, every event must carry a
+// name and a positive pid, phases must be ones the exporter emits, and
+// timestamps must be finite, non-negative, and non-decreasing. CI runs it
+// on the traced sweep's artifact so a malformed trace fails the build
+// instead of failing the first person who opens it in Perfetto.
+//
+// Usage:
+//
+//	tracecheck FILE...
+//
+// Prints one summary line per file; exits 1 if any file is invalid.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck FILE...")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	bad := false
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
+			bad = true
+			continue
+		}
+		fs, err := trace.Validate(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: INVALID: %v\n", path, err)
+			bad = true
+			continue
+		}
+		fmt.Printf("%s: ok: %d events (%d spans, %d instants, %d metadata) across %d processes\n",
+			path, fs.Events, fs.Spans, fs.Instants, fs.Metadata, fs.Processes)
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"repro/internal/memory"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // StageKind discriminates pipeline stages.
@@ -53,7 +54,21 @@ type Collector struct {
 	Ctr       *stats.Counters
 	LineBytes int
 
+	// Tr is the run's trace sink (nil when untraced; every call is
+	// nil-safe). All busy-timeline additions are routed through addBusy so
+	// the trace's activity spans and TL are the same emissions — the
+	// invariant that makes trace-derived busy totals equal the figure
+	// timelines to the cycle.
+	Tr *trace.Recorder
+	// HW is the system's hardware counter group, snapshotted at every
+	// stage boundary into Phases.
+	HW *stats.Counters
+
 	Stages []*Stage
+	// Phases holds the counter deltas observed at each stage boundary, in
+	// boundary order.
+	Phases []PhaseSnapshot
+	hwPrev map[string]uint64
 
 	foot map[memory.Addr]stats.ComponentSet
 	// footMemo is a direct-mapped filter in front of the footprint map:
@@ -102,6 +117,47 @@ func (c *Collector) EndROI(t sim.Tick) {
 // ROI reports the recorded region of interest.
 func (c *Collector) ROI() (start, end sim.Tick) { return c.roiStart, c.roiEnd }
 
+// PhaseSnapshot is the delta of every hardware counter across one
+// pipeline-stage boundary: what the machine did between the previous
+// boundary and this one. Exported per run in the -json sweep document.
+type PhaseSnapshot struct {
+	Seq      int       // boundary order, 1-based
+	Boundary string    // "begin" or "end"
+	StageID  int       // the stage whose boundary this is
+	Kind     StageKind // that stage's kind
+	Name     string    // that stage's name
+	At       sim.Tick  // simulated time of the boundary
+	Deltas   map[string]uint64
+}
+
+// snapshotPhase records the counter delta since the previous boundary.
+// Empty deltas are kept: a boundary with no counter movement is itself
+// information (e.g. a fully cache-resident CPU phase).
+func (c *Collector) snapshotPhase(boundary string, s *Stage, at sim.Tick) {
+	if c.HW == nil {
+		return
+	}
+	if c.hwPrev == nil {
+		c.hwPrev = c.HW.Snapshot()
+	}
+	c.Phases = append(c.Phases, PhaseSnapshot{
+		Seq:      len(c.Phases) + 1,
+		Boundary: boundary,
+		StageID:  s.ID,
+		Kind:     s.Kind,
+		Name:     s.Name,
+		At:       at,
+		Deltas:   c.HW.TakeDelta(c.hwPrev),
+	})
+}
+
+// addBusy is the single funnel for component busy time: one call feeds
+// both the stats timeline and the trace's activity span.
+func (c *Collector) addBusy(comp stats.Component, cat, name string, start, end sim.Tick) {
+	c.TL.Add(comp, start, end)
+	c.Tr.Activity(comp, cat, name, start, end)
+}
+
 // StageBegin opens a stage record and advances the global stage clock that
 // the classifier keys on.
 func (c *Collector) StageBegin(kind StageKind, name string, comp stats.Component, launchStart, launchDur, start sim.Tick) *Stage {
@@ -116,6 +172,7 @@ func (c *Collector) StageBegin(kind StageKind, name string, comp stats.Component
 	}
 	c.Stages = append(c.Stages, s)
 	c.SC.S = s.ID
+	c.snapshotPhase("begin", s, start)
 	return s
 }
 
@@ -125,13 +182,19 @@ func (c *Collector) StageEnd(s *Stage, end sim.Tick, flops, bytes uint64) {
 	s.FLOPs = flops
 	s.Bytes = bytes
 	c.flops[s.Comp] += flops
-	c.TL.Add(s.Comp, s.Start, s.End)
+	c.addBusy(s.Comp, "stage", s.Kind.String()+" "+s.Name, s.Start, s.End)
+	c.snapshotPhase("end", s, end)
 }
 
 // AddActivity records extra component activity outside a stage (e.g. CPU
 // page-fault handler occupancy).
 func (c *Collector) AddActivity(comp stats.Component, start, end sim.Tick) {
-	c.TL.Add(comp, start, end)
+	c.addBusy(comp, "activity", "activity", start, end)
+}
+
+// AddActivityNamed is AddActivity with a descriptive trace label.
+func (c *Collector) AddActivityNamed(comp stats.Component, name string, start, end sim.Tick) {
+	c.addBusy(comp, "activity", name, start, end)
 }
 
 const footMemoSize = 1024

@@ -41,6 +41,9 @@ type Report struct {
 	FLOPs [stats.NumComponents]uint64
 
 	Stages int
+
+	// Phases carries the per-stage-boundary counter snapshots.
+	Phases []PhaseSnapshot
 }
 
 // BuildReport derives a Report from a finished collector run.
@@ -66,6 +69,7 @@ func BuildReport(c *Collector, bench, system, mode string, fcpu, fgpu float64) *
 		BWLimitedFrac:  c.BWLimitedFraction(0.70),
 		FLOPs:          c.FLOPsByComp(),
 		Stages:         len(c.Stages),
+		Phases:         c.Phases,
 	}
 	r.Rco = ComponentOverlap(r.CPUActive, r.Cserial, r.CopyActive, r.GPUActive)
 	memBytes := (r.DRAMAccesses[stats.CPU] + r.DRAMAccesses[stats.GPU]) * uint64(c.LineBytes)
@@ -103,6 +107,18 @@ type ReportJSON struct {
 	BWLimitedFrac  float64           `json:"bw_limited_frac"`
 	FLOPs          map[string]uint64 `json:"flops"`
 	Stages         int               `json:"stages"`
+	Phases         []PhaseJSON       `json:"phases,omitempty"`
+}
+
+// PhaseJSON is the marshal form of one PhaseSnapshot.
+type PhaseJSON struct {
+	Seq      int               `json:"seq"`
+	Boundary string            `json:"boundary"`
+	StageID  int               `json:"stage_id"`
+	Kind     string            `json:"kind"`
+	Name     string            `json:"name"`
+	AtMs     float64           `json:"at_ms"`
+	Deltas   map[string]uint64 `json:"counter_deltas,omitempty"`
 }
 
 // JSON converts the report for machine-readable output.
@@ -140,6 +156,20 @@ func (r *Report) JSON() ReportJSON {
 	}
 	for c := Class(0); c < NumClasses; c++ {
 		out.ClassCounts[c.String()] = r.ClassCounts[c]
+	}
+	out.Phases = PhasesJSON(r.Phases)
+	return out
+}
+
+// PhasesJSON converts phase snapshots to their marshal form; nil in, nil out.
+func PhasesJSON(phases []PhaseSnapshot) []PhaseJSON {
+	var out []PhaseJSON
+	for _, p := range phases {
+		out = append(out, PhaseJSON{
+			Seq: p.Seq, Boundary: p.Boundary, StageID: p.StageID,
+			Kind: p.Kind.String(), Name: p.Name, AtMs: p.At.Millis(),
+			Deltas: p.Deltas,
+		})
 	}
 	return out
 }

@@ -8,10 +8,13 @@ package cpucore
 import (
 	"container/heap"
 
+	"fmt"
+
 	"repro/internal/isa"
 	"repro/internal/memory"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/vm"
 )
 
@@ -34,6 +37,7 @@ type Core struct {
 	VM            *vm.Manager
 	Ctr           *stats.Counters
 	LineBytes     int
+	Tr            *trace.Recorder // optional trace sink (nil-safe)
 }
 
 type tickHeap []sim.Tick
@@ -49,6 +53,7 @@ type run struct {
 	tr    isa.Trace
 	comp  stats.Component
 	idx   int
+	start sim.Tick
 	t     sim.Tick
 	out   tickHeap // outstanding load completions
 	flops uint64
@@ -59,7 +64,7 @@ type run struct {
 // time and FLOPs executed. Replay is event-driven in quantum slices so that
 // concurrent components contend for memory honestly.
 func (c *Core) RunTrace(start sim.Tick, comp stats.Component, tr isa.Trace, done func(end sim.Tick, flops uint64)) {
-	r := &run{c: c, tr: tr, comp: comp, t: start, done: done}
+	r := &run{c: c, tr: tr, comp: comp, start: start, t: start, done: done}
 	c.Eng.At(start, r.step)
 }
 
@@ -113,6 +118,8 @@ func (r *run) step() {
 	}
 	c.Ctr.Add("cpu.flops", r.flops)
 	c.Ctr.Add("cpu.trace_ops", uint64(len(r.tr)))
+	c.Tr.Span(r.comp, fmt.Sprintf("CPU core %d", c.ID), "task", "task trace", r.start, end,
+		trace.Arg{Key: "flops", Val: r.flops}, trace.Arg{Key: "ops", Val: len(r.tr)})
 	r.done(end, r.flops)
 }
 

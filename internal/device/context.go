@@ -155,7 +155,7 @@ func (s *System) LaunchAsync(k KernelSpec, deps ...*Handle) *Handle {
 		launchDur := sim.Tick(s.Cfg.KernelLaunchNs * float64(sim.Nanosecond))
 		launchStart := s.hostMux.Claim(ready, launchDur)
 		start := launchStart + launchDur
-		s.Col.AddActivity(stats.CPU, launchStart, start)
+		s.Col.AddActivityNamed(stats.CPU, "launch "+k.Name, launchStart, start)
 		s.Eng.At(start, func() { s.launchOnGPU(k, launchStart, launchDur, h) })
 	})
 	return h
@@ -235,7 +235,7 @@ func (s *System) copyAsync(dst, src *Alloc, n int, funcCopy func(), deps []*Hand
 		launchDur := sim.Tick(s.Cfg.KernelLaunchNs * float64(sim.Nanosecond))
 		launchStart := s.hostMux.Claim(ready, launchDur)
 		start := launchStart + launchDur
-		s.Col.AddActivity(stats.CPU, launchStart, start)
+		s.Col.AddActivityNamed(stats.CPU, "launch copy", launchStart, start)
 
 		// Coherence actions: write back dirty source lines so the DMA reads
 		// fresh data; invalidate destination lines everywhere ("written

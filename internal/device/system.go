@@ -21,6 +21,7 @@ import (
 	"repro/internal/pcie"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/vm"
 )
 
@@ -31,6 +32,10 @@ type System struct {
 	Eng *sim.Engine
 	Col *core.Collector
 	Ctr *stats.Counters
+	// Tr is the run's trace sink, nil unless the system was built with
+	// WithTrace. Every emission site is nil-safe, so untraced runs pay
+	// only a nil check.
+	Tr *trace.Recorder
 
 	cpuSpace *memory.Space // discrete only; hetero aliases sharedSpace
 	gpuSpace *memory.Space
@@ -86,11 +91,20 @@ func ChecksumI32(v []int32) float64 {
 	return acc
 }
 
+// Option customizes system construction.
+type Option func(*System)
+
+// WithTrace attaches a trace recorder: every hardware model in the built
+// system emits its events into tr.
+func WithTrace(tr *trace.Recorder) Option {
+	return func(s *System) { s.Tr = tr }
+}
+
 // NewSystem builds and wires a machine from a validated configuration. An
 // invalid configuration aborts with a *UsageError (use NewSystemErr for a
 // plain error return).
-func NewSystem(cfg config.System) *System {
-	s, err := NewSystemErr(cfg)
+func NewSystem(cfg config.System, opts ...Option) *System {
+	s, err := NewSystemErr(cfg, opts...)
 	if err != nil {
 		panic(err)
 	}
@@ -100,7 +114,7 @@ func NewSystem(cfg config.System) *System {
 // NewSystemErr builds and wires a machine, returning an error rather than
 // aborting on an invalid configuration — the entry point the fault-tolerant
 // harness uses.
-func NewSystemErr(cfg config.System) (*System, error) {
+func NewSystemErr(cfg config.System, opts ...Option) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, &UsageError{Op: "NewSystem", Msg: "invalid config: " + err.Error()}
 	}
@@ -109,7 +123,12 @@ func NewSystemErr(cfg config.System) (*System, error) {
 		Eng: sim.NewEngine(),
 		Ctr: stats.NewCounters(),
 	}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.Col = core.NewCollector(cfg.LineBytes, cfg.GPUMem.BytesPerSec)
+	s.Col.Tr = s.Tr
+	s.Col.HW = s.Ctr
 
 	line := cfg.LineBytes
 	switchLat := sim.Tick(cfg.SwitchLatNs * float64(sim.Nanosecond))
@@ -156,9 +175,10 @@ func NewSystemErr(cfg config.System) (*System, error) {
 		GPUFaultServ:  sim.Tick(cfg.VM.GPUFaultServNs * float64(sim.Nanosecond)),
 		ServMult:      cfg.Faults.FaultLatMult,
 	}, s.Ctr)
+	s.vmm.Tr = s.Tr
 	if cfg.VM.GPUFaultToCPU {
 		s.vmm.OnCPUHandled = func(start, end sim.Tick, page memory.Addr) {
-			s.Col.AddActivity(stats.CPU, start, end)
+			s.Col.AddActivityNamed(stats.CPU, "page-fault handler", start, end)
 			if cfg.VM.HandlerClearPage {
 				// The handler zeroes the page: CPU-attributed DRAM writes.
 				for a := page; a < page+memory.Addr(cfg.VM.PageBytes); a += memory.Addr(line) {
@@ -191,6 +211,7 @@ func NewSystemErr(cfg config.System) (*System, error) {
 			ID: i, Eng: s.Eng, Clk: sim.NewClock(cfg.CPU.ClockHz),
 			IssueWidth: cfg.CPU.IssueWidth, FLOPsPerCycle: cfg.CPU.FLOPsPerCycle,
 			MLP: cfg.CPU.MLP, Mem: l1, SrcID: i, VM: s.vmm, Ctr: s.Ctr, LineBytes: line,
+			Tr: s.Tr,
 		})
 		s.freeCores = append(s.freeCores, i)
 	}
@@ -216,6 +237,7 @@ func NewSystemErr(cfg config.System) (*System, error) {
 		s.gpuL1s = append(s.gpuL1s, l1)
 	}
 	s.gpu = gpucore.New(s.Eng, cfg.GPU, s.gpuL1s, s.vmm, line, s.Ctr)
+	s.gpu.Tr = s.Tr
 
 	// Copy engine: PCIe DMA in the discrete system. The heterogeneous
 	// processor keeps an in-memory copy path for the few residual memcpys of
@@ -240,6 +262,10 @@ func NewSystemErr(cfg config.System) (*System, error) {
 		s.gpuDRAM.StallChannel(cfg.Faults.DRAMStallChannel,
 			sim.Tick(cfg.Faults.DRAMStallStartUs*float64(sim.Microsecond)),
 			sim.Tick(cfg.Faults.DRAMStallEndUs*float64(sim.Microsecond)))
+	}
+	s.dma.Tr = s.Tr
+	for _, c := range s.allCaches() {
+		c.Tr = s.Tr
 	}
 	return s, nil
 }

@@ -1,0 +1,147 @@
+package device
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// tracedPipeline runs one copy→kernel→copy-back→CPU-task pipeline on s,
+// exercising every emitting hardware model in a single ROI.
+func tracedPipeline(t *testing.T, s *System) {
+	t.Helper()
+	n := 4096
+	a := AllocBuf[float32](s, n, "a", Host)
+	b := AllocBuf[float32](s, n, "b", Host)
+	for i := range a.V {
+		a.V[i] = float32(i)
+	}
+	s.BeginROI()
+	da, _ := ToDevice(s, a)
+	db, _ := ToDevice(s, b)
+	s.Drain()
+	s.Launch(KernelSpec{
+		Name: "scale", Grid: n / 256, Block: 256,
+		Func: func(th *Thread) {
+			i := th.Global()
+			v := Ld(th, da, i)
+			th.FLOP(1)
+			St(th, db, i, v*2)
+		},
+	})
+	FromDevice(s, b, db)
+	s.CPUTask(CPUTaskSpec{
+		Name: "check", Threads: 2,
+		Func: func(c *CPUThread) {
+			lo, hi := c.TID()*n/2, (c.TID()+1)*n/2
+			for i := lo; i < hi; i++ {
+				_ = Ld(c, b, i)
+				c.FLOP(1)
+			}
+		},
+	})
+	s.EndROI()
+	if b.V[1000] != 2000 {
+		t.Fatalf("pipeline result wrong: %v", b.V[1000])
+	}
+}
+
+// TestTraceBusyMatchesTimeline pins the PR's core invariant: the busy
+// totals derived from the trace's activity spans equal the stats timeline
+// totals to the cycle, because both come from the same Collector emission.
+func TestTraceBusyMatchesTimeline(t *testing.T) {
+	for _, cfg := range []config.System{config.DiscreteGPU(), config.HeteroProcessor()} {
+		tr := trace.New()
+		s := NewSystem(cfg, WithTrace(tr))
+		tracedPipeline(t, s)
+		got := tr.ActivityTotals()
+		for c := stats.Component(0); c < stats.NumComponents; c++ {
+			want := s.Col.TL.Active(c)
+			if got[c] != want {
+				t.Errorf("%s: trace busy %s = %d ps, timeline = %d ps", cfg.Kind, c, got[c], want)
+			}
+		}
+		if s.Col.TL.Active(stats.GPU) == 0 {
+			t.Fatalf("%s: pipeline recorded no GPU activity", cfg.Kind)
+		}
+		if tr.Len() == 0 {
+			t.Fatalf("%s: traced run emitted no events", cfg.Kind)
+		}
+	}
+}
+
+// TestTraceExportRoundTrip exports a real run and validates the JSON the
+// same way cmd/tracecheck does.
+func TestTraceExportRoundTrip(t *testing.T) {
+	tr := trace.New()
+	s := NewSystem(config.DiscreteGPU(), WithTrace(tr))
+	tracedPipeline(t, s)
+	var buf bytes.Buffer
+	if err := trace.WriteJSON(&buf, []trace.RunTrace{{Name: "pipeline", Rec: tr}}); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := trace.Validate(buf.Bytes())
+	if err != nil {
+		t.Fatalf("exported trace invalid: %v", err)
+	}
+	if fs.Spans == 0 || fs.Instants == 0 || fs.Processes != 1 {
+		t.Fatalf("unexpected file stats: %+v", fs)
+	}
+}
+
+// TestTracingDoesNotChangeResults pins the byte-identical guarantee: the
+// same workload with tracing on and off produces the same report text and
+// the same phase snapshots.
+func TestTracingDoesNotChangeResults(t *testing.T) {
+	plain := NewSystem(config.DiscreteGPU())
+	tracedSys := NewSystem(config.DiscreteGPU(), WithTrace(trace.New()))
+	tracedPipeline(t, plain)
+	tracedPipeline(t, tracedSys)
+	a, b := plain.Report("t", "x"), tracedSys.Report("t", "x")
+	if a.String() != b.String() {
+		t.Fatalf("report text diverged with tracing on:\n--- off:\n%s\n--- on:\n%s", a, b)
+	}
+	if len(a.Phases) != len(b.Phases) {
+		t.Fatalf("phase count diverged: %d vs %d", len(a.Phases), len(b.Phases))
+	}
+}
+
+// TestPhaseSnapshotsAlwaysOn checks that stage-boundary counter snapshots
+// are recorded on every system, traced or not, with paired boundaries.
+func TestPhaseSnapshotsAlwaysOn(t *testing.T) {
+	s := NewSystem(config.DiscreteGPU())
+	tracedPipeline(t, s)
+	rep := s.Report("t", "x")
+	if len(rep.Phases) == 0 {
+		t.Fatal("no phase snapshots on untraced system")
+	}
+	if len(rep.Phases)%2 != 0 {
+		t.Fatalf("odd snapshot count %d; boundaries must pair begin/end", len(rep.Phases))
+	}
+	begins, ends, anyDelta := 0, 0, false
+	for i, p := range rep.Phases {
+		if p.Seq != i+1 {
+			t.Fatalf("snapshot %d has seq %d, want %d (1-based)", i, p.Seq, i+1)
+		}
+		switch p.Boundary {
+		case "begin":
+			begins++
+		case "end":
+			ends++
+		default:
+			t.Fatalf("snapshot %d has boundary %q", i, p.Boundary)
+		}
+		if len(p.Deltas) > 0 {
+			anyDelta = true
+		}
+	}
+	if begins != ends {
+		t.Fatalf("begin/end mismatch: %d vs %d", begins, ends)
+	}
+	if !anyDelta {
+		t.Fatal("no snapshot recorded any counter delta")
+	}
+}

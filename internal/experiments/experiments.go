@@ -25,7 +25,9 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/sim"
 	"repro/internal/sweep"
+	"repro/internal/trace"
 )
 
 // Results caches one full sweep: every benchmark in copy and limited-copy
@@ -46,6 +48,29 @@ type Results struct {
 	// Notes records retry substitutions (e.g. a budget-exceeded medium run
 	// that reran at small), in the same stable order.
 	Notes []string
+	// Runs holds per-run telemetry for every run of the sweep — success
+	// and failure alike — in the registry's stable (benchmark, mode)
+	// order. Exported as the "runs" section of the -json sweep doc.
+	Runs []RunMeta
+	// Traces holds one named recorder per run, in the same stable order,
+	// when the sweep ran with SweepOpts.Trace. Nil otherwise.
+	Traces []trace.RunTrace
+}
+
+// RunMeta is one run's outcome telemetry: the core fields every run
+// reports whether it succeeded or failed, traced or untraced.
+type RunMeta struct {
+	Benchmark string
+	Mode      bench.Mode
+	Size      bench.Size // size that actually ran (may be degraded)
+	Attempts  int
+	Degraded  bool
+	Failed    bool
+	SimTime   sim.Tick
+	Events    uint64
+	// Phases carries the stage-boundary counter snapshots of the final
+	// attempt (nil when the run produced no report).
+	Phases []core.PhaseSnapshot
 }
 
 // SweepOpts configures a fault-tolerant sweep.
@@ -71,6 +96,13 @@ type SweepOpts struct {
 	// receives that run's private spec, but the hook itself must be safe
 	// for concurrent use when Jobs > 1.
 	PerRun func(spec *harness.Spec)
+	// Trace records a per-run trace for every run; the recorders come back
+	// in Results.Traces for export.
+	Trace bool
+	// Progress, when non-nil, receives live start/retry/finish lines for
+	// every run. It writes to its own stream, so the sweep's primary
+	// output is unaffected.
+	Progress *sweep.Tracker
 }
 
 // Run executes the full sweep with default options. Failed runs come back
@@ -125,23 +157,65 @@ func RunSweep(size bench.Size, opts SweepOpts) (*Results, []harness.RunError) {
 	}
 
 	outs := make([]*harness.Outcome, len(slots))
+	var recs []*trace.Recorder
+	if opts.Trace {
+		recs = make([]*trace.Recorder, len(slots))
+		for i := range recs {
+			recs[i] = trace.New()
+		}
+	}
+	opts.Progress.SetTotal(len(slots))
 	var progressMu sync.Mutex
 	sweep.Each(opts.Jobs, len(slots), func(i int) {
 		s := slots[i]
+		runName := s.name + " " + s.mode.String()
 		if opts.OnProgress != nil {
 			progressMu.Lock()
 			opts.OnProgress(s.name, s.mode.String())
 			progressMu.Unlock()
 		}
+		opts.Progress.Start(runName)
 		spec := harness.Spec{Bench: s.b, Mode: s.mode, Size: size, Budget: opts.Budget, Fault: opts.Fault}
+		if opts.Trace {
+			spec.Trace = recs[i]
+		}
+		if opts.Progress != nil {
+			spec.OnRetry = func(next bench.Size, err *harness.RunError) {
+				opts.Progress.Retry(runName, fmt.Sprintf("%s at %s, degrading to %s", err.Kind, err.Size, next))
+			}
+		}
 		if opts.PerRun != nil {
 			opts.PerRun(&spec)
 		}
 		outs[i] = harness.Run(spec)
+		if opts.Progress != nil {
+			out := outs[i]
+			if out.Err != nil {
+				opts.Progress.Finish(runName, false, out.Err.Kind.String()+": "+out.Err.Msg)
+			} else {
+				opts.Progress.Finish(runName, true, fmt.Sprintf("%.3f ms sim, %d events", out.SimTime.Millis(), out.Events))
+			}
+		}
 	})
+	opts.Progress.Summary()
 
 	for i, s := range slots {
 		out := outs[i]
+		meta := RunMeta{
+			Benchmark: s.name, Mode: s.mode, Size: out.Size,
+			Attempts: out.Attempts, Degraded: out.Degraded, Failed: out.Err != nil,
+			SimTime: out.SimTime, Events: out.Events,
+		}
+		if out.Report != nil {
+			meta.Phases = out.Report.Phases
+		}
+		r.Runs = append(r.Runs, meta)
+		if opts.Trace {
+			r.Traces = append(r.Traces, trace.RunTrace{
+				Name: s.name + " " + s.mode.String() + " " + out.Size.String(),
+				Rec:  recs[i],
+			})
+		}
 		if out.Err != nil {
 			r.Failed = append(r.Failed, *out.Err)
 			continue

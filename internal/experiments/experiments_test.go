@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bytes"
 	"encoding/json"
 	"math"
 	"os"
@@ -13,6 +14,8 @@ import (
 	"repro/internal/harness"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/sweep"
+	"repro/internal/trace"
 
 	_ "repro/internal/suites/lonestar"
 	_ "repro/internal/suites/pannotia"
@@ -373,5 +376,81 @@ func TestWriteCSVs(t *testing.T) {
 		if !strings.Contains(lines[1], "x/y") {
 			t.Fatalf("%s: missing benchmark row", f)
 		}
+	}
+}
+
+// TestSweepTracedWithProgress is the observability acceptance test: a
+// rigged sweep run with tracing and progress enabled must (a) render the
+// same figure bytes as the untraced run, (b) export a valid trace with
+// one process per run, (c) report every run — success and failure alike —
+// in the symmetric runs section, and (d) stream progress lines on its own
+// writer.
+func TestSweepTracedWithProgress(t *testing.T) {
+	only := []string{"rodinia/kmeans", "rodinia/srad"}
+	rig := func(spec *harness.Spec) {
+		if spec.Bench.Info().FullName() == "rodinia/kmeans" {
+			spec.Budget.MaxEvents = 1 // fails fast on every attempt
+		}
+	}
+	plain, _ := RunSweep(bench.SizeSmall, SweepOpts{Only: only, PerRun: rig})
+	var progress bytes.Buffer
+	traced, _ := RunSweep(bench.SizeSmall, SweepOpts{
+		Only: only, PerRun: rig,
+		Trace:    true,
+		Progress: sweep.NewTracker(&progress, 0),
+	})
+
+	for name, render := range map[string]func(*Results) string{
+		"fig4": Fig4Text, "fig6": Fig6Text, "fig9": Fig9Text,
+	} {
+		if a, b := render(plain), render(traced); a != b {
+			t.Fatalf("%s differs with tracing on:\n--- off\n%s\n--- on\n%s", name, a, b)
+		}
+	}
+
+	n := len(traced.Runs) // base modes plus kmeans's extra modes
+	if n < 4 || len(traced.Traces) != n {
+		t.Fatalf("Traces = %d recorders for %d runs", len(traced.Traces), n)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteJSON(&buf, traced.Traces); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := trace.Validate(buf.Bytes())
+	if err != nil {
+		t.Fatalf("sweep trace invalid: %v", err)
+	}
+	if fs.Processes != n || fs.Spans == 0 {
+		t.Fatalf("file stats = %+v, want %d processes with spans", fs, n)
+	}
+
+	var okRuns, failedRuns int
+	for _, m := range traced.Runs {
+		if m.Failed {
+			failedRuns++
+		} else {
+			okRuns++
+			if m.SimTime <= 0 || m.Events == 0 || len(m.Phases) == 0 {
+				t.Fatalf("successful run missing telemetry: %+v", m)
+			}
+		}
+	}
+	if okRuns != 2 || failedRuns != n-2 { // srad's two base modes succeed
+		t.Fatalf("runs split %d ok / %d failed, want 2/%d", okRuns, failedRuns, n-2)
+	}
+	doc := traced.JSON()
+	if len(doc.Runs) != n {
+		t.Fatalf("sweep doc runs section has %d records, want %d", len(doc.Runs), n)
+	}
+
+	out := progress.String()
+	for _, want := range []string{"start ", "done  ", "FAILED", "sweep complete: "} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("progress output missing %q:\n%s", want, out)
+		}
+	}
+	// Untraced sweeps must not retain recorders.
+	if plain.Traces != nil {
+		t.Fatalf("untraced sweep kept %d recorders", len(plain.Traces))
 	}
 }

@@ -3,6 +3,8 @@ package experiments
 import (
 	"encoding/json"
 	"os"
+
+	"repro/internal/core"
 )
 
 // FigDoc pairs one figure's rows with its summary in the JSON export.
@@ -13,8 +15,9 @@ type FigDoc[Row, Summary any] struct {
 
 // SweepDoc is the machine-readable export of a sweep: the same typed rows
 // the text figures and CSVs render, one section per figure, plus the
-// footnote metadata for partial sweeps. Figures 7 and 8 share their model
-// rows (fig78) and keep separate summaries.
+// footnote metadata for partial sweeps and one telemetry record per run
+// (successes and failures reported symmetrically). Figures 7 and 8 share
+// their model rows (fig78) and keep separate summaries.
 type SweepDoc struct {
 	Size      string                       `json:"size"`
 	Fig4      FigDoc[Fig4Row, Fig4Summary] `json:"fig4_footprint"`
@@ -25,6 +28,22 @@ type SweepDoc struct {
 	Fig8      Fig8Summary                  `json:"fig8_summary"`
 	Fig9      FigDoc[Fig9Row, Fig9Summary] `json:"fig9_classification"`
 	Footnotes Footnotes                    `json:"footnotes"`
+	Runs      []RunDocJSON                 `json:"runs,omitempty"`
+}
+
+// RunDocJSON is one run's telemetry in the sweep doc. Every run of the
+// sweep gets a record with the same core fields whether it succeeded or
+// failed, so post-sweep tooling never special-cases the success path.
+type RunDocJSON struct {
+	Benchmark string           `json:"benchmark"`
+	Mode      string           `json:"mode"`
+	Size      string           `json:"size"`
+	Attempts  int              `json:"attempts"`
+	Degraded  bool             `json:"degraded,omitempty"`
+	Failed    bool             `json:"failed,omitempty"`
+	SimMs     float64          `json:"sim_ms"`
+	Events    uint64           `json:"events"`
+	Phases    []core.PhaseJSON `json:"phases,omitempty"`
 }
 
 // JSON reduces the sweep to its export document.
@@ -35,6 +54,14 @@ func (r *Results) JSON() SweepDoc {
 	doc.Fig6.Rows, doc.Fig6.Summary = Fig6Rows(r)
 	doc.Fig78Rows, doc.Fig7, doc.Fig8 = Fig78Rows(r)
 	doc.Fig9.Rows, doc.Fig9.Summary = Fig9Rows(r)
+	for _, m := range r.Runs {
+		doc.Runs = append(doc.Runs, RunDocJSON{
+			Benchmark: m.Benchmark, Mode: m.Mode.String(), Size: m.Size.String(),
+			Attempts: m.Attempts, Degraded: m.Degraded, Failed: m.Failed,
+			SimMs: m.SimTime.Millis(), Events: m.Events,
+			Phases: core.PhasesJSON(m.Phases),
+		})
+	}
 	return doc
 }
 

@@ -11,11 +11,14 @@
 package gpucore
 
 import (
+	"fmt"
+
 	"repro/internal/config"
 	"repro/internal/isa"
 	"repro/internal/memory"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/vm"
 )
 
@@ -51,10 +54,19 @@ type GPU struct {
 	L1s       []*memory.Cache
 	LineBytes int
 
+	// Tr is the optional trace sink (nil-safe). Per-CTA spans are capped
+	// device-wide: big grids run tens of thousands of CTAs, and the first
+	// few thousand already show the occupancy shape.
+	Tr     *trace.Recorder
+	trCTAs int
+
 	sms    []*sm
 	queue  []*Kernel // FIFO of kernels with undispatched CTAs
 	warpsz int
 }
+
+// maxCTASpans bounds per-CTA trace spans across the device.
+const maxCTASpans = 2048
 
 type sm struct {
 	g         *GPU
@@ -98,6 +110,8 @@ func (g *GPU) Launch(at sim.Tick, k *Kernel) {
 	}
 	k.remaining = k.CTAs
 	g.Eng.At(at, func() {
+		g.Tr.Instant(stats.GPU, "GPU dispatch", "kernel", "kernel queued: "+k.Name, g.Eng.Now(),
+			trace.Arg{Key: "ctas", Val: k.CTAs}, trace.Arg{Key: "block", Val: k.ThreadsPerTA})
 		g.queue = append(g.queue, k)
 		g.dispatch()
 	})
@@ -145,6 +159,8 @@ func (s *sm) canTake(k *Kernel) bool {
 type ctaState struct {
 	sm        *sm
 	k         *Kernel
+	idx       int      // CTA index within the grid
+	start     sim.Tick // residency start, for the trace span
 	liveWarps int
 	// barrier state
 	arrived int
@@ -159,7 +175,7 @@ func (s *sm) startCTA(k *Kernel, ctaIdx int) {
 		panic("gpucore: Gen returned wrong lane count for kernel " + k.Name)
 	}
 	w := s.g.warpsNeeded(k)
-	cs := &ctaState{sm: s, k: k, liveWarps: w}
+	cs := &ctaState{sm: s, k: k, idx: ctaIdx, start: now, liveWarps: w}
 	s.liveCTAs++
 	s.liveWarps += w
 	s.scratch += k.ScratchBytes
@@ -190,6 +206,7 @@ func (cs *ctaState) warpDone(end sim.Tick) {
 		return
 	}
 	// CTA complete: release resources, backfill, maybe finish the kernel.
+	cs.traceCTA(end)
 	s.liveCTAs--
 	s.scratch -= cs.k.ScratchBytes
 	cs.k.live--
@@ -203,6 +220,22 @@ func (cs *ctaState) warpDone(end sim.Tick) {
 		}
 	}
 	s.g.dispatch()
+}
+
+// traceCTA records the CTA's SM-residency span, up to the device-wide cap.
+func (cs *ctaState) traceCTA(end sim.Tick) {
+	g := cs.sm.g
+	if !g.Tr.Enabled() || g.trCTAs > maxCTASpans {
+		return
+	}
+	g.trCTAs++
+	if g.trCTAs > maxCTASpans {
+		g.Tr.Instant(stats.GPU, fmt.Sprintf("SM%d", cs.sm.id), "cta", "cta spans capped", end,
+			trace.Arg{Key: "cap", Val: maxCTASpans})
+		return
+	}
+	g.Tr.Span(stats.GPU, fmt.Sprintf("SM%d", cs.sm.id), "cta",
+		fmt.Sprintf("%s cta %d", cs.k.Name, cs.idx), cs.start, end)
 }
 
 type laneCursor struct {

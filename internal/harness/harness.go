@@ -23,6 +23,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Kind classifies why a run failed.
@@ -73,6 +75,11 @@ type RunError struct {
 	Events    uint64   // engine events executed before the failure
 	Stack     []byte   // stack of the recovery point (KindPanic only)
 	Attempt   int      // 1-based attempt number that produced this error
+	// TraceTail is the trailing window of trace events the run emitted
+	// before dying — the last thing the machine was doing. Populated from
+	// Spec.Trace when set, else from the per-attempt ring the harness
+	// always records.
+	TraceTail []trace.Event
 }
 
 // Error summarizes the failure on one line.
@@ -112,7 +119,21 @@ type Spec struct {
 	// for fault-injection experiments that deliberately want spaced
 	// attempts.
 	Backoff time.Duration
+	// Trace, when non-nil, receives every trace event the run's hardware
+	// models emit (all attempts record into the same sink, separated by
+	// harness lifecycle instants). When nil, the harness still records a
+	// small private ring per attempt so a failure ships its trailing
+	// events in RunError.TraceTail.
+	Trace *trace.Recorder
+	// OnRetry observes each retry decision: the error that triggered it
+	// and the degraded size the next attempt will run at. Used for live
+	// sweep progress.
+	OnRetry func(next bench.Size, err *RunError)
 }
+
+// tailLen is how many trailing trace events a RunError carries, and the
+// ring size of the harness's private per-attempt recorder.
+const tailLen = 32
 
 // Outcome is the result of harness.Run: either a Report or a RunError,
 // plus how the run got there.
@@ -131,6 +152,9 @@ type Outcome struct {
 	// success still reports what the earlier attempts hit. On an overall
 	// failure the last entry equals *Err.
 	AttemptErrors []RunError
+	// TraceEvents is how many events Spec.Trace holds after the run (zero
+	// when the run was untraced).
+	TraceEvents int
 }
 
 // Run executes one benchmark run fault-tolerantly. It never panics and
@@ -147,6 +171,7 @@ func Run(spec Spec) *Outcome {
 		out.Attempts = attempt
 		out.Size = size
 		out.Degraded = size != spec.Size
+		out.TraceEvents = spec.Trace.Len()
 		if out.Err != nil {
 			attemptErrs = append(attemptErrs, *out.Err)
 		}
@@ -162,6 +187,11 @@ func Run(spec Spec) *Outcome {
 		if attempt >= maxAttempts || !retryable || !canDegrade {
 			return out
 		}
+		spec.Trace.Instant(stats.CPU, "harness", "harness",
+			fmt.Sprintf("retry at %s after %s", smaller, out.Err.Kind), out.Err.SimTime)
+		if spec.OnRetry != nil {
+			spec.OnRetry(smaller, out.Err)
+		}
 		size = smaller
 		if spec.Backoff > 0 {
 			time.Sleep(spec.Backoff << (attempt - 1))
@@ -173,16 +203,24 @@ func Run(spec Spec) *Outcome {
 func runOnce(spec Spec, size bench.Size, attempt int) (out *Outcome) {
 	out = &Outcome{}
 	info := spec.Bench.Info()
+	// Record into the caller's sink when tracing; otherwise into a small
+	// private ring so a failure still ships its trailing events.
+	rec := spec.Trace
+	if rec == nil {
+		rec = trace.NewRing(tailLen)
+	}
 	fail := func(kind Kind, msg string, stack []byte) {
 		var simT sim.Tick
 		var ev uint64
 		if out.Sys != nil {
 			simT, ev = out.Sys.Eng.Now(), out.Sys.Eng.EventsRun()
 		}
+		rec.Instant(stats.CPU, "harness", "harness", "run failed: "+kind.String(), simT)
 		out.Err = &RunError{
 			Benchmark: info.FullName(), Mode: spec.Mode, Size: size,
 			Kind: kind, Msg: msg, SimTime: simT, Events: ev,
 			Stack: stack, Attempt: attempt,
+			TraceTail: rec.Tail(tailLen),
 		}
 	}
 	defer func() {
@@ -217,12 +255,14 @@ func runOnce(spec Spec, size bench.Size, attempt int) (out *Outcome) {
 	if spec.Fault != nil {
 		spec.Fault.Apply(&cfg)
 	}
-	s, err := device.NewSystemErr(cfg)
+	s, err := device.NewSystemErr(cfg, device.WithTrace(rec))
 	if err != nil {
 		fail(KindUsage, err.Error(), nil)
 		return out
 	}
 	out.Sys = s
+	rec.Instant(stats.CPU, "harness", "harness",
+		fmt.Sprintf("attempt %d start (%s)", attempt, size), s.Eng.Now())
 	s.Eng.SetBudget(sim.Budget{MaxEvents: spec.Budget.MaxEvents, WallClock: spec.Budget.Timeout})
 	spec.Bench.Run(s, spec.Mode, size)
 	if start, end := s.Col.ROI(); end <= start {

@@ -1,19 +1,47 @@
 package harness
 
-import "repro/internal/core"
+import (
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// TraceEventJSON is the compact marshal form of one trailing trace event
+// on a failed run.
+type TraceEventJSON struct {
+	Name    string  `json:"name"`
+	Cat     string  `json:"cat,omitempty"`
+	Track   string  `json:"track,omitempty"`
+	Comp    string  `json:"comp"`
+	Instant bool    `json:"instant,omitempty"`
+	StartMs float64 `json:"start_ms"`
+	DurMs   float64 `json:"dur_ms,omitempty"`
+}
+
+func traceTailJSON(tail []trace.Event) []TraceEventJSON {
+	out := make([]TraceEventJSON, 0, len(tail))
+	for _, e := range tail {
+		out = append(out, TraceEventJSON{
+			Name: e.Name, Cat: e.Cat, Track: e.Track, Comp: e.Comp.String(),
+			Instant: e.Kind == trace.Instant,
+			StartMs: e.Start.Millis(), DurMs: e.Dur().Millis(),
+		})
+	}
+	return out
+}
 
 // RunErrorJSON is the marshal-friendly form of a RunError: every field a
 // post-sweep diagnosis needs, with enum types rendered as their names and
 // the panic stack dropped (it is bytes of prose, not data).
 type RunErrorJSON struct {
-	Benchmark string  `json:"benchmark"`
-	Mode      string  `json:"mode"`
-	Size      string  `json:"size"`
-	Kind      string  `json:"kind"`
-	Msg       string  `json:"msg"`
-	Attempt   int     `json:"attempt"`
-	SimMs     float64 `json:"sim_ms"`
-	Events    uint64  `json:"events"`
+	Benchmark string           `json:"benchmark"`
+	Mode      string           `json:"mode"`
+	Size      string           `json:"size"`
+	Kind      string           `json:"kind"`
+	Msg       string           `json:"msg"`
+	Attempt   int              `json:"attempt"`
+	SimMs     float64          `json:"sim_ms"`
+	Events    uint64           `json:"events"`
+	TraceTail []TraceEventJSON `json:"trace_tail,omitempty"`
 }
 
 // JSON converts the error for machine-readable output.
@@ -27,17 +55,21 @@ func (e *RunError) JSON() RunErrorJSON {
 		Attempt:   e.Attempt,
 		SimMs:     e.SimTime.Millis(),
 		Events:    e.Events,
+		TraceTail: traceTailJSON(e.TraceTail),
 	}
 }
 
 // OutcomeJSON is the machine-readable form of one harness run: the
 // outcome telemetry plus either the per-run report or the failure.
+// SimMs/Events are present on success and failure alike — traced and
+// untraced, succeeding and failing runs all report the same core fields.
 type OutcomeJSON struct {
 	Size          string           `json:"size"`
 	Attempts      int              `json:"attempts"`
 	Degraded      bool             `json:"degraded"`
 	SimMs         float64          `json:"sim_ms"`
 	Events        uint64           `json:"events"`
+	TraceEvents   int              `json:"trace_events,omitempty"`
 	Report        *core.ReportJSON `json:"report,omitempty"`
 	Error         *RunErrorJSON    `json:"error,omitempty"`
 	AttemptErrors []RunErrorJSON   `json:"attempt_errors,omitempty"`
@@ -46,11 +78,12 @@ type OutcomeJSON struct {
 // JSON converts the outcome for machine-readable output.
 func (o *Outcome) JSON() OutcomeJSON {
 	out := OutcomeJSON{
-		Size:     o.Size.String(),
-		Attempts: o.Attempts,
-		Degraded: o.Degraded,
-		SimMs:    o.SimTime.Millis(),
-		Events:   o.Events,
+		Size:        o.Size.String(),
+		Attempts:    o.Attempts,
+		Degraded:    o.Degraded,
+		SimMs:       o.SimTime.Millis(),
+		Events:      o.Events,
+		TraceEvents: o.TraceEvents,
 	}
 	if o.Report != nil {
 		rep := o.Report.JSON()

@@ -1,0 +1,124 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/device"
+	"repro/internal/trace"
+)
+
+// TestFailureCarriesTraceTail checks that a failing untraced run still
+// ships its trailing trace events: the harness records into a private
+// ring when Spec.Trace is nil.
+func TestFailureCarriesTraceTail(t *testing.T) {
+	out := Run(Spec{
+		Bench: fakeBench{name: "boom", run: func(s *device.System, _ bench.Mode, _ bench.Size) {
+			s.BeginROI()
+			panic("deliberate")
+		}},
+		Mode: bench.ModeLimitedCopy, Size: bench.SizeSmall,
+	})
+	if out.Err == nil {
+		t.Fatal("expected failure")
+	}
+	if len(out.Err.TraceTail) == 0 {
+		t.Fatal("failed run has no trace tail")
+	}
+	last := out.Err.TraceTail[len(out.Err.TraceTail)-1]
+	if !strings.HasPrefix(last.Name, "run failed:") {
+		t.Fatalf("tail does not end with the failure instant: %q", last.Name)
+	}
+	if out.Err.TraceTail[0].Track != "harness" {
+		t.Fatalf("tail missing harness lifecycle events: %+v", out.Err.TraceTail[0])
+	}
+}
+
+// TestTracedRunRecordsRetries checks that all attempts of a retried run
+// land in the caller's recorder, separated by lifecycle instants, and
+// that OnRetry observes the degradation.
+func TestTracedRunRecordsRetries(t *testing.T) {
+	tr := trace.New()
+	var retries []bench.Size
+	out := Run(Spec{
+		Bench: fakeBench{name: "hog", run: func(s *device.System, _ bench.Mode, size bench.Size) {
+			s.BeginROI()
+			if size == bench.SizeMedium {
+				burnEvents(s, 10000)
+			} else {
+				burnEvents(s, 10)
+			}
+			s.EndROI()
+		}},
+		Mode: bench.ModeLimitedCopy, Size: bench.SizeMedium,
+		Budget: Budget{MaxEvents: 1000},
+		Trace:  tr,
+		OnRetry: func(next bench.Size, err *RunError) {
+			retries = append(retries, next)
+		},
+	})
+	if out.Err != nil {
+		t.Fatalf("degraded run should succeed: %v", out.Err)
+	}
+	if !out.Degraded || out.Attempts != 2 {
+		t.Fatalf("degraded=%v attempts=%d", out.Degraded, out.Attempts)
+	}
+	if len(retries) != 1 || retries[0] != bench.SizeSmall {
+		t.Fatalf("OnRetry saw %v", retries)
+	}
+	if out.TraceEvents != tr.Len() || out.TraceEvents == 0 {
+		t.Fatalf("TraceEvents = %d, recorder holds %d", out.TraceEvents, tr.Len())
+	}
+	var starts, retriesSeen int
+	for _, e := range tr.Events() {
+		if e.Track != "harness" {
+			continue
+		}
+		if strings.HasPrefix(e.Name, "attempt ") {
+			starts++
+		}
+		if strings.HasPrefix(e.Name, "retry at ") {
+			retriesSeen++
+		}
+	}
+	if starts != 2 || retriesSeen != 1 {
+		t.Fatalf("lifecycle instants: %d starts, %d retries", starts, retriesSeen)
+	}
+}
+
+// TestOutcomeJSONSymmetry pins the sweep-doc fix: sim time and event
+// counts are present on success exactly as on failure.
+func TestOutcomeJSONSymmetry(t *testing.T) {
+	tr := trace.New()
+	ok := Run(Spec{
+		Bench: fakeBench{name: "ok", run: okRun(100)},
+		Mode:  bench.ModeLimitedCopy, Size: bench.SizeSmall,
+		Trace: tr,
+	})
+	bad := Run(Spec{
+		Bench: fakeBench{name: "boom", run: func(s *device.System, _ bench.Mode, _ bench.Size) {
+			s.BeginROI()
+			burnEvents(s, 100)
+			s.Drain()
+			panic("deliberate")
+		}},
+		Mode: bench.ModeLimitedCopy, Size: bench.SizeSmall,
+	})
+	okJSON, badJSON := ok.JSON(), bad.JSON()
+	if ok.Err != nil || bad.Err == nil {
+		t.Fatalf("fixture outcomes wrong: ok.Err=%v bad.Err=%v", ok.Err, bad.Err)
+	}
+	if okJSON.Events == 0 || okJSON.SimMs <= 0 {
+		t.Fatalf("success omits telemetry: %+v", okJSON)
+	}
+	if badJSON.Events == 0 || badJSON.SimMs <= 0 {
+		t.Fatalf("failure omits telemetry: %+v", badJSON)
+	}
+	if okJSON.TraceEvents == 0 {
+		t.Fatal("traced success reports zero trace events")
+	}
+	if len(badJSON.Error.TraceTail) == 0 {
+		t.Fatal("failure JSON missing trace tail")
+	}
+}

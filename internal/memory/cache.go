@@ -3,6 +3,7 @@ package memory
 import (
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // WritePolicy selects how a cache handles stores.
@@ -44,7 +45,17 @@ type Cache struct {
 	ctr       *stats.Counters
 	lines     []cacheLine // nsets*assoc
 	lruClock  uint64
+
+	// Tr is the optional trace sink (nil-safe). Spill instants are capped
+	// per cache: a thrashing cache evicts millions of dirty lines, and the
+	// cap keeps traced runs bounded while still showing where spilling
+	// starts. One "spill events capped" marker records the cutoff.
+	Tr       *trace.Recorder
+	trSpills int
 }
+
+// maxSpillEvents bounds per-cache dirty-eviction instants in a trace.
+const maxSpillEvents = 512
 
 // CacheConfig collects constructor parameters for a Cache.
 type CacheConfig struct {
@@ -142,6 +153,7 @@ func (c *Cache) Access(now sim.Tick, req Request) sim.Tick {
 	victim := c.victim(set)
 	if victim.valid && victim.dirty {
 		c.ctr.Inc(c.Name + ".writebacks")
+		c.spillEvent(t, victim)
 		// Posted write: consumes downstream bandwidth but is off the
 		// requester's critical path.
 		c.next.Access(t, Request{Addr: victim.tag, Write: true, Writeback: true, Comp: victim.comp, SrcID: c.srcID})
@@ -158,6 +170,22 @@ func (c *Cache) Access(now sim.Tick, req Request) sim.Tick {
 	done := c.next.Access(t, Request{Addr: addr, Comp: req.Comp, SrcID: c.srcID})
 	*victim = cacheLine{tag: addr, valid: true, dirty: req.Write, lru: c.lruClock, comp: req.Comp}
 	return done
+}
+
+// spillEvent records one capacity spill (dirty eviction) in the trace,
+// up to the per-cache cap.
+func (c *Cache) spillEvent(now sim.Tick, victim *cacheLine) {
+	if !c.Tr.Enabled() || c.trSpills > maxSpillEvents {
+		return
+	}
+	c.trSpills++
+	if c.trSpills > maxSpillEvents {
+		c.Tr.Instant(victim.comp, c.Name, "spill", "spill events capped", now,
+			trace.Arg{Key: "cap", Val: maxSpillEvents})
+		return
+	}
+	c.Tr.Instant(victim.comp, c.Name, "spill", "dirty eviction", now,
+		trace.Arg{Key: "line", Val: uint64(victim.tag)})
 }
 
 // victim picks the replacement way: first invalid, else least recently used.
@@ -216,15 +244,22 @@ func (c *Cache) Probe(addr Addr, forWrite bool) (found, dirty bool, comp stats.C
 func (c *Cache) InvalidateRange(now sim.Tick, base Addr, size int, comp stats.Component) {
 	lo := LineAddr(base, c.lineBytes)
 	hi := base + Addr(size)
+	dropped, wb := 0, 0
 	for i := range c.lines {
 		ln := &c.lines[i]
 		if ln.valid && ln.tag >= lo && ln.tag < hi {
 			if ln.dirty {
+				wb++
 				c.ctr.Inc(c.Name + ".inval_writebacks")
 				c.next.Access(now, Request{Addr: ln.tag, Write: true, Writeback: true, Comp: ln.comp, SrcID: c.srcID})
 			}
 			ln.valid = false
+			dropped++
 		}
+	}
+	if dropped > 0 {
+		c.Tr.Instant(comp, c.Name, "coherence", "invalidate range", now,
+			trace.Arg{Key: "lines", Val: dropped}, trace.Arg{Key: "writebacks", Val: wb})
 	}
 }
 
@@ -234,26 +269,38 @@ func (c *Cache) InvalidateRange(now sim.Tick, base Addr, size int, comp stats.Co
 func (c *Cache) WritebackRange(now sim.Tick, base Addr, size int) {
 	lo := LineAddr(base, c.lineBytes)
 	hi := base + Addr(size)
+	wb := 0
 	for i := range c.lines {
 		ln := &c.lines[i]
 		if ln.valid && ln.dirty && ln.tag >= lo && ln.tag < hi {
+			wb++
 			c.ctr.Inc(c.Name + ".range_writebacks")
 			c.next.Access(now, Request{Addr: ln.tag, Write: true, Writeback: true, Comp: ln.comp, SrcID: c.srcID})
 			ln.dirty = false
 		}
+	}
+	if wb > 0 {
+		c.Tr.Instant(stats.Copy, c.Name, "coherence", "writeback range", now,
+			trace.Arg{Key: "writebacks", Val: wb})
 	}
 }
 
 // FlushAll writes back every dirty line and invalidates the whole cache.
 // GPU L1s are flushed at kernel boundaries (they are not coherent).
 func (c *Cache) FlushAll(now sim.Tick) {
+	wb := 0
 	for i := range c.lines {
 		ln := &c.lines[i]
 		if ln.valid && ln.dirty {
+			wb++
 			c.ctr.Inc(c.Name + ".flush_writebacks")
 			c.next.Access(now, Request{Addr: ln.tag, Write: true, Writeback: true, Comp: ln.comp, SrcID: c.srcID})
 		}
 		ln.valid = false
+	}
+	if wb > 0 {
+		c.Tr.Instant(stats.GPU, c.Name, "coherence", "flush", now,
+			trace.Arg{Key: "writebacks", Val: wb})
 	}
 }
 

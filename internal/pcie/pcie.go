@@ -9,6 +9,7 @@ import (
 	"repro/internal/memory"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // chunkLines is how many line transfers one pacing event covers; 32 lines =
@@ -21,6 +22,7 @@ type Engine struct {
 	Setup     sim.Tick // per-transfer latency (doorbell, descriptor fetch)
 	LineBytes int
 	Ctr       *stats.Counters
+	Tr        *trace.Recorder // optional trace sink (nil-safe)
 
 	perLine sim.Tick // link time per cache line
 	link    sim.BusyModel
@@ -48,6 +50,8 @@ func (e *Engine) Transfer(at sim.Tick, src, dst memory.Addr, n int, srcMem, dstM
 	end := start + dur
 	e.Ctr.Inc("pcie.transfers")
 	e.Ctr.Add("pcie.bytes", uint64(n))
+	e.Tr.Span(stats.Copy, "PCIe link", "dma", "DMA transfer", start, end,
+		trace.Arg{Key: "bytes", Val: n}, trace.Arg{Key: "lines", Val: lines})
 
 	// Pace the line accesses across the transfer window in chunks.
 	var emit func(lineIdx int)

@@ -35,6 +35,33 @@ func (c *Counters) Names() []string {
 	return out
 }
 
+// Snapshot copies the current counter values.
+func (c *Counters) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// TakeDelta returns the non-zero counter increases since prev (a map from
+// a previous Snapshot/TakeDelta call) and advances prev to the current
+// values in place. Phase-scoped snapshots are built from this: the delta
+// of every counter across one pipeline-stage boundary.
+func (c *Counters) TakeDelta(prev map[string]uint64) map[string]uint64 {
+	var out map[string]uint64
+	for k, v := range c.m {
+		if d := v - prev[k]; d != 0 {
+			if out == nil {
+				out = map[string]uint64{}
+			}
+			out[k] = d
+			prev[k] = v
+		}
+	}
+	return out
+}
+
 // Merge adds every counter from other into c.
 func (c *Counters) Merge(other *Counters) {
 	for k, v := range other.m {

@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Edge cases for the interval merge the trace layer now mirrors: the
+// exporter's cycle-exact guarantee depends on Timeline.Add and
+// trace.Recorder.Activity agreeing on exactly these boundaries.
+
+func TestTimelineIgnoresEmptyAndInvertedSpans(t *testing.T) {
+	tl := NewTimeline()
+	tl.Add(CPU, 100, 100) // zero-length
+	tl.Add(CPU, 200, 150) // inverted
+	if got := tl.Active(CPU); got != 0 {
+		t.Fatalf("Active = %d after degenerate adds, want 0", got)
+	}
+	b := tl.Breakdown(0, 1000)
+	if b.Idle() != 1000 {
+		t.Fatalf("Idle = %d, want full window", b.Idle())
+	}
+}
+
+func TestTimelineCoalescesAdjacentIntervals(t *testing.T) {
+	tl := NewTimeline()
+	// [0,100) and [100,200) touch: half-open intervals, so together they
+	// cover [0,200) with no gap and no double-count.
+	tl.Add(GPU, 0, 100)
+	tl.Add(GPU, 100, 200)
+	if got := tl.Active(GPU); got != 200 {
+		t.Fatalf("Active = %d, want 200 (adjacent intervals coalesced)", got)
+	}
+	if ivs := tl.merged(GPU); len(ivs) != 1 || ivs[0] != (Interval{0, 200}) {
+		t.Fatalf("merged = %v, want one interval [0,200)", ivs)
+	}
+}
+
+func TestTimelineMergeOrderIndependent(t *testing.T) {
+	add := func(tl *Timeline, order []Interval) {
+		for _, iv := range order {
+			tl.Add(Copy, iv.Start, iv.End)
+		}
+	}
+	ivs := []Interval{{50, 150}, {0, 100}, {160, 170}, {150, 160}, {500, 600}}
+	a, b := NewTimeline(), NewTimeline()
+	add(a, ivs)
+	add(b, []Interval{ivs[4], ivs[3], ivs[2], ivs[1], ivs[0]})
+	if a.Active(Copy) != b.Active(Copy) {
+		t.Fatalf("merge depends on insertion order: %d vs %d", a.Active(Copy), b.Active(Copy))
+	}
+	// [0,100)+[50,150)+[150,160)+[160,170) merge to [0,170); plus [500,600).
+	if got := a.Active(Copy); got != 270 {
+		t.Fatalf("Active = %d, want 270", got)
+	}
+}
+
+func TestTimelineDuplicateIntervals(t *testing.T) {
+	tl := NewTimeline()
+	for i := 0; i < 5; i++ {
+		tl.Add(CPU, 10, 20)
+	}
+	if got := tl.Active(CPU); got != 10 {
+		t.Fatalf("Active = %d, want 10 (duplicates must not double-count)", got)
+	}
+}
+
+func TestTimelineContainedInterval(t *testing.T) {
+	tl := NewTimeline()
+	tl.Add(GPU, 0, 1000)
+	tl.Add(GPU, 200, 300) // fully inside
+	if got := tl.Active(GPU); got != 1000 {
+		t.Fatalf("Active = %d, want 1000", got)
+	}
+	if ivs := tl.merged(GPU); len(ivs) != 1 {
+		t.Fatalf("merged = %v, want one interval", ivs)
+	}
+}
+
+func TestBreakdownEmptyWindowAndDegenerateEdges(t *testing.T) {
+	tl := NewTimeline()
+	tl.Add(CPU, 0, 100)
+	// Zero-width window: nothing to account.
+	b := tl.Breakdown(50, 50)
+	if b.Total() != 0 || len(b.BySet) != 0 {
+		t.Fatalf("zero-width breakdown = %+v", b)
+	}
+	// Window entirely outside all activity: pure idle.
+	b = tl.Breakdown(200, 300)
+	if b.Idle() != 100 || b.AnyActive(CPU) != 0 {
+		t.Fatalf("outside window: idle=%d active=%d", b.Idle(), b.AnyActive(CPU))
+	}
+}
+
+func TestBreakdownWindowSlicesInterval(t *testing.T) {
+	tl := NewTimeline()
+	tl.Add(CPU, 0, 1000)
+	tl.Add(GPU, 400, 600)
+	b := tl.Breakdown(500, 700)
+	// [500,600): CPU+GPU; [600,700): CPU only.
+	both := ComponentSet(0).Set(CPU).Set(GPU)
+	if b.BySet[both] != 100 {
+		t.Fatalf("overlap time = %d, want 100", b.BySet[both])
+	}
+	if b.Exclusive(CPU) != 100 {
+		t.Fatalf("exclusive CPU = %d, want 100", b.Exclusive(CPU))
+	}
+	if b.Idle() != 0 {
+		t.Fatalf("idle = %d, want 0", b.Idle())
+	}
+	var sum sim.Tick
+	for _, d := range b.BySet {
+		sum += d
+	}
+	if sum != b.Total() {
+		t.Fatalf("breakdown does not partition the window: %d != %d", sum, b.Total())
+	}
+}

@@ -1,0 +1,94 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Tracker emits live per-run progress lines while a sweep executes on the
+// worker pool. It writes to its own stream (stderr in the commands), so
+// the sweep's primary output stays byte-identical with progress on or off.
+// All methods are safe for concurrent use by pool workers; a nil Tracker
+// ignores every call.
+type Tracker struct {
+	mu       sync.Mutex
+	w        io.Writer
+	total    int
+	started  int
+	finished int
+	failed   int
+	retried  int
+	t0       time.Time
+}
+
+// NewTracker builds a tracker writing to w. total may be zero if the run
+// count is not known yet (SetTotal can set it later).
+func NewTracker(w io.Writer, total int) *Tracker {
+	return &Tracker{w: w, total: total, t0: time.Now()}
+}
+
+// SetTotal sets the expected run count for the [k/n] counters.
+func (p *Tracker) SetTotal(n int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.total = n
+	p.mu.Unlock()
+}
+
+func (p *Tracker) line(format string, args ...any) {
+	fmt.Fprintf(p.w, "[%7.1fs] "+format+"\n",
+		append([]any{time.Since(p.t0).Seconds()}, args...)...)
+}
+
+// Start logs a run beginning.
+func (p *Tracker) Start(name string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.started++
+	p.line("start  %-40s (%d/%d)", name, p.started, p.total)
+}
+
+// Retry logs a run retrying at a degraded size after a budget failure.
+func (p *Tracker) Retry(name, why string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.retried++
+	p.line("retry  %-40s %s", name, why)
+}
+
+// Finish logs a run completing; detail summarizes the outcome (sim time on
+// success, the failure kind otherwise).
+func (p *Tracker) Finish(name string, ok bool, detail string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.finished++
+	verb := "done  "
+	if !ok {
+		verb = "FAILED"
+		p.failed++
+	}
+	p.line("%s %-40s (%d/%d) %s", verb, name, p.finished, p.total, detail)
+}
+
+// Summary logs the final tally.
+func (p *Tracker) Summary() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.line("sweep complete: %d runs, %d failed, %d retried", p.finished, p.failed, p.retried)
+}

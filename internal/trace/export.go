@@ -1,0 +1,215 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// RunTrace names one run's recorder for export. A multi-run export (a
+// sweep, or hetsim's comma-separated bench list) renders each run as its
+// own Perfetto process, components and model tracks as its threads.
+type RunTrace struct {
+	Name string
+	Rec  *Recorder
+}
+
+// chromeEvent is one entry of the Chrome trace-event / Perfetto JSON
+// format (https://ui.perfetto.dev opens these files directly). Timestamps
+// and durations are microseconds; simulated picoseconds map to fractional
+// microseconds exactly (1 ps = 1e-6 us, both integers scaled), and the
+// exact tick values ride along in args so tooling can reconstruct totals
+// to the cycle without floating-point rounding.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope ("t" = thread)
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeDoc is the top-level trace file object.
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// psToUs converts picoseconds to the format's microsecond unit.
+func psToUs(ps int64) float64 { return float64(ps) / 1e6 }
+
+// trackIDs assigns stable thread IDs for one run: the three components
+// first (CPU=1, GPU=2, Copy=3), then every other track in first-emission
+// order — deterministic because emission order is.
+func trackIDs(evs []Event) (map[string]int, []string) {
+	ids := map[string]int{}
+	var names []string
+	for c := stats.Component(0); c < stats.NumComponents; c++ {
+		ids[c.String()] = len(names) + 1
+		names = append(names, c.String())
+	}
+	for _, e := range evs {
+		tr := e.Track
+		if tr == "" {
+			tr = e.Comp.String()
+		}
+		if _, ok := ids[tr]; !ok {
+			ids[tr] = len(names) + 1
+			names = append(names, tr)
+		}
+	}
+	return ids, names
+}
+
+// Export converts runs to the Chrome trace-event document. Events are
+// globally sorted by timestamp (emission sequence breaking ties) so the
+// emitted file satisfies the schema's monotonic-timestamp requirement.
+func Export(runs []RunTrace) chromeDoc {
+	doc := chromeDoc{DisplayTimeUnit: "ns", TraceEvents: []chromeEvent{}}
+	var body []chromeEvent
+	for pidx, run := range runs {
+		pid := pidx + 1
+		evs := run.Rec.Events()
+		ids, names := trackIDs(evs)
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid, Args: map[string]any{"name": run.Name},
+		})
+		for i, tr := range names {
+			doc.TraceEvents = append(doc.TraceEvents,
+				chromeEvent{Name: "thread_name", Ph: "M", PID: pid, TID: i + 1, Args: map[string]any{"name": tr}},
+				chromeEvent{Name: "thread_sort_index", Ph: "M", PID: pid, TID: i + 1, Args: map[string]any{"sort_index": i + 1}},
+			)
+		}
+		for _, e := range evs {
+			tr := e.Track
+			if tr == "" {
+				tr = e.Comp.String()
+			}
+			ce := chromeEvent{
+				Name: e.Name, Cat: e.Cat, PID: pid, TID: ids[tr],
+				TS: psToUs(int64(e.Start)),
+			}
+			args := map[string]any{"comp": e.Comp.String(), "start_ps": int64(e.Start)}
+			if e.Kind == Instant {
+				ce.Ph, ce.S = "i", "t"
+			} else {
+				ce.Ph = "X"
+				ce.Dur = psToUs(int64(e.Dur()))
+				args["dur_ps"] = int64(e.Dur())
+				if e.Activity {
+					args["activity"] = true
+				}
+			}
+			for _, a := range e.Args {
+				args[a.Key] = a.Val
+			}
+			ce.Args = args
+			body = append(body, ce)
+		}
+	}
+	sort.SliceStable(body, func(i, j int) bool { return body[i].TS < body[j].TS })
+	doc.TraceEvents = append(doc.TraceEvents, body...)
+	return doc
+}
+
+// WriteJSON writes the runs as one Chrome trace-event JSON document.
+func WriteJSON(w io.Writer, runs []RunTrace) error {
+	data, err := json.MarshalIndent(Export(runs), "", " ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// WriteFile exports the runs to path.
+func WriteFile(path string, runs []RunTrace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteJSON(f, runs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// FileStats summarizes a validated trace file.
+type FileStats struct {
+	Events    int // non-metadata events
+	Spans     int
+	Instants  int
+	Metadata  int
+	Processes int
+}
+
+// Validate parses an exported trace document and checks it against the
+// schema the exporter promises: a traceEvents array of M/X/i events with
+// names, positive process IDs, finite non-negative timestamps and
+// durations, and globally non-decreasing timestamps across non-metadata
+// events. CI runs this (via cmd/tracecheck) on a freshly traced sweep.
+func Validate(data []byte) (FileStats, error) {
+	var st FileStats
+	var doc struct {
+		TraceEvents []struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			TS   *float64 `json:"ts"`
+			Dur  *float64 `json:"dur"`
+			PID  *int     `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return st, fmt.Errorf("trace: not a valid JSON trace document: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return st, fmt.Errorf("trace: missing traceEvents array")
+	}
+	pids := map[int]bool{}
+	lastTS := math.Inf(-1)
+	for i, e := range doc.TraceEvents {
+		if e.Name == "" {
+			return st, fmt.Errorf("trace: event %d has no name", i)
+		}
+		if e.PID == nil || *e.PID <= 0 {
+			return st, fmt.Errorf("trace: event %d (%s) has no positive pid", i, e.Name)
+		}
+		pids[*e.PID] = true
+		switch e.Ph {
+		case "M":
+			st.Metadata++
+			continue
+		case "X", "i":
+		default:
+			return st, fmt.Errorf("trace: event %d (%s) has unsupported phase %q", i, e.Name, e.Ph)
+		}
+		if e.TS == nil || math.IsNaN(*e.TS) || math.IsInf(*e.TS, 0) || *e.TS < 0 {
+			return st, fmt.Errorf("trace: event %d (%s) has invalid ts", i, e.Name)
+		}
+		if *e.TS < lastTS {
+			return st, fmt.Errorf("trace: event %d (%s) breaks timestamp monotonicity (%.6f after %.6f)",
+				i, e.Name, *e.TS, lastTS)
+		}
+		lastTS = *e.TS
+		if e.Ph == "X" {
+			if e.Dur != nil && (*e.Dur < 0 || math.IsNaN(*e.Dur) || math.IsInf(*e.Dur, 0)) {
+				return st, fmt.Errorf("trace: event %d (%s) has invalid dur", i, e.Name)
+			}
+			st.Spans++
+		} else {
+			st.Instants++
+		}
+		st.Events++
+	}
+	st.Processes = len(pids)
+	return st, nil
+}

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// flameRow aggregates all spans sharing one (track, cat, name) identity.
+type flameRow struct {
+	track, cat, name string
+	total            sim.Tick
+	count            int
+}
+
+// FlameText renders a compact per-run text summary of the runs' traces:
+// per-component busy totals (merged activity time) and the heaviest span
+// groups by summed duration. It is the `-flame` output, sized for CI logs
+// where a Perfetto JSON dump would be unreadable.
+func FlameText(runs []RunTrace) string {
+	var b strings.Builder
+	for _, run := range runs {
+		evs := run.Rec.Events()
+		fmt.Fprintf(&b, "=== trace %s: %d events", run.Name, len(evs))
+		if d := run.Rec.Dropped(); d > 0 {
+			fmt.Fprintf(&b, " (+%d dropped by ring)", d)
+		}
+		b.WriteString(" ===\n")
+		totals := run.Rec.ActivityTotals()
+		for c := stats.Component(0); c < stats.NumComponents; c++ {
+			fmt.Fprintf(&b, "  busy %-5s %12.6f ms\n", c.String(), totals[c].Millis())
+		}
+		groups := map[string]*flameRow{}
+		instants := map[string]int{}
+		for _, e := range evs {
+			tr := e.Track
+			if tr == "" {
+				tr = e.Comp.String()
+			}
+			key := tr + "\x00" + e.Cat + "\x00" + e.Name
+			if e.Kind == Instant {
+				instants[key]++
+				continue
+			}
+			g := groups[key]
+			if g == nil {
+				g = &flameRow{track: tr, cat: e.Cat, name: e.Name}
+				groups[key] = g
+			}
+			g.total += e.Dur()
+			g.count++
+		}
+		rows := make([]*flameRow, 0, len(groups))
+		for _, g := range groups {
+			rows = append(rows, g)
+		}
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].total != rows[j].total {
+				return rows[i].total > rows[j].total
+			}
+			return rows[i].track+rows[i].name < rows[j].track+rows[j].name
+		})
+		const topN = 20
+		shown := rows
+		if len(shown) > topN {
+			shown = shown[:topN]
+		}
+		if len(shown) > 0 {
+			fmt.Fprintf(&b, "  top spans (of %d groups):\n", len(rows))
+		}
+		for _, g := range shown {
+			fmt.Fprintf(&b, "    %12.6f ms  %5d×  [%s] %s/%s\n",
+				g.total.Millis(), g.count, g.track, g.cat, g.name)
+		}
+		if len(instants) > 0 {
+			keys := make([]string, 0, len(instants))
+			for k := range instants {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(i, j int) bool {
+				if instants[keys[i]] != instants[keys[j]] {
+					return instants[keys[i]] > instants[keys[j]]
+				}
+				return keys[i] < keys[j]
+			})
+			if len(keys) > topN {
+				keys = keys[:topN]
+			}
+			b.WriteString("  instants:\n")
+			for _, k := range keys {
+				p := strings.SplitN(k, "\x00", 3)
+				fmt.Fprintf(&b, "    %7d×  [%s] %s/%s\n", instants[k], p[0], p[1], p[2])
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,192 @@
+// Package trace is the simulator's observability layer: a low-overhead,
+// deterministic event sink that hardware models emit spans and instant
+// events into, keyed by simulated time and component. One Recorder belongs
+// to one run (one device.System); a sweep records one Recorder per run and
+// exports them together, one Perfetto "process" each.
+//
+// The design constraint is that untraced runs must pay near zero cost:
+// every Recorder method is nil-receiver-safe, so models hold a plain
+// *Recorder field and call it unconditionally — an untraced run's only
+// overhead is a nil check per emission site. Recorders are deliberately
+// unsynchronized: a run's engine is single-threaded, and concurrent sweep
+// runs each own a private Recorder.
+//
+// Activity spans are special: they are the same emissions the stats
+// busy-interval timeline is built from (core.Collector routes every
+// timeline Add through the one funnel that also records the span), so the
+// per-component busy totals derived from a trace equal the figure
+// timelines to the cycle — traces and figures can never disagree.
+package trace
+
+import (
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Kind discriminates event shapes.
+type Kind uint8
+
+const (
+	// Span is an interval [Start, End) on a track.
+	Span Kind = iota
+	// Instant is a point event at Start (End == Start).
+	Instant
+)
+
+// Arg is one key/value annotation on an event. Values must be
+// JSON-marshalable scalars (numbers or strings).
+type Arg struct {
+	Key string
+	Val any
+}
+
+// Event is one recorded trace event.
+type Event struct {
+	Name  string
+	Cat   string
+	Track string // display track; "" means the component's own track
+	Comp  stats.Component
+	Kind  Kind
+	Start sim.Tick
+	End   sim.Tick
+	// Activity marks spans that contribute to the component busy timeline
+	// (the emissions stats.Timeline is derived from).
+	Activity bool
+	Args     []Arg
+	Seq      uint64 // emission order, the tie-break for same-tick events
+}
+
+// Dur reports the span length (zero for instants).
+func (e Event) Dur() sim.Tick { return e.End - e.Start }
+
+// Recorder collects events for one run. The zero limit records everything;
+// a positive limit keeps only the most recent events (a ring buffer), the
+// mode the harness uses to attach a trailing-event window to run errors
+// without unbounded memory.
+type Recorder struct {
+	limit   int
+	seq     uint64
+	dropped uint64
+	events  []Event
+	head    int // next overwrite position once the ring is full
+}
+
+// New returns an unbounded recorder.
+func New() *Recorder { return &Recorder{} }
+
+// NewRing returns a recorder that retains only the last limit events
+// (limit <= 0 degenerates to unbounded).
+func NewRing(limit int) *Recorder {
+	if limit < 0 {
+		limit = 0
+	}
+	return &Recorder{limit: limit}
+}
+
+// Enabled reports whether events are being recorded (false for nil).
+func (r *Recorder) Enabled() bool { return r != nil }
+
+func (r *Recorder) add(e Event) {
+	r.seq++
+	e.Seq = r.seq
+	if r.limit > 0 && len(r.events) == r.limit {
+		r.events[r.head] = e
+		r.head = (r.head + 1) % r.limit
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, e)
+}
+
+// Span records an interval event. Zero-length and inverted spans are
+// ignored, mirroring stats.Timeline.Add. A nil recorder ignores the call.
+func (r *Recorder) Span(comp stats.Component, track, cat, name string, start, end sim.Tick, args ...Arg) {
+	if r == nil || end <= start {
+		return
+	}
+	r.add(Event{Name: name, Cat: cat, Track: track, Comp: comp, Kind: Span, Start: start, End: end, Args: args})
+}
+
+// Activity records a busy-timeline span for comp on the component's own
+// track. core.Collector routes every timeline addition through here, so
+// activity spans and the stats timeline are the same emissions.
+func (r *Recorder) Activity(comp stats.Component, cat, name string, start, end sim.Tick) {
+	if r == nil || end <= start {
+		return
+	}
+	r.add(Event{Name: name, Cat: cat, Comp: comp, Kind: Span, Start: start, End: end, Activity: true})
+}
+
+// Instant records a point event. A nil recorder ignores the call.
+func (r *Recorder) Instant(comp stats.Component, track, cat, name string, at sim.Tick, args ...Arg) {
+	if r == nil {
+		return
+	}
+	r.add(Event{Name: name, Cat: cat, Track: track, Comp: comp, Kind: Instant, Start: at, End: at, Args: args})
+}
+
+// Len reports how many events are currently retained.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.events)
+}
+
+// Dropped reports how many events the ring discarded.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped
+}
+
+// Events returns the retained events in emission order. The slice is a
+// copy; mutating it does not affect the recorder.
+func (r *Recorder) Events() []Event {
+	if r == nil || len(r.events) == 0 {
+		return nil
+	}
+	out := make([]Event, 0, len(r.events))
+	if r.dropped > 0 {
+		out = append(out, r.events[r.head:]...)
+		out = append(out, r.events[:r.head]...)
+		return out
+	}
+	return append(out, r.events...)
+}
+
+// Tail returns the last n retained events in emission order (all of them
+// when n exceeds the retained count).
+func (r *Recorder) Tail(n int) []Event {
+	evs := r.Events()
+	if n <= 0 || len(evs) <= n {
+		return evs
+	}
+	return evs[len(evs)-n:]
+}
+
+// ActivityTimeline rebuilds a busy-interval timeline from the recorded
+// activity spans. Because the collector emits timeline additions and
+// activity spans from one funnel, this equals the run's stats timeline to
+// the cycle — the invariant the trace tests pin.
+func (r *Recorder) ActivityTimeline() *stats.Timeline {
+	tl := stats.NewTimeline()
+	for _, e := range r.Events() {
+		if e.Activity {
+			tl.Add(e.Comp, e.Start, e.End)
+		}
+	}
+	return tl
+}
+
+// ActivityTotals reports per-component busy time (overlaps merged) from
+// the recorded activity spans.
+func (r *Recorder) ActivityTotals() [stats.NumComponents]sim.Tick {
+	var out [stats.NumComponents]sim.Tick
+	tl := r.ActivityTimeline()
+	for c := stats.Component(0); c < stats.NumComponents; c++ {
+		out[c] = tl.Active(c)
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	r.Span(stats.CPU, "", "cat", "s", 0, 10)
+	r.Activity(stats.GPU, "cat", "a", 0, 10)
+	r.Instant(stats.Copy, "", "cat", "i", 5)
+	if r.Len() != 0 || r.Dropped() != 0 || r.Events() != nil || r.Tail(4) != nil {
+		t.Fatal("nil recorder retained state")
+	}
+	tl := r.ActivityTimeline()
+	if tl.Active(stats.CPU) != 0 {
+		t.Fatal("nil recorder produced activity")
+	}
+}
+
+func TestSpanIgnoresEmptyIntervals(t *testing.T) {
+	r := New()
+	r.Span(stats.CPU, "", "c", "zero", 5, 5)
+	r.Span(stats.CPU, "", "c", "inverted", 9, 4)
+	r.Activity(stats.CPU, "c", "zero", 7, 7)
+	if r.Len() != 0 {
+		t.Fatalf("empty intervals recorded: %d events", r.Len())
+	}
+}
+
+func TestRingKeepsTail(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 7; i++ {
+		r.Instant(stats.CPU, "", "c", string(rune('a'+i)), sim.Tick(i))
+	}
+	if r.Len() != 3 {
+		t.Fatalf("ring len = %d, want 3", r.Len())
+	}
+	if r.Dropped() != 4 {
+		t.Fatalf("dropped = %d, want 4", r.Dropped())
+	}
+	evs := r.Events()
+	got := make([]string, len(evs))
+	for i, e := range evs {
+		got[i] = e.Name
+	}
+	if strings.Join(got, "") != "efg" {
+		t.Fatalf("ring tail = %v, want [e f g]", got)
+	}
+	tail := r.Tail(2)
+	if len(tail) != 2 || tail[0].Name != "f" || tail[1].Name != "g" {
+		t.Fatalf("Tail(2) = %v", tail)
+	}
+	if seq := evs[0].Seq; seq != 5 {
+		t.Fatalf("oldest retained seq = %d, want 5", seq)
+	}
+}
+
+func TestActivityTimelineMergesLikeStats(t *testing.T) {
+	r := New()
+	want := stats.NewTimeline()
+	add := func(c stats.Component, s, e sim.Tick) {
+		r.Activity(c, "busy", "x", s, e)
+		want.Add(c, s, e)
+	}
+	// Overlapping, adjacent, nested, and disjoint intervals on two
+	// components; the rebuilt timeline must merge identically.
+	add(stats.CPU, 0, 100)
+	add(stats.CPU, 50, 150)  // overlap
+	add(stats.CPU, 150, 200) // adjacent
+	add(stats.CPU, 160, 170) // nested
+	add(stats.CPU, 500, 600) // disjoint
+	add(stats.GPU, 10, 20)
+	got := r.ActivityTimeline()
+	for c := stats.Component(0); c < stats.NumComponents; c++ {
+		if got.Active(c) != want.Active(c) {
+			t.Fatalf("%s: trace-derived busy %d != timeline busy %d", c, got.Active(c), want.Active(c))
+		}
+	}
+	tot := r.ActivityTotals()
+	if tot[stats.CPU] != 300 || tot[stats.GPU] != 10 || tot[stats.Copy] != 0 {
+		t.Fatalf("ActivityTotals = %v", tot)
+	}
+}
+
+func TestExportValidatesAndRoundTrips(t *testing.T) {
+	r := New()
+	r.Activity(stats.CPU, "busy", "cpu task", 1_000_000, 2_000_000)
+	r.Span(stats.Copy, "PCIe link", "dma", "H2D", 1_500_000, 3_000_000, Arg{"bytes", 4096})
+	r.Instant(stats.GPU, "VM handler", "fault", "gpu page fault", 2_500_000)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, []RunTrace{{Name: "run-a", Rec: r}}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Validate(buf.Bytes())
+	if err != nil {
+		t.Fatalf("exported trace fails validation: %v", err)
+	}
+	if st.Events != 3 || st.Spans != 2 || st.Instants != 1 || st.Processes != 1 {
+		t.Fatalf("file stats = %+v", st)
+	}
+	// Exact picosecond values must survive in args.
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range doc.TraceEvents {
+		if e.Name == "H2D" && e.Ph == "X" {
+			found = true
+			if e.Args["start_ps"].(float64) != 1_500_000 || e.Args["dur_ps"].(float64) != 1_500_000 {
+				t.Fatalf("H2D args = %v", e.Args)
+			}
+			if e.Args["bytes"].(float64) != 4096 {
+				t.Fatalf("H2D custom arg lost: %v", e.Args)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("H2D span missing from export")
+	}
+}
+
+func TestExportMultiRunPIDs(t *testing.T) {
+	a, b := New(), New()
+	a.Activity(stats.CPU, "busy", "x", 0, 10)
+	b.Activity(stats.GPU, "busy", "y", 5, 15)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, []RunTrace{{Name: "a", Rec: a}, {Name: "b", Rec: b}}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Validate(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Processes != 2 || st.Spans != 2 {
+		t.Fatalf("file stats = %+v", st)
+	}
+}
+
+func TestValidateRejectsBadDocs(t *testing.T) {
+	cases := map[string]string{
+		"not json":      `{"traceEvents": [}`,
+		"no array":      `{"displayTimeUnit": "ns"}`,
+		"unnamed":       `{"traceEvents": [{"ph": "X", "ts": 1, "pid": 1}]}`,
+		"bad phase":     `{"traceEvents": [{"name": "e", "ph": "Q", "ts": 1, "pid": 1}]}`,
+		"no pid":        `{"traceEvents": [{"name": "e", "ph": "X", "ts": 1}]}`,
+		"negative ts":   `{"traceEvents": [{"name": "e", "ph": "X", "ts": -1, "pid": 1}]}`,
+		"negative dur":  `{"traceEvents": [{"name": "e", "ph": "X", "ts": 1, "dur": -2, "pid": 1}]}`,
+		"non-monotonic": `{"traceEvents": [{"name": "a", "ph": "i", "ts": 5, "pid": 1}, {"name": "b", "ph": "i", "ts": 4, "pid": 1}]}`,
+	}
+	for name, doc := range cases {
+		if _, err := Validate([]byte(doc)); err == nil {
+			t.Errorf("%s: validation passed, want error", name)
+		}
+	}
+	// Metadata events are exempt from ts checks.
+	ok := `{"traceEvents": [{"name": "a", "ph": "i", "ts": 5, "pid": 1}, {"name": "process_name", "ph": "M", "pid": 1}]}`
+	if _, err := Validate([]byte(ok)); err != nil {
+		t.Errorf("metadata after body rejected: %v", err)
+	}
+}
+
+func TestFlameTextSmoke(t *testing.T) {
+	r := NewRing(2)
+	r.Activity(stats.CPU, "busy", "task", 0, sim.Millisecond)
+	r.Span(stats.GPU, "SM0", "cta", "k0", 0, 2*sim.Millisecond)
+	r.Instant(stats.GPU, "SM0", "fault", "pf", 10)
+	out := FlameText([]RunTrace{{Name: "smoke", Rec: r}})
+	for _, want := range []string{"=== trace smoke", "dropped by ring", "busy", "instants:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("flame output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/memory"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Manager tracks page mappings for one simulated machine.
@@ -24,6 +25,11 @@ type Manager struct {
 	gpuServ    sim.Tick
 	handler    sim.BusyModel // serializes the CPU fault handler
 	ctr        *stats.Counters
+
+	// Tr is the optional trace sink (nil-safe). Fault events are emitted
+	// at most once per page — the first-touch walk — so trace size is
+	// bounded by the footprint, not the access count.
+	Tr *trace.Recorder
 
 	// OnCPUHandled observes each CPU-serviced fault's handler occupancy so
 	// the device layer can log CPU activity (and page-clearing writes, which
@@ -99,15 +105,21 @@ func (m *Manager) Translate(now sim.Tick, addr memory.Addr, fromGPU bool) sim.Ti
 	m.mapped[page] = struct{}{}
 	if !fromGPU {
 		m.ctr.Inc("vm.cpu_minor_faults")
+		m.Tr.Instant(stats.CPU, "VM", "fault", "cpu minor fault", now,
+			trace.Arg{Key: "page", Val: uint64(page)})
 		return now
 	}
 	if !m.faultToCPU {
 		m.ctr.Inc("vm.gpu_local_faults")
+		m.Tr.Span(stats.GPU, "VM", "fault", "gpu local fault", now, now+m.gpuServ,
+			trace.Arg{Key: "page", Val: uint64(page)})
 		return now + m.gpuServ
 	}
 	m.ctr.Inc("vm.gpu_faults_to_cpu")
 	start := m.handler.Claim(now, m.cpuServ)
 	end := start + m.cpuServ
+	m.Tr.Span(stats.CPU, "VM handler", "fault", "gpu fault to cpu", start, end,
+		trace.Arg{Key: "page", Val: uint64(page)})
 	if m.OnCPUHandled != nil {
 		m.OnCPUHandled(start, end, page)
 	}
