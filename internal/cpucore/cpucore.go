@@ -6,8 +6,6 @@
 package cpucore
 
 import (
-	"container/heap"
-
 	"fmt"
 
 	"repro/internal/isa"
@@ -38,15 +36,56 @@ type Core struct {
 	Ctr           *stats.Counters
 	LineBytes     int
 	Tr            *trace.Recorder // optional trace sink (nil-safe)
+
+	// Interned counter handles. Core is built by struct literal (no
+	// constructor), so they resolve lazily on the first RunTrace.
+	cFLOPs, cTraceOps stats.Counter
 }
 
-type tickHeap []sim.Tick
+// tickHeap is a concrete min-heap of completion times for the MLP window.
+// Typed push/pop avoid the per-load interface boxing that container/heap's
+// Push(x any) would allocate.
+type tickHeap struct {
+	a []sim.Tick
+}
 
-func (h tickHeap) Len() int           { return len(h) }
-func (h tickHeap) Less(i, j int) bool { return h[i] < h[j] }
-func (h tickHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *tickHeap) Push(x any)        { *h = append(*h, x.(sim.Tick)) }
-func (h *tickHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+func (h *tickHeap) len() int { return len(h.a) }
+
+func (h *tickHeap) push(v sim.Tick) {
+	h.a = append(h.a, v)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.a[p] <= h.a[i] {
+			break
+		}
+		h.a[i], h.a[p] = h.a[p], h.a[i]
+		i = p
+	}
+}
+
+func (h *tickHeap) pop() sim.Tick {
+	top := h.a[0]
+	n := len(h.a) - 1
+	h.a[0] = h.a[n]
+	h.a = h.a[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && h.a[c+1] < h.a[c] {
+			c++
+		}
+		if h.a[i] <= h.a[c] {
+			break
+		}
+		h.a[i], h.a[c] = h.a[c], h.a[i]
+		i = c
+	}
+	return top
+}
 
 type run struct {
 	c     *Core
@@ -64,6 +103,10 @@ type run struct {
 // time and FLOPs executed. Replay is event-driven in quantum slices so that
 // concurrent components contend for memory honestly.
 func (c *Core) RunTrace(start sim.Tick, comp stats.Component, tr isa.Trace, done func(end sim.Tick, flops uint64)) {
+	if !c.cFLOPs.Valid() {
+		c.cFLOPs = c.Ctr.Handle("cpu.flops")
+		c.cTraceOps = c.Ctr.Handle("cpu.trace_ops")
+	}
 	r := &run{c: c, tr: tr, comp: comp, start: start, t: start, done: done}
 	c.Eng.At(start, r.step)
 }
@@ -95,9 +138,9 @@ func (r *run) step() {
 			doneAt := r.access(at, op, op.Kind == isa.OpAtomic)
 			if op.Kind == isa.OpLoad {
 				// Overlap in the MLP window; stall only when it fills.
-				heap.Push(&r.out, doneAt)
-				if r.out.Len() > c.MLP {
-					earliest := heap.Pop(&r.out).(sim.Tick)
+				r.out.push(doneAt)
+				if r.out.len() > c.MLP {
+					earliest := r.out.pop()
 					r.t = maxTick(r.t, earliest)
 				}
 				r.t += issueCost
@@ -113,11 +156,11 @@ func (r *run) step() {
 		return
 	}
 	end := r.t
-	for _, o := range r.out {
+	for _, o := range r.out.a {
 		end = maxTick(end, o)
 	}
-	c.Ctr.Add("cpu.flops", r.flops)
-	c.Ctr.Add("cpu.trace_ops", uint64(len(r.tr)))
+	c.cFLOPs.Add(r.flops)
+	c.cTraceOps.Add(uint64(len(r.tr)))
 	c.Tr.Span(r.comp, fmt.Sprintf("CPU core %d", c.ID), "task", "task trace", r.start, end,
 		trace.Arg{Key: "flops", Val: r.flops}, trace.Arg{Key: "ops", Val: len(r.tr)})
 	r.done(end, r.flops)

@@ -178,9 +178,14 @@ func (s *System) launchOnGPU(k KernelSpec, launchStart, launchDur sim.Tick, h *H
 		ScratchBytes: k.ScratchBytes,
 		Gen: func(cta int) []isa.Trace {
 			out := make([]isa.Trace, k.Block)
+			// One Thread per CTA, re-pointed per lane: kernels only use the
+			// Thread inside Func, so the struct need not outlive the call.
+			// Each lane's trace is retained for replay and stays per-lane.
+			t := &Thread{s: s, cta: cta, block: k.Block, children: &children}
 			for i := 0; i < k.Block; i++ {
-				t := &Thread{s: s, cta: cta, lane: i, block: k.Block,
-					global: cta*k.Block + i, tr: make(isa.Trace, 0, 64), children: &children}
+				t.lane = i
+				t.global = cta*k.Block + i
+				t.tr = make(isa.Trace, 0, 64)
 				k.Func(t)
 				out[i] = t.tr
 			}

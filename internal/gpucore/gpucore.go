@@ -63,6 +63,11 @@ type GPU struct {
 	sms    []*sm
 	queue  []*Kernel // FIFO of kernels with undispatched CTAs
 	warpsz int
+
+	// Interned counter handles, resolved once in New — warp replay is the
+	// simulator's hottest loop and must not hash counter names.
+	cCTAs, cFLOPs, cScratchOps         stats.Counter
+	cMemTransactions, cAtomics, cWarps stats.Counter
 }
 
 // maxCTASpans bounds per-CTA trace spans across the device.
@@ -75,6 +80,26 @@ type sm struct {
 	liveCTAs  int
 	liveWarps int
 	scratch   int
+	// freeWarps pools retired warp structs for reuse, keeping their lanes
+	// and coalescing buffers' capacity and their bound step closure.
+	freeWarps []*warp
+}
+
+// takeWarp pops a pooled warp or builds a fresh one. The step closure is
+// created once per warp object and rides along through reuse.
+func (s *sm) takeWarp(cs *ctaState, now sim.Tick) *warp {
+	if n := len(s.freeWarps); n > 0 {
+		wp := s.freeWarps[n-1]
+		s.freeWarps = s.freeWarps[:n-1]
+		wp.cta = cs
+		wp.t = now
+		wp.ended = false
+		wp.lanes = wp.lanes[:0]
+		return wp
+	}
+	wp := &warp{sm: s, cta: cs, t: now}
+	wp.stepFn = wp.step
+	return wp
 }
 
 // New builds a GPU. l1s must have Cfg.SMs entries.
@@ -95,6 +120,12 @@ func New(eng *sim.Engine, cfg config.GPUConfig, l1s []*memory.Cache, vmgr *vm.Ma
 		LineBytes: lineBytes,
 		warpsz:    cfg.WarpSize,
 	}
+	g.cCTAs = ctr.Handle("gpu.ctas")
+	g.cFLOPs = ctr.Handle("gpu.flops")
+	g.cScratchOps = ctr.Handle("gpu.scratch_ops")
+	g.cMemTransactions = ctr.Handle("gpu.mem_transactions")
+	g.cAtomics = ctr.Handle("gpu.atomics")
+	g.cWarps = ctr.Handle("gpu.warps_retired")
 	for i := 0; i < cfg.SMs; i++ {
 		g.sms = append(g.sms, &sm{g: g, id: i})
 	}
@@ -179,18 +210,18 @@ func (s *sm) startCTA(k *Kernel, ctaIdx int) {
 	s.liveCTAs++
 	s.liveWarps += w
 	s.scratch += k.ScratchBytes
-	s.g.Ctr.Inc("gpu.ctas")
+	s.g.cCTAs.Inc()
 	for wi := 0; wi < w; wi++ {
 		lo := wi * s.g.warpsz
 		hi := lo + s.g.warpsz
 		if hi > len(traces) {
 			hi = len(traces)
 		}
-		wp := &warp{sm: s, cta: cs, t: now}
+		wp := s.takeWarp(cs, now)
 		for _, tr := range traces[lo:hi] {
 			wp.lanes = append(wp.lanes, laneCursor{tr: tr})
 		}
-		s.g.Eng.At(now, wp.step)
+		s.g.Eng.At(now, wp.stepFn)
 	}
 }
 
@@ -251,6 +282,13 @@ type warp struct {
 	lanes []laneCursor
 	t     sim.Tick
 	ended bool
+	// stepFn is w.step bound once at construction; scheduling it avoids a
+	// method-value closure allocation on every suspend/resume.
+	stepFn func()
+	// lineBuf is the reused coalescing scratch buffer: memoryOp gathers the
+	// op's unique lines into it instead of allocating a fresh slice per
+	// memory instruction.
+	lineBuf []memory.Addr
 }
 
 // step replays warp instructions until it blocks on memory, hits a barrier,
@@ -312,7 +350,7 @@ func (w *warp) step() {
 			start := w.sm.issue.Claim(w.t, g.Clk.Cycles(cyc))
 			w.t = start + g.Clk.Cycles(cyc)
 			w.cta.k.flops += sum
-			g.Ctr.Add("gpu.flops", sum)
+			g.cFLOPs.Add(sum)
 
 		case isa.OpScratch:
 			for i := range w.lanes {
@@ -323,7 +361,7 @@ func (w *warp) step() {
 			}
 			start := w.sm.issue.Claim(w.t, g.Clk.Cycles(1))
 			w.t = start + g.Clk.Cycles(1)
-			g.Ctr.Inc("gpu.scratch_ops")
+			g.cScratchOps.Inc()
 
 		case isa.OpLoad, isa.OpLoadDep, isa.OpStore, isa.OpAtomic:
 			blocked := w.memoryOp(kind)
@@ -332,7 +370,7 @@ func (w *warp) step() {
 			}
 		}
 	}
-	g.Eng.At(w.t, w.step)
+	g.Eng.At(w.t, w.stepFn)
 }
 
 // memoryOp issues a coalesced memory instruction. Loads and atomics block
@@ -343,8 +381,9 @@ func (w *warp) memoryOp(kind isa.OpKind) bool {
 	g := w.sm.g
 	write := kind == isa.OpStore || kind == isa.OpAtomic
 
-	// Gather participant addresses and coalesce into unique lines.
-	var lines []memory.Addr
+	// Gather participant addresses and coalesce into unique lines, reusing
+	// the warp's scratch buffer.
+	lines := w.lineBuf[:0]
 	for i := range w.lanes {
 		lc := &w.lanes[i]
 		if lc.done() || lc.tr[lc.idx].Kind != kind {
@@ -367,9 +406,10 @@ func (w *warp) memoryOp(kind isa.OpKind) bool {
 			}
 		}
 	}
-	g.Ctr.Add("gpu.mem_transactions", uint64(len(lines)))
+	w.lineBuf = lines
+	g.cMemTransactions.Add(uint64(len(lines)))
 	if kind == isa.OpAtomic {
-		g.Ctr.Inc("gpu.atomics")
+		g.cAtomics.Inc()
 	}
 
 	l1 := g.L1s[w.sm.id]
@@ -395,7 +435,7 @@ func (w *warp) memoryOp(kind isa.OpKind) bool {
 		return false
 	}
 	w.t = worst
-	g.Eng.At(worst, w.step)
+	g.Eng.At(worst, w.stepFn)
 	return true
 }
 
@@ -415,10 +455,10 @@ func (w *warp) barrier() bool {
 	waiters := cs.waiting
 	cs.arrived = 0
 	cs.maxT = 0
-	cs.waiting = nil
+	cs.waiting = cs.waiting[:0] // re-arrivals happen in later events; reuse capacity
 	for _, ww := range waiters {
 		ww.t = releaseT
-		w.sm.g.Eng.At(releaseT, ww.step)
+		w.sm.g.Eng.At(releaseT, ww.stepFn)
 	}
 	w.t = releaseT
 	return false
@@ -433,10 +473,10 @@ func (cs *ctaState) tryRelease() {
 	waiters := cs.waiting
 	cs.arrived = 0
 	cs.maxT = 0
-	cs.waiting = nil
+	cs.waiting = cs.waiting[:0]
 	for _, ww := range waiters {
 		ww.t = releaseT
-		cs.sm.g.Eng.At(releaseT, ww.step)
+		cs.sm.g.Eng.At(releaseT, ww.stepFn)
 	}
 }
 
@@ -445,8 +485,15 @@ func (w *warp) finish() {
 		return
 	}
 	w.ended = true
-	w.sm.g.Ctr.Inc("gpu.warps_retired")
-	w.cta.warpDone(w.t)
+	w.sm.g.cWarps.Inc()
+	// Return the warp to the SM pool before warpDone: a retired warp has no
+	// pending events and no barrier registration, and step() does not touch
+	// the warp after finish() returns, so warpDone's dispatch chain may
+	// immediately reuse it for a backfilled CTA.
+	cta, t := w.cta, w.t
+	w.cta = nil
+	w.sm.freeWarps = append(w.sm.freeWarps, w)
+	cta.warpDone(t)
 }
 
 // gpuSrcID is the Request.SrcID for the GPU cache hierarchy; the device

@@ -43,6 +43,62 @@ func LineAddr(addr Addr, lineBytes int) Addr {
 	return addr &^ Addr(lineBytes-1)
 }
 
+// pow2Shift returns log2(n) and true when n is a positive power of two.
+// Caches and DRAMs precompute shift/mask pairs from their line size, set
+// count, and bank/channel count at construction so the per-access index
+// math is a shift and a mask instead of a divide and a modulo; non-power-
+// of-two geometries fall back to the general form.
+func pow2Shift(n int) (uint, bool) {
+	if n <= 0 || n&(n-1) != 0 {
+		return 0, false
+	}
+	s := uint(0)
+	for m := uint64(n); m > 1; m >>= 1 {
+		s++
+	}
+	return s, true
+}
+
+// lineIndexer maps an address to its global line index, by shift when the
+// line size is a power of two.
+type lineIndexer struct {
+	bytes int
+	shift uint
+	pow2  bool
+}
+
+func newLineIndexer(lineBytes int) lineIndexer {
+	s, ok := pow2Shift(lineBytes)
+	return lineIndexer{bytes: lineBytes, shift: s, pow2: ok}
+}
+
+func (li lineIndexer) index(addr Addr) uint64 {
+	if li.pow2 {
+		return uint64(addr) >> li.shift
+	}
+	return uint64(addr) / uint64(li.bytes)
+}
+
+// modder reduces a line index into a bucket count, by mask when the count
+// is a power of two.
+type modder struct {
+	n    int
+	mask uint64
+	pow2 bool
+}
+
+func newModder(n int) modder {
+	_, ok := pow2Shift(n)
+	return modder{n: n, mask: uint64(n - 1), pow2: ok}
+}
+
+func (m modder) mod(v uint64) int {
+	if m.pow2 {
+		return int(v & m.mask)
+	}
+	return int(v % uint64(m.n))
+}
+
 // LinesSpanned reports how many lineBytes-sized lines [addr, addr+size)
 // touches.
 func LinesSpanned(addr Addr, size, lineBytes int) int {

@@ -14,9 +14,42 @@ func BenchmarkCacheHit(b *testing.B) {
 		Policy: WriteBack, HitLat: 10, Serv: 1, Next: sink,
 	})
 	c.Access(0, Request{Addr: 0})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Access(sim.Tick(i), Request{Addr: 0})
+	}
+}
+
+// TestCacheHitZeroAlloc asserts the cache-hit path is allocation-free: with
+// interned counter handles there is no per-access name concatenation or
+// map insertion left.
+func TestCacheHitZeroAlloc(t *testing.T) {
+	sink := &sinkPort{lat: 100}
+	c := NewCache(CacheConfig{
+		Name: "c", SizeBytes: 64 * 1024, Assoc: 8, LineBytes: 128,
+		Policy: WriteBack, HitLat: 10, Serv: 1, Next: sink,
+	})
+	c.Access(0, Request{Addr: 0})
+	var now sim.Tick
+	if a := testing.AllocsPerRun(1000, func() {
+		now++
+		c.Access(now, Request{Addr: 0})
+	}); a != 0 {
+		t.Fatalf("cache hit allocates %.1f/op, want 0", a)
+	}
+}
+
+// TestDRAMAccessZeroAlloc asserts the DRAM channel model's access path is
+// allocation-free, including the per-component access counter.
+func TestDRAMAccessZeroAlloc(t *testing.T) {
+	d := NewDRAM("m", 4, 179e9, 70*sim.Nanosecond, 128, nil)
+	var now sim.Tick
+	if a := testing.AllocsPerRun(1000, func() {
+		now++
+		d.Access(now, Request{Addr: Addr(now) * 128})
+	}); a != 0 {
+		t.Fatalf("DRAM access allocates %.1f/op, want 0", a)
 	}
 }
 

@@ -17,6 +17,12 @@ const (
 	// never dirties lines (Fermi-style GPU L1 global stores). Loads still
 	// allocate. This conveniently keeps all dirty GPU data in the shared L2,
 	// so the coherence fabric only needs to probe L2-level caches.
+	//
+	// Write-through stores are POSTED regardless of hit or miss: the
+	// downstream write is issued at the L1 completion time and consumes
+	// downstream bandwidth, but the requester observes only the L1 hit
+	// latency. (Fermi global stores retire from the SM's perspective once
+	// handed to the L1; store buffering hides the L2 round trip.)
 	WriteThroughNoAlloc
 )
 
@@ -45,6 +51,17 @@ type Cache struct {
 	ctr       *stats.Counters
 	lines     []cacheLine // nsets*assoc
 	lruClock  uint64
+
+	// Precomputed shift/mask index math (power-of-two fast path).
+	li      lineIndexer
+	setMod  modder
+	bankMod modder
+
+	// Interned counter handles, resolved once in NewCache so the access
+	// hot path increments a slot directly — no per-access name
+	// concatenation or map hash.
+	cHits, cMisses, cWriteThrough, cWritebacks stats.Counter
+	cInvalWB, cRangeWB, cFlushWB               stats.Counter
 
 	// Tr is the optional trace sink (nil-safe). Spill instants are capped
 	// per cache: a thrashing cache evicts millions of dirty lines, and the
@@ -85,7 +102,7 @@ func NewCache(cfg CacheConfig) *Cache {
 	if cfg.Counters == nil {
 		cfg.Counters = stats.NewCounters()
 	}
-	return &Cache{
+	c := &Cache{
 		Name:      cfg.Name,
 		lineBytes: cfg.LineBytes,
 		nsets:     nsets,
@@ -98,7 +115,18 @@ func NewCache(cfg CacheConfig) *Cache {
 		srcID:     cfg.SrcID,
 		ctr:       cfg.Counters,
 		lines:     make([]cacheLine, nsets*cfg.Assoc),
+		li:        newLineIndexer(cfg.LineBytes),
+		setMod:    newModder(nsets),
+		bankMod:   newModder(cfg.Banks),
 	}
+	c.cHits = c.ctr.Handle(cfg.Name + ".hits")
+	c.cMisses = c.ctr.Handle(cfg.Name + ".misses")
+	c.cWriteThrough = c.ctr.Handle(cfg.Name + ".write_through")
+	c.cWritebacks = c.ctr.Handle(cfg.Name + ".writebacks")
+	c.cInvalWB = c.ctr.Handle(cfg.Name + ".inval_writebacks")
+	c.cRangeWB = c.ctr.Handle(cfg.Name + ".range_writebacks")
+	c.cFlushWB = c.ctr.Handle(cfg.Name + ".flush_writebacks")
+	return c
 }
 
 // Counters exposes the cache's counter group (hits/misses/writebacks,
@@ -106,12 +134,12 @@ func NewCache(cfg CacheConfig) *Cache {
 func (c *Cache) Counters() *stats.Counters { return c.ctr }
 
 func (c *Cache) set(addr Addr) []cacheLine {
-	idx := int(addr/Addr(c.lineBytes)) % c.nsets
+	idx := c.setMod.mod(c.li.index(addr))
 	return c.lines[idx*c.assoc : (idx+1)*c.assoc]
 }
 
 func (c *Cache) bank(addr Addr) *sim.BusyModel {
-	return &c.banks[int(addr/Addr(c.lineBytes))%len(c.banks)]
+	return &c.banks[c.bankMod.mod(c.li.index(addr))]
 }
 
 // Access services one line-granularity request and returns its completion
@@ -131,28 +159,31 @@ func (c *Cache) Access(now sim.Tick, req Request) sim.Tick {
 			ln.lru = c.lruClock
 			if req.Write {
 				if c.policy == WriteThroughNoAlloc {
-					c.ctr.Inc(c.Name + ".write_through")
+					c.cWriteThrough.Inc()
 					c.next.Access(t, Request{Addr: addr, Write: true, Comp: req.Comp, SrcID: c.srcID})
 					return t
 				}
 				ln.dirty = true
 				ln.comp = req.Comp
 			}
-			c.ctr.Inc(c.Name + ".hits")
+			c.cHits.Inc()
 			return t
 		}
 	}
 
-	// Miss.
+	// Miss. A write-through store is posted just like the hit case: the
+	// downstream write consumes bandwidth but the requester sees only the
+	// L1 latency (see WriteThroughNoAlloc).
 	if req.Write && c.policy == WriteThroughNoAlloc {
-		c.ctr.Inc(c.Name + ".write_through")
-		return c.next.Access(t, Request{Addr: addr, Write: true, Comp: req.Comp, SrcID: c.srcID})
+		c.cWriteThrough.Inc()
+		c.next.Access(t, Request{Addr: addr, Write: true, Comp: req.Comp, SrcID: c.srcID})
+		return t
 	}
-	c.ctr.Inc(c.Name + ".misses")
+	c.cMisses.Inc()
 
 	victim := c.victim(set)
 	if victim.valid && victim.dirty {
-		c.ctr.Inc(c.Name + ".writebacks")
+		c.cWritebacks.Inc()
 		c.spillEvent(t, victim)
 		// Posted write: consumes downstream bandwidth but is off the
 		// requester's critical path.
@@ -250,7 +281,7 @@ func (c *Cache) InvalidateRange(now sim.Tick, base Addr, size int, comp stats.Co
 		if ln.valid && ln.tag >= lo && ln.tag < hi {
 			if ln.dirty {
 				wb++
-				c.ctr.Inc(c.Name + ".inval_writebacks")
+				c.cInvalWB.Inc()
 				c.next.Access(now, Request{Addr: ln.tag, Write: true, Writeback: true, Comp: ln.comp, SrcID: c.srcID})
 			}
 			ln.valid = false
@@ -274,7 +305,7 @@ func (c *Cache) WritebackRange(now sim.Tick, base Addr, size int) {
 		ln := &c.lines[i]
 		if ln.valid && ln.dirty && ln.tag >= lo && ln.tag < hi {
 			wb++
-			c.ctr.Inc(c.Name + ".range_writebacks")
+			c.cRangeWB.Inc()
 			c.next.Access(now, Request{Addr: ln.tag, Write: true, Writeback: true, Comp: ln.comp, SrcID: c.srcID})
 			ln.dirty = false
 		}
@@ -293,7 +324,7 @@ func (c *Cache) FlushAll(now sim.Tick) {
 		ln := &c.lines[i]
 		if ln.valid && ln.dirty {
 			wb++
-			c.ctr.Inc(c.Name + ".flush_writebacks")
+			c.cFlushWB.Inc()
 			c.next.Access(now, Request{Addr: ln.tag, Write: true, Writeback: true, Comp: ln.comp, SrcID: c.srcID})
 		}
 		ln.valid = false

@@ -18,6 +18,15 @@ type DRAM struct {
 	channels  []sim.BusyModel
 	ctr       *stats.Counters
 
+	// Precomputed channel index math and interned counter handles — the
+	// per-access path touches no strings and no maps. Per-component access
+	// counters are a fixed array indexed by stats.Component.
+	li      lineIndexer
+	chanMod modder
+	cReads  stats.Counter
+	cWrites stats.Counter
+	cAccess [stats.NumComponents]stats.Counter
+
 	// OnAccess, if set, observes every access at its service start time.
 	// The analysis layer installs the off-chip classifier here.
 	OnAccess func(now sim.Tick, req Request)
@@ -39,14 +48,20 @@ func NewDRAM(name string, channels int, bytesPerSec float64, latency sim.Tick, l
 	if serv < 1 {
 		serv = 1
 	}
-	return &DRAM{
+	d := &DRAM{
 		Name:      name,
 		lineBytes: lineBytes,
 		latency:   latency,
 		servLine:  serv,
 		channels:  make([]sim.BusyModel, channels),
 		ctr:       ctr,
+		li:        newLineIndexer(lineBytes),
+		chanMod:   newModder(channels),
 	}
+	d.cReads = ctr.Handle(name + ".reads")
+	d.cWrites = ctr.Handle(name + ".writes")
+	d.cAccess = ctr.ComponentHandles(name + ".access.")
+	return d
 }
 
 // Counters exposes the DRAM counter group.
@@ -65,7 +80,7 @@ func (d *DRAM) StallChannel(ch int, from, to sim.Tick) {
 
 // Access services one line access.
 func (d *DRAM) Access(now sim.Tick, req Request) sim.Tick {
-	chIdx := int(req.Addr/Addr(d.lineBytes)) % len(d.channels)
+	chIdx := d.chanMod.mod(d.li.index(req.Addr))
 	ch := &d.channels[chIdx]
 	if d.stallTo > d.stallFrom && chIdx == d.stallCh {
 		// Push service past the stall window if it would begin inside it.
@@ -79,11 +94,11 @@ func (d *DRAM) Access(now sim.Tick, req Request) sim.Tick {
 	}
 	start := ch.Claim(now, d.servLine)
 	if req.Write {
-		d.ctr.Inc(d.Name + ".writes")
+		d.cWrites.Inc()
 	} else {
-		d.ctr.Inc(d.Name + ".reads")
+		d.cReads.Inc()
 	}
-	d.ctr.Inc(d.Name + ".access." + req.Comp.String())
+	d.cAccess[req.Comp].Inc()
 	if d.OnAccess != nil {
 		d.OnAccess(start, req)
 	}

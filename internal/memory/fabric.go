@@ -28,6 +28,9 @@ type Fabric struct {
 	groups   []ProbeGroup
 	dram     *DRAM
 	ctr      *stats.Counters
+
+	cC2C        stats.Counter // interned handles (see NewFabric)
+	cC2CDirtyWB stats.Counter
 }
 
 // FabricConfig collects Fabric constructor parameters.
@@ -46,7 +49,7 @@ func NewFabric(cfg FabricConfig) *Fabric {
 	if cfg.Counters == nil {
 		cfg.Counters = stats.NewCounters()
 	}
-	return &Fabric{
+	f := &Fabric{
 		Name:     cfg.Name,
 		lat:      cfg.Lat,
 		serv:     cfg.Serv,
@@ -55,6 +58,9 @@ func NewFabric(cfg FabricConfig) *Fabric {
 		dram:     cfg.DRAM,
 		ctr:      cfg.Counters,
 	}
+	f.cC2C = f.ctr.Handle(cfg.Name + ".c2c_transfers")
+	f.cC2CDirtyWB = f.ctr.Handle(cfg.Name + ".c2c_dirty_writebacks")
+	return f
 }
 
 // Attach registers a coherent hierarchy for probing.
@@ -84,11 +90,11 @@ func (f *Fabric) Access(now sim.Tick, req Request) sim.Tick {
 				if !found {
 					continue
 				}
-				f.ctr.Inc(f.Name + ".c2c_transfers")
+				f.cC2C.Inc()
 				if dirty {
 					// Downgrade writes the dirty data back; the transfer to
 					// the requester proceeds in parallel.
-					f.ctr.Inc(f.Name + ".c2c_dirty_writebacks")
+					f.cC2CDirtyWB.Inc()
 					f.dram.Access(t, Request{Addr: req.Addr, Write: true, Comp: comp, SrcID: g.SrcID})
 				}
 				return t + f.c2cLat

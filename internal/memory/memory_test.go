@@ -183,6 +183,31 @@ func TestWriteThroughNoAlloc(t *testing.T) {
 	}
 }
 
+// Write-through stores are posted: the requester sees the L1 hit latency
+// whether the line is present or not; the downstream write proceeds in the
+// background. A miss must not charge the requester the next-level latency.
+func TestWriteThroughStorePosted(t *testing.T) {
+	sink := &sinkPort{lat: 100}
+	c := newTestCache(4*1024, 4, WriteThroughNoAlloc, sink)
+	// Store miss: posted, requester pays only issue time (HitLat applies to
+	// the data response, which a posted store doesn't wait for).
+	missDone := c.Access(0, Request{Addr: 0, Write: true})
+	// Store hit: warm a line with a load first.
+	c.Access(100, Request{Addr: 512})
+	hitDone := c.Access(1000, Request{Addr: 512, Write: true})
+	// Both complete after the L1 pipeline (bank serv + hit latency) but
+	// strictly before the downstream latency would land.
+	if missDone < 10 || missDone >= 100 {
+		t.Fatalf("store miss completes at %d, want L1 latency only", missDone)
+	}
+	if hitDone < 1010 || hitDone >= 1100 {
+		t.Fatalf("store hit completes at %d, want L1 latency only", hitDone)
+	}
+	if got := sink.count(true); got != 2 {
+		t.Fatalf("stores forwarded = %d, want 2", got)
+	}
+}
+
 func TestProbe(t *testing.T) {
 	sink := &sinkPort{lat: 100}
 	c := newTestCache(4*1024, 4, WriteBack, sink)

@@ -26,6 +26,8 @@ type Engine struct {
 
 	perLine sim.Tick // link time per cache line
 	link    sim.BusyModel
+
+	cTransfers, cBytes stats.Counter // interned handles (see New)
 }
 
 // New builds a copy engine for a link of the given peak bandwidth.
@@ -37,7 +39,11 @@ func New(eng *sim.Engine, bytesPerSec float64, setup sim.Tick, lineBytes int, ct
 	if perLine < 1 {
 		perLine = 1
 	}
-	return &Engine{Eng: eng, Setup: setup, LineBytes: lineBytes, Ctr: ctr, perLine: perLine}
+	return &Engine{
+		Eng: eng, Setup: setup, LineBytes: lineBytes, Ctr: ctr, perLine: perLine,
+		cTransfers: ctr.Handle("pcie.transfers"),
+		cBytes:     ctr.Handle("pcie.bytes"),
+	}
 }
 
 // Transfer DMAs n bytes from src (read from srcMem) to dst (written to
@@ -48,8 +54,8 @@ func (e *Engine) Transfer(at sim.Tick, src, dst memory.Addr, n int, srcMem, dstM
 	dur := e.Setup + sim.Tick(lines)*e.perLine
 	start := e.link.Claim(at, dur)
 	end := start + dur
-	e.Ctr.Inc("pcie.transfers")
-	e.Ctr.Add("pcie.bytes", uint64(n))
+	e.cTransfers.Inc()
+	e.cBytes.Add(uint64(n))
 	e.Tr.Span(stats.Copy, "PCIe link", "dma", "DMA transfer", start, end,
 		trace.Arg{Key: "bytes", Val: n}, trace.Arg{Key: "lines", Val: lines})
 

@@ -3,7 +3,8 @@ package sim
 import "testing"
 
 // BenchmarkEngineThroughput measures raw event-processing rate — the
-// simulator's fundamental speed limit.
+// simulator's fundamental speed limit. The self-scheduling chain exercises
+// the heap path (positive delay).
 func BenchmarkEngineThroughput(b *testing.B) {
 	e := NewEngine()
 	n := 0
@@ -15,6 +16,47 @@ func BenchmarkEngineThroughput(b *testing.B) {
 		}
 	}
 	e.Schedule(0, tick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkEngineSameTick measures the zero-delay FIFO fast path —
+// the shape of warp replay re-arming and DMA chunk pacing.
+func BenchmarkEngineSameTick(b *testing.B) {
+	e := NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.Schedule(0, tick)
+		}
+	}
+	e.Schedule(0, tick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkEngineMixedQueue measures heap behaviour with a deep pending set:
+// every event re-schedules at a spread of delays, keeping hundreds of
+// events in flight.
+func BenchmarkEngineMixedQueue(b *testing.B) {
+	e := NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.Schedule(Tick(1+n%97), tick)
+		}
+	}
+	for i := 0; i < 256 && i < b.N; i++ {
+		e.Schedule(Tick(i), func() {})
+	}
+	e.Schedule(0, tick)
+	b.ReportAllocs()
 	b.ResetTimer()
 	e.Run()
 }

@@ -5,7 +5,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -40,21 +39,105 @@ type event struct {
 	fn   func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
+// before orders events by (when, seq) — time first, schedule order within a
+// time.
+func (e event) before(o event) bool {
+	if e.when != o.when {
+		return e.when < o.when
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() event        { return h[0] }
-func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
-func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+
+// eventHeap is a concrete 4-ary min-heap over event values. It replaces
+// container/heap to eliminate the interface boxing allocation that
+// Push(x any)/Pop() any forced on every scheduled event: events move
+// by value and the backing array is reused across the run, so steady-state
+// scheduling is allocation-free. The 4-ary shape halves the tree depth of a
+// binary heap, trading slightly more comparisons per level for fewer
+// cache-missing levels — the usual win for small fixed-size elements.
+type eventHeap struct {
+	a []event
+}
+
+func (h *eventHeap) len() int     { return len(h.a) }
+func (h *eventHeap) peek() *event { return &h.a[0] }
+
+func (h *eventHeap) push(e event) {
+	h.a = append(h.a, e)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !h.a[i].before(h.a[p]) {
+			break
+		}
+		h.a[i], h.a[p] = h.a[p], h.a[i]
+		i = p
+	}
+}
+
+func (h *eventHeap) pop() event {
+	top := h.a[0]
+	n := len(h.a) - 1
+	h.a[0] = h.a[n]
+	h.a[n] = event{} // drop the fn reference so the closure can be collected
+	h.a = h.a[:n]
+	if n > 1 {
+		h.siftDown(0)
+	}
+	return top
+}
+
+func (h *eventHeap) siftDown(i int) {
+	n := len(h.a)
+	for {
+		first := i<<2 + 1 // leftmost child
+		if first >= n {
+			return
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if h.a[c].before(h.a[min]) {
+				min = c
+			}
+		}
+		if !h.a[min].before(h.a[i]) {
+			return
+		}
+		h.a[i], h.a[min] = h.a[min], h.a[i]
+		i = min
+	}
+}
+
+// eventFIFO is the same-tick fast path: events scheduled for the current
+// simulated time (zero-delay self-scheduling, the dominant pattern in warp
+// replay and DMA pacing) bypass the heap entirely and run in insertion
+// order from a reused ring. Correctness of the split relies on an
+// invariant: anything in the FIFO was scheduled while now had its current
+// value, so it carries a larger seq than any same-time event still in the
+// heap (those were pushed when now was strictly smaller).
+type eventFIFO struct {
+	a    []func()
+	head int
+}
+
+func (f *eventFIFO) len() int { return len(f.a) - f.head }
+
+func (f *eventFIFO) push(fn func()) { f.a = append(f.a, fn) }
+
+func (f *eventFIFO) pop() func() {
+	fn := f.a[f.head]
+	f.a[f.head] = nil // release the closure
+	f.head++
+	if f.head == len(f.a) {
+		f.a = f.a[:0] // drained: rewind, keeping capacity
+		f.head = 0
+	}
+	return fn
+}
 
 // Budget bounds one simulation run. A zero field means that dimension is
 // unlimited. Budgets are how the fault-tolerant harness keeps a runaway or
@@ -102,10 +185,17 @@ const wallCheckMask = 1<<12 - 1
 
 // Engine is a single-threaded discrete-event scheduler. Events scheduled for
 // the same Tick run in the order they were scheduled.
+//
+// Internally the pending set is split in two: a FIFO holding events
+// scheduled for the current time (see eventFIFO) and a 4-ary min-heap for
+// everything later. Time only advances off a heap pop, which can happen
+// only when the FIFO is empty — so every FIFO entry runs at exactly the
+// now it was scheduled at.
 type Engine struct {
 	now    Tick
 	seq    uint64
 	events eventHeap
+	fifo   eventFIFO
 	nRun   uint64
 
 	budget     Budget
@@ -123,7 +213,7 @@ func (e *Engine) Now() Tick { return e.now }
 func (e *Engine) EventsRun() uint64 { return e.nRun }
 
 // Pending reports how many events are waiting to run.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.events.len() + e.fifo.len() }
 
 // Schedule runs fn after delay picoseconds of simulated time. A negative
 // delay is treated as zero (run at the current time, after already-queued
@@ -137,11 +227,14 @@ func (e *Engine) Schedule(delay Tick, fn func()) {
 
 // At runs fn at absolute time t. Times in the past are clamped to now.
 func (e *Engine) At(t Tick, fn func()) {
-	if t < e.now {
-		t = e.now
+	if t <= e.now {
+		// Same-tick fast path: runs at now, after all queued same-time
+		// events, in insertion order — no heap traffic.
+		e.fifo.push(fn)
+		return
 	}
 	e.seq++
-	e.events.pushEvent(event{when: t, seq: e.seq, fn: fn})
+	e.events.push(event{when: t, seq: e.seq, fn: fn})
 }
 
 // SetBudget arms (or, with the zero Budget, disarms) run budgets. The wall
@@ -173,16 +266,26 @@ func (e *Engine) checkBudget() {
 // whether an event ran. With a Budget armed, an over-budget Step panics
 // with a *BudgetError instead of running the event.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	fifoN := e.fifo.len()
+	if fifoN == 0 && e.events.len() == 0 {
 		return false
 	}
 	if e.budget != (Budget{}) {
 		e.checkBudget()
 	}
-	ev := e.events.popEvent()
-	e.now = ev.when
+	// Heap events at the current time predate every FIFO entry (they were
+	// pushed while now was strictly smaller, so they carry lower seqs) and
+	// must run first to preserve schedule order.
+	if fifoN == 0 || (e.events.len() > 0 && e.events.peek().when == e.now) {
+		ev := e.events.pop()
+		e.now = ev.when
+		e.nRun++
+		ev.fn()
+		return true
+	}
+	fn := e.fifo.pop()
 	e.nRun++
-	ev.fn()
+	fn()
 	return true
 }
 
@@ -194,7 +297,15 @@ func (e *Engine) Run() {
 
 // RunUntil executes events with timestamps <= t, then advances time to t.
 func (e *Engine) RunUntil(t Tick) {
-	for len(e.events) > 0 && e.events.peek().when <= t {
+	for {
+		// FIFO entries are timestamped now; heap entries at their own when.
+		if e.fifo.len() > 0 {
+			if e.now > t {
+				break
+			}
+		} else if e.events.len() == 0 || e.events.peek().when > t {
+			break
+		}
 		e.Step()
 	}
 	if e.now < t {

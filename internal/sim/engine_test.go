@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -244,6 +245,215 @@ func TestEngineZeroBudgetUnlimited(t *testing.T) {
 	e.Run()
 	if hits != 1000 {
 		t.Fatalf("zero budget limited the run: %d", hits)
+	}
+}
+
+// TestEngineHeapFIFOBoundaryOrdering pins the schedule-order tie-break
+// across the FIFO/heap split: two events are scheduled for t=10 while now=0
+// (both go to the heap); the first to run schedules a third at zero delay
+// (FIFO). The heap-resident same-time event has the lower seq and must run
+// before the FIFO one.
+func TestEngineHeapFIFOBoundaryOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(10, func() {
+		order = append(order, 1)
+		e.Schedule(0, func() { order = append(order, 3) })
+	})
+	e.Schedule(10, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("boundary ordering wrong: %v", order)
+	}
+}
+
+// TestEngineFIFOInsertionOrder pins that zero-delay events spawned by
+// different same-time events interleave in schedule order.
+func TestEngineFIFOInsertionOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 4; i++ {
+		i := i
+		e.Schedule(5, func() {
+			order = append(order, i)
+			e.Schedule(0, func() { order = append(order, 10+i) })
+		})
+	}
+	e.Run()
+	want := []int{0, 1, 2, 3, 10, 11, 12, 13}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestRunUntilEqualTimestamps pins that RunUntil(t) drains events AT t,
+// including zero-delay events they spawn, before stopping.
+func TestRunUntilEqualTimestamps(t *testing.T) {
+	e := NewEngine()
+	var ran []int
+	e.Schedule(5, func() {
+		ran = append(ran, 1)
+		e.Schedule(0, func() { ran = append(ran, 2) })
+	})
+	e.Schedule(5, func() { ran = append(ran, 3) })
+	e.Schedule(6, func() { ran = append(ran, 4) })
+	e.RunUntil(5)
+	if len(ran) != 3 || ran[0] != 1 || ran[1] != 3 || ran[2] != 2 {
+		t.Fatalf("ran = %v, want [1 3 2]", ran)
+	}
+	if e.Now() != 5 || e.Pending() != 1 {
+		t.Fatalf("now=%d pending=%d", e.Now(), e.Pending())
+	}
+	e.Run()
+	if len(ran) != 4 || ran[3] != 4 {
+		t.Fatalf("later event lost: %v", ran)
+	}
+}
+
+// TestEngineBudgetPanicMidFIFO arms a budget that trips while zero-delay
+// FIFO events are queued; the engine must stay consistent and finish the
+// remaining events in order once the budget is disarmed.
+func TestEngineBudgetPanicMidFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(1, func() {
+		for i := 0; i < 10; i++ {
+			i := i
+			e.Schedule(0, func() { order = append(order, i) })
+		}
+	})
+	e.SetBudget(Budget{MaxEvents: 5}) // the spawner + 4 FIFO events
+	be := recoverBudgetError(t, e.Run)
+	if !be.ExceededEvents() {
+		t.Fatalf("wrong budget dimension: %+v", be)
+	}
+	if len(order) != 4 {
+		t.Fatalf("ran %d FIFO events before tripping, want 4", len(order))
+	}
+	if e.Pending() != 6 {
+		t.Fatalf("pending = %d, want 6", e.Pending())
+	}
+	e.SetBudget(Budget{})
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("post-recovery order broken: %v", order)
+		}
+	}
+	if len(order) != 10 {
+		t.Fatalf("events lost across budget trip: %v", order)
+	}
+}
+
+// refScheduler is a deliberately naive reference implementation of the
+// documented semantics — a flat slice popped by linear min-scan over
+// (when, seq) — used to differentially test the 4-ary heap + FIFO engine.
+type refScheduler struct {
+	now  Tick
+	seq  uint64
+	evs  []event
+	nRun int
+}
+
+func (r *refScheduler) at(t Tick, fn func()) {
+	if t < r.now {
+		t = r.now
+	}
+	r.seq++
+	r.evs = append(r.evs, event{when: t, seq: r.seq, fn: fn})
+}
+
+func (r *refScheduler) run() {
+	for len(r.evs) > 0 {
+		min := 0
+		for i := 1; i < len(r.evs); i++ {
+			if r.evs[i].before(r.evs[min]) {
+				min = i
+			}
+		}
+		ev := r.evs[min]
+		r.evs = append(r.evs[:min], r.evs[min+1:]...)
+		r.now = ev.when
+		r.nRun++
+		ev.fn()
+	}
+}
+
+// TestEngineMatchesReferenceOrder differentially fuzzes the engine against
+// the naive reference on random schedules, including nested zero-delay and
+// short-delay rescheduling — the shapes that cross the FIFO/heap boundary.
+// Events are identified by their construction path, so the two runs are
+// compared purely on execution order.
+func TestEngineMatchesReferenceOrder(t *testing.T) {
+	// spawn builds an event tree on an abstract scheduler: each node logs
+	// its path label, and non-leaf nodes schedule a zero-delay child (FIFO
+	// path) plus a short-delay child (heap path).
+	var spawn func(sched func(Tick, func()), out *[]string, label string, d Tick, depth int) func()
+	spawn = func(sched func(Tick, func()), out *[]string, label string, d Tick, depth int) func() {
+		return func() {
+			*out = append(*out, label)
+			if depth > 0 {
+				sched(0, spawn(sched, out, label+".z", 0, 0))
+				sched(d%3, spawn(sched, out, label+".d", d, depth-1))
+			}
+		}
+	}
+	f := func(seed []uint16) bool {
+		e := NewEngine()
+		r := &refScheduler{}
+		var got, want []string
+		schedE := func(d Tick, fn func()) { e.Schedule(d, fn) }
+		schedR := func(d Tick, fn func()) { r.at(r.now+d, fn) }
+		for i, s := range seed {
+			d := Tick(s % 50)
+			label := fmt.Sprintf("r%d", i)
+			e.Schedule(d, spawn(schedE, &got, label, d, int(s%3)))
+			r.at(d, spawn(schedR, &want, label, d, int(s%3)))
+		}
+		e.Run()
+		r.run()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScheduleStepZeroAlloc asserts the steady-state scheduling loop is
+// allocation-free for both the heap path (positive delay) and the FIFO
+// path (zero delay) — the tentpole property the benchmark CI gates.
+func TestScheduleStepZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	// Warm capacity.
+	for i := 0; i < 64; i++ {
+		e.Schedule(Tick(i), fn)
+	}
+	e.Run()
+	if a := testing.AllocsPerRun(1000, func() {
+		e.Schedule(100, fn)
+		e.Step()
+	}); a != 0 {
+		t.Fatalf("heap-path Schedule+Step allocates %.1f/op, want 0", a)
+	}
+	if a := testing.AllocsPerRun(1000, func() {
+		e.Schedule(0, fn)
+		e.Step()
+	}); a != 0 {
+		t.Fatalf("FIFO-path Schedule+Step allocates %.1f/op, want 0", a)
 	}
 }
 

@@ -156,6 +156,88 @@ func TestBreakdownPartitionProperty(t *testing.T) {
 	}
 }
 
+func TestCounterHandle(t *testing.T) {
+	c := NewCounters()
+	h := c.Handle("x")
+	if !h.Valid() {
+		t.Fatal("handle from Handle() must be valid")
+	}
+	var zero Counter
+	if zero.Valid() {
+		t.Fatal("zero Counter must be invalid")
+	}
+	h.Inc()
+	h.Add(4)
+	if h.Value() != 5 || c.Get("x") != 5 {
+		t.Fatalf("handle value = %d, Get = %d, want 5", h.Value(), c.Get("x"))
+	}
+	// A second Handle for the same name aliases the same slot.
+	h2 := c.Handle("x")
+	h2.Inc()
+	if h.Value() != 6 {
+		t.Fatal("handles for the same name must alias")
+	}
+	// Name-keyed writes hit the same slot as the handle.
+	c.Add("x", 10)
+	if h.Value() != 16 {
+		t.Fatal("Add by name must reach the interned slot")
+	}
+}
+
+func TestComponentHandles(t *testing.T) {
+	c := NewCounters()
+	hs := c.ComponentHandles("mem.access.")
+	hs[GPU].Add(7)
+	hs[Copy].Inc()
+	if c.Get("mem.access.GPU") != 7 || c.Get("mem.access.Copy") != 1 || c.Get("mem.access.CPU") != 0 {
+		t.Fatalf("component handle names wrong: %v", c.Snapshot())
+	}
+}
+
+// Interning a handle must not leak zero-valued counters into Snapshot-based
+// reporting paths: TakeDelta and Merge only surface counters that moved.
+func TestZeroValuedHandlesStayQuiet(t *testing.T) {
+	c := NewCounters()
+	c.Handle("quiet")
+	c.Add("loud", 3)
+	prev := map[string]uint64{}
+	if d := c.TakeDelta(prev); len(d) != 1 || d["loud"] != 3 {
+		t.Fatalf("delta = %v, want only loud", d)
+	}
+	dst := NewCounters()
+	dst.Merge(c)
+	if _, ok := dst.Snapshot()["quiet"]; ok {
+		t.Fatal("Merge must skip zero-valued counters")
+	}
+}
+
+// Regression: TakeDelta must sync prev for every counter, including ones
+// whose value did not change, so a counter that later moves reports only
+// the new movement.
+func TestTakeDeltaAlwaysSyncsPrev(t *testing.T) {
+	c := NewCounters()
+	c.Add("a", 5)
+	c.Add("b", 2)
+	prev := map[string]uint64{}
+	if d := c.TakeDelta(prev); d["a"] != 5 || d["b"] != 2 {
+		t.Fatalf("first delta = %v", d)
+	}
+	// Phase boundary where only a moves; prev must still track b.
+	c.Add("a", 1)
+	if d := c.TakeDelta(prev); d["a"] != 1 || len(d) != 1 {
+		t.Fatalf("second delta = %v, want a:1 only", d)
+	}
+	if prev["b"] != 2 {
+		t.Fatalf("prev[b] = %d, want synced to 2", prev["b"])
+	}
+	// b moves now; its delta must be relative to the last TakeDelta, not
+	// to the last time b itself changed.
+	c.Add("b", 4)
+	if d := c.TakeDelta(prev); d["b"] != 4 || len(d) != 1 {
+		t.Fatalf("third delta = %v, want b:4 only", d)
+	}
+}
+
 func TestCounters(t *testing.T) {
 	c := NewCounters()
 	c.Add("a", 5)

@@ -26,6 +26,9 @@ type Manager struct {
 	handler    sim.BusyModel // serializes the CPU fault handler
 	ctr        *stats.Counters
 
+	// Interned fault-counter handles, resolved once in New.
+	cCPUMinor, cGPULocal, cGPUToCPU stats.Counter
+
 	// Tr is the optional trace sink (nil-safe). Fault events are emitted
 	// at most once per page — the first-touch walk — so trace size is
 	// bounded by the footprint, not the access count.
@@ -65,6 +68,9 @@ func New(cfg Config, ctr *stats.Counters) *Manager {
 		cpuServ:    cfg.CPUFaultServ,
 		gpuServ:    cfg.GPUFaultServ,
 		ctr:        ctr,
+		cCPUMinor:  ctr.Handle("vm.cpu_minor_faults"),
+		cGPULocal:  ctr.Handle("vm.gpu_local_faults"),
+		cGPUToCPU:  ctr.Handle("vm.gpu_faults_to_cpu"),
 	}
 }
 
@@ -104,18 +110,18 @@ func (m *Manager) Translate(now sim.Tick, addr memory.Addr, fromGPU bool) sim.Ti
 	}
 	m.mapped[page] = struct{}{}
 	if !fromGPU {
-		m.ctr.Inc("vm.cpu_minor_faults")
+		m.cCPUMinor.Inc()
 		m.Tr.Instant(stats.CPU, "VM", "fault", "cpu minor fault", now,
 			trace.Arg{Key: "page", Val: uint64(page)})
 		return now
 	}
 	if !m.faultToCPU {
-		m.ctr.Inc("vm.gpu_local_faults")
+		m.cGPULocal.Inc()
 		m.Tr.Span(stats.GPU, "VM", "fault", "gpu local fault", now, now+m.gpuServ,
 			trace.Arg{Key: "page", Val: uint64(page)})
 		return now + m.gpuServ
 	}
-	m.ctr.Inc("vm.gpu_faults_to_cpu")
+	m.cGPUToCPU.Inc()
 	start := m.handler.Claim(now, m.cpuServ)
 	end := start + m.cpuServ
 	m.Tr.Span(stats.CPU, "VM handler", "fault", "gpu fault to cpu", start, end,
