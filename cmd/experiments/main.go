@@ -3,7 +3,9 @@
 // Usage:
 //
 //	experiments [-exp all|table1|table2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablation|faults]
-//	            [-size small|medium] [-jobs N] [-timeout 60s] [-max-events N]
+//	            [-size small|medium] [-only NAME[,NAME...]] [-jobs N]
+//	            [-timeout 60s] [-max-events N] [-stall 30s]
+//	            [-state DIR] [-resume]
 //	            [-inject PLAN] [-csv DIR] [-json FILE] [-q]
 //	            [-trace FILE] [-flame] [-progress]
 //	            [-cpuprofile FILE] [-memprofile FILE] [-pprof ADDR]
@@ -23,6 +25,19 @@
 // -flame prints a text flame summary of the trace to stderr. -progress
 // emits live per-run start/retry/done lines on stderr; figures on stdout
 // stay byte-identical with it on or off.
+//
+// -state DIR makes the shared sweep crash-safe: every completed run is
+// appended durably to DIR/sweep.journal, and -resume replays that journal
+// — re-running only the missing runs — to produce output byte-identical
+// to an uninterrupted sweep. The journal is fingerprinted by the sweep
+// configuration; resuming under a different configuration is rejected.
+// SIGINT/SIGTERM shut down gracefully: the first signal stops dispatching
+// new runs, drains (and journals) the in-flight ones, and writes a
+// partial report; a second signal aborts the in-flight runs too; a third
+// restores default signal behavior. An interrupted sweep exits 130.
+// -stall kills any run whose simulated clock stops advancing for the
+// given wall-clock window while events still execute (a livelock) and
+// footnotes it like any other failed run.
 //
 // -cpuprofile/-memprofile write pprof profiles of the command itself
 // (the simulator host process, not the simulated machine); -pprof serves
@@ -64,8 +79,12 @@ func run() int {
 	csvDir := flag.String("csv", "", "also export the sweep as CSV files into this directory")
 	jsonPath := flag.String("json", "", "also export the sweep's rows and summaries as JSON to this file")
 	jobs := flag.Int("jobs", 0, "worker-pool size for sweep runs (0 = GOMAXPROCS, 1 = serial)")
+	only := flag.String("only", "", "restrict the shared sweep to these full benchmark names (comma-separated)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget per run (0 = unlimited)")
 	maxEvents := flag.Uint64("max-events", 0, "simulation event budget per run (0 = unlimited)")
+	stall := flag.Duration("stall", 0, "kill a run whose simulated time stops advancing for this long (0 = disabled)")
+	stateDir := flag.String("state", "", "checkpoint the shared sweep into DIR/sweep.journal for crash-safe resume")
+	resume := flag.Bool("resume", false, "replay DIR/sweep.journal (requires -state) and run only the missing runs")
 	inject := flag.String("inject", "", "hardware fault plan for every run, e.g. pcie=0.25,fault=8,dram=0:100:600")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	tracePath := flag.String("trace", "", "record the shared sweep as a Chrome trace-event / Perfetto JSON trace to this file")
@@ -180,6 +199,7 @@ func run() int {
 		Budget: budget,
 		Fault:  fault,
 		Jobs:   *jobs,
+		Stall:  *stall,
 		Trace:  *tracePath != "" || *flame,
 		OnProgress: func(name, mode string) {
 			if !*quiet {
@@ -187,12 +207,52 @@ func run() int {
 			}
 		},
 	}
+	if *only != "" {
+		for _, n := range strings.Split(*only, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				opts.Only = append(opts.Only, n)
+			}
+		}
+	}
 	if *progress {
 		opts.Progress = sweep.NewTracker(os.Stderr, 0)
 	}
+	if *resume && *stateDir == "" {
+		fmt.Fprintln(os.Stderr, "-resume requires -state DIR")
+		return 2
+	}
+	if *stateDir != "" {
+		state, err := experiments.OpenState(*stateDir, *resume, size, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "checkpoint journal: %v\n", err)
+			return 2
+		}
+		defer state.Close()
+		opts.State = state
+		if state.Resumed() {
+			fmt.Fprintf(os.Stderr, "resuming from %s: %d runs already journaled\n",
+				state.Path(), state.ReplayedCount())
+		}
+	}
+	dispatchCtx, runCtx, stopSignals := sweep.SignalContexts(nil, os.Stderr)
+	opts.Ctx, opts.RunCtx = dispatchCtx, runCtx
 	res, errs := experiments.RunSweep(size, opts)
+	// Read the interrupt state before stopSignals, which cancels both
+	// contexts as part of releasing the handler.
+	interrupted := dispatchCtx.Err() != nil
+	stopSignals()
 	for i := range errs {
 		fmt.Fprintf(os.Stderr, "run failed: %v\n", &errs[i])
+	}
+	if err := opts.State.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "warning: checkpoint journaling failed mid-sweep: %v\n", err)
+	}
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "sweep interrupted: %d of %d runs completed; output below is a partial report\n",
+			len(res.Runs), len(res.Runs)+len(res.Skipped))
+		if *stateDir != "" {
+			fmt.Fprintf(os.Stderr, "resume with: -state %s -resume\n", *stateDir)
+		}
 	}
 	if *tracePath != "" {
 		if err := trace.WriteFile(*tracePath, res.Traces); err != nil {
@@ -241,6 +301,11 @@ func run() int {
 	}
 	if sel("fig9") {
 		fmt.Println(experiments.Fig9Text(res))
+	}
+	if interrupted {
+		// 128 + SIGINT, the conventional interrupted-process exit code;
+		// scripts (and the resume test) distinguish it from run failures.
+		return 130
 	}
 	return 0
 }

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	hetsim -bench rodinia/kmeans[,parboil/spmv,...] [-mode copy|limited-copy|async-streams|parallel-chunked]
-//	       [-size small|medium] [-jobs N] [-timeout 60s] [-max-events N]
+//	       [-size small|medium] [-jobs N] [-timeout 60s] [-max-events N] [-stall 30s]
+//	       [-state DIR] [-resume]
 //	       [-inject PLAN] [-json FILE] [-counters]
 //	       [-trace FILE] [-flame] [-progress]
 //	hetsim -list
@@ -24,6 +25,16 @@
 // a text flame summary of the trace to stderr. -progress emits live
 // per-run start/retry/done lines on stderr; reports on stdout stay
 // byte-identical with it on or off.
+//
+// -state DIR checkpoints every completed run into DIR/hetsim.journal;
+// -resume replays the journal and re-runs only the missing benchmarks,
+// printing the same reports an uninterrupted invocation would. The
+// journal is fingerprinted by the run configuration and rejected when it
+// does not match. SIGINT/SIGTERM drain in-flight runs on the first
+// signal, abort them on the second; an interrupted invocation exits 130.
+// -stall kills a run whose simulated clock freezes for the given window
+// while events still execute. Replayed runs carry no live machine, so
+// -counters prints a note for them instead of the counter dump.
 package main
 
 import (
@@ -31,11 +42,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/config"
 	"repro/internal/harness"
+	"repro/internal/journal"
 	"repro/internal/sweep"
 	"repro/internal/trace"
 
@@ -52,6 +67,9 @@ func main() {
 	jobs := flag.Int("jobs", 0, "worker-pool size when running several benchmarks (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget per run (0 = unlimited)")
 	maxEvents := flag.Uint64("max-events", 0, "simulation event budget per run (0 = unlimited)")
+	stall := flag.Duration("stall", 0, "kill a run whose simulated time stops advancing for this long (0 = disabled)")
+	stateDir := flag.String("state", "", "checkpoint completed runs into DIR/hetsim.journal for crash-safe resume")
+	resume := flag.Bool("resume", false, "replay DIR/hetsim.journal (requires -state) and run only the missing benchmarks")
 	inject := flag.String("inject", "", "hardware fault plan, e.g. pcie=0.25,fault=8,dram=0:100:600")
 	jsonPath := flag.String("json", "", "export every run's outcome as a JSON array to this file")
 	counters := flag.Bool("counters", false, "also dump every hardware counter")
@@ -133,15 +151,63 @@ func main() {
 		prog = sweep.NewTracker(os.Stderr, len(benches))
 	}
 
+	// The checkpoint journal, when -state is given: completed runs append
+	// durably, and -resume replays them instead of re-running.
+	var state *harness.RunLog
+	if *resume && *stateDir == "" {
+		fmt.Fprintln(os.Stderr, "-resume requires -state DIR")
+		os.Exit(2)
+	}
+	if *stateDir != "" {
+		slots := make([]string, len(benches))
+		for i, b := range benches {
+			slots[i] = b.Info().FullName() + "|" + mode.String()
+		}
+		fp := fingerprint(benches, mode, size, fault,
+			harness.Budget{MaxEvents: *maxEvents, Timeout: *timeout}, *stall, tracing)
+		path := filepath.Join(*stateDir, "hetsim.journal")
+		if err := os.MkdirAll(*stateDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "-state: %v\n", err)
+			os.Exit(2)
+		}
+		var err error
+		if *resume {
+			state, err = harness.OpenRunLog(path, "hetsim", fp, slots)
+		} else {
+			state, err = harness.CreateRunLog(path, "hetsim", fp, slots)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "checkpoint journal: %v\n", err)
+			os.Exit(2)
+		}
+		if state.Resumed() {
+			fmt.Fprintf(os.Stderr, "resuming from %s: %d runs already journaled\n",
+				state.Path(), state.ReplayedCount())
+		}
+	}
+	dispatchCtx, runCtx, stopSignals := sweep.SignalContexts(nil, os.Stderr)
+
 	// Run every benchmark on the worker pool; print in the order listed.
+	// Journaled runs are filled before dispatch and skipped by the pool.
 	outs := make([]*harness.Outcome, len(benches))
-	sweep.Each(*jobs, len(benches), func(i int) {
+	for i, b := range benches {
+		if out := state.Replayed(b.Info().FullName() + "|" + mode.String()); out != nil {
+			outs[i] = out
+			prog.Replay(b.Info().FullName() + " " + mode.String())
+		}
+	}
+	sweep.Each(dispatchCtx, *jobs, len(benches), func(i int) {
+		if outs[i] != nil {
+			return // replayed from the journal
+		}
 		runName := benches[i].Info().FullName() + " " + mode.String()
 		prog.Start(runName)
 		spec := harness.Spec{
 			Bench: benches[i], Mode: mode, Size: size,
 			Budget: harness.Budget{MaxEvents: *maxEvents, Timeout: time.Duration(*timeout)},
 			Fault:  fault,
+			Ctx:    runCtx,
+			Stall:  *stall,
 		}
 		if tracing {
 			spec.Trace = recs[i]
@@ -152,6 +218,7 @@ func main() {
 			}
 		}
 		outs[i] = harness.Run(spec)
+		state.Append(benches[i].Info().FullName()+"|"+mode.String(), outs[i])
 		if out := outs[i]; out.Err != nil {
 			prog.Finish(runName, false, out.Err.Kind.String()+": "+out.Err.Msg)
 		} else {
@@ -159,14 +226,25 @@ func main() {
 		}
 	})
 	prog.Summary()
+	// Read the interrupt state before stopSignals, which cancels both
+	// contexts as part of releasing the handler.
+	interrupted := dispatchCtx.Err() != nil
+	stopSignals()
+	if err := state.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "warning: checkpoint journaling failed mid-run: %v\n", err)
+	}
+	state.Close()
 
 	if tracing {
-		runs := make([]trace.RunTrace, len(benches))
+		var runs []trace.RunTrace
 		for i, b := range benches {
-			runs[i] = trace.RunTrace{
+			if outs[i] == nil {
+				continue // never dispatched (interrupted before start)
+			}
+			runs = append(runs, trace.RunTrace{
 				Name: b.Info().FullName() + " " + mode.String() + " " + outs[i].Size.String(),
 				Rec:  recs[i],
-			}
+			})
 		}
 		if *tracePath != "" {
 			if err := trace.WriteFile(*tracePath, runs); err != nil {
@@ -180,9 +258,12 @@ func main() {
 	}
 
 	if *jsonPath != "" {
-		docs := make([]harness.OutcomeJSON, len(outs))
-		for i, out := range outs {
-			docs[i] = out.JSON()
+		var docs []harness.OutcomeJSON
+		for _, out := range outs {
+			if out == nil {
+				continue // never dispatched (interrupted before start)
+			}
+			docs = append(docs, out.JSON())
 		}
 		data, err := json.MarshalIndent(docs, "", "  ")
 		if err == nil {
@@ -195,7 +276,13 @@ func main() {
 	}
 
 	failed := false
-	for _, out := range outs {
+	skipped := 0
+	for i, out := range outs {
+		if out == nil {
+			skipped++
+			fmt.Fprintf(os.Stderr, "skipped (interrupted before start): %s\n", benches[i].Info().FullName())
+			continue
+		}
 		if out.Err != nil {
 			failed = true
 			fmt.Fprintf(os.Stderr, "run failed: %v\n", out.Err)
@@ -214,10 +301,44 @@ func main() {
 		fmt.Print(out.Report.String())
 		if *counters {
 			fmt.Println("\nhardware counters:")
-			fmt.Print(out.Sys.Ctr.String())
+			if out.Sys == nil {
+				fmt.Println("(replayed from journal; live counters not recorded)")
+			} else {
+				fmt.Print(out.Sys.Ctr.String())
+			}
 		}
+	}
+	if interrupted || skipped > 0 {
+		if *stateDir != "" {
+			fmt.Fprintf(os.Stderr, "resume with: -state %s -resume\n", *stateDir)
+		}
+		os.Exit(130)
 	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// fingerprint hashes everything that determines this invocation's
+// results — the simulated system configurations, size, mode, benchmark
+// list, fault plan, budgets, stall window, and tracing — so a journal is
+// only resumed under the identical configuration. The worker count is
+// excluded: results are identical for every -jobs value.
+func fingerprint(benches []bench.Benchmark, mode bench.Mode, size bench.Size,
+	fault *harness.FaultPlan, budget harness.Budget, stall time.Duration, tracing bool) string {
+	var fp journal.Fingerprint
+	fp.Add("version", strconv.Itoa(journal.Version))
+	fp.Add("discrete", fmt.Sprintf("%+v", config.DiscreteGPU()))
+	fp.Add("hetero", fmt.Sprintf("%+v", config.HeteroProcessor()))
+	fp.Add("size", size.String())
+	fp.Add("mode", mode.String())
+	for _, b := range benches {
+		fp.Add("bench", b.Info().FullName())
+	}
+	fp.Add("fault", fault.String())
+	fp.Add("max_events", strconv.FormatUint(budget.MaxEvents, 10))
+	fp.Add("timeout", budget.Timeout.String())
+	fp.Add("stall", stall.String())
+	fp.Add("trace", strconv.FormatBool(tracing))
+	return fp.Sum()
 }

@@ -4,7 +4,10 @@
 // heterogeneous CPU-GPU processor (shared physical memory, cache coherent).
 package config
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Kind selects which of the paper's two system organizations to simulate.
 type Kind int
@@ -274,11 +277,20 @@ func (s System) Validate() error {
 		}
 	}
 	f := s.Faults
+	// Reject NaN explicitly: a NaN fails every ordered comparison, so
+	// without these guards NaN parameters would sail through the range
+	// checks below and poison the simulated timings instead of failing
+	// the run up front as a usage error.
 	switch {
+	case !finite(f.PCIeBWFrac) || !finite(f.FaultLatMult) ||
+		!finite(f.DRAMStallStartUs) || !finite(f.DRAMStallEndUs):
+		return fmt.Errorf("fault parameters must be finite: %+v", f)
 	case f.PCIeBWFrac < 0 || f.PCIeBWFrac > 1:
 		return fmt.Errorf("fault PCIeBWFrac %v must be in [0,1]", f.PCIeBWFrac)
 	case f.FaultLatMult < 0:
 		return fmt.Errorf("fault FaultLatMult %v must be >= 0", f.FaultLatMult)
+	case f.DRAMStallStartUs < 0 || f.DRAMStallEndUs < 0:
+		return fmt.Errorf("fault DRAM stall window [%v,%v)us must not be negative", f.DRAMStallStartUs, f.DRAMStallEndUs)
 	case f.DRAMStallEndUs < f.DRAMStallStartUs:
 		return fmt.Errorf("fault DRAM stall window [%v,%v)us inverted", f.DRAMStallStartUs, f.DRAMStallEndUs)
 	case f.DRAMStalled() && (f.DRAMStallChannel < 0 || f.DRAMStallChannel >= s.GPUMem.Channels):
@@ -286,3 +298,6 @@ func (s System) Validate() error {
 	}
 	return nil
 }
+
+// finite reports whether v is neither NaN nor infinite.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

@@ -1,6 +1,9 @@
 package config
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 func TestPresetsValidate(t *testing.T) {
 	for _, s := range []System{DiscreteGPU(), HeteroProcessor()} {
@@ -68,6 +71,50 @@ func TestValidateCatchesErrors(t *testing.T) {
 		mutate(&s)
 		if err := s.Validate(); err == nil {
 			t.Fatalf("case %d: mutation not caught", i)
+		}
+	}
+}
+
+// TestValidateFaultRanges range-checks every FaultConfig parameter,
+// including the NaN/Inf values that slip silently through ordered
+// comparisons — a NaN PCIe fraction must fail validation, not scale
+// the link bandwidth to NaN mid-run.
+func TestValidateFaultRanges(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	bad := map[string]FaultConfig{
+		"pcie negative":        {PCIeBWFrac: -0.1},
+		"pcie above one":       {PCIeBWFrac: 1.5},
+		"pcie NaN":             {PCIeBWFrac: nan},
+		"pcie Inf":             {PCIeBWFrac: inf},
+		"latmult negative":     {FaultLatMult: -2},
+		"latmult NaN":          {FaultLatMult: nan},
+		"latmult Inf":          {FaultLatMult: inf},
+		"window inverted":      {DRAMStallStartUs: 100, DRAMStallEndUs: 50},
+		"window negative":      {DRAMStallStartUs: -100, DRAMStallEndUs: -50},
+		"window start NaN":     {DRAMStallStartUs: nan, DRAMStallEndUs: 50},
+		"window end Inf":       {DRAMStallStartUs: 0, DRAMStallEndUs: inf},
+		"channel out of range": {DRAMStallStartUs: 0, DRAMStallEndUs: 100, DRAMStallChannel: 99},
+		"channel negative":     {DRAMStallStartUs: 0, DRAMStallEndUs: 100, DRAMStallChannel: -1},
+	}
+	for name, f := range bad {
+		s := DiscreteGPU()
+		s.Faults = f
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: %+v not caught", name, f)
+		}
+	}
+	good := map[string]FaultConfig{
+		"none":           {},
+		"quarter pcie":   {PCIeBWFrac: 0.25},
+		"full pcie":      {PCIeBWFrac: 1},
+		"slow faults":    {FaultLatMult: 8},
+		"stalled window": {DRAMStallStartUs: 0, DRAMStallEndUs: 100, DRAMStallChannel: 1},
+	}
+	for name, f := range good {
+		s := DiscreteGPU()
+		s.Faults = f
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %+v wrongly rejected: %v", name, f, err)
 		}
 	}
 }

@@ -15,11 +15,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/config"
@@ -52,6 +54,10 @@ type Results struct {
 	// and failure alike — in the registry's stable (benchmark, mode)
 	// order. Exported as the "runs" section of the -json sweep doc.
 	Runs []RunMeta
+	// Skipped names the runs that never executed because the sweep was
+	// canceled before dispatching them (empty for a completed sweep), in
+	// the same stable order. A resumed sweep re-runs exactly these.
+	Skipped []string
 	// Traces holds one named recorder per run, in the same stable order,
 	// when the sweep ran with SweepOpts.Trace. Nil otherwise.
 	Traces []trace.RunTrace
@@ -68,6 +74,10 @@ type RunMeta struct {
 	Failed    bool
 	SimTime   sim.Tick
 	Events    uint64
+	// Wall is the run's total wall-clock cost across attempts. For a run
+	// replayed from a checkpoint journal this is the recorded cost of the
+	// original execution, not the (near-zero) replay time.
+	Wall time.Duration
 	// Phases carries the stage-boundary counter snapshots of the final
 	// attempt (nil when the run produced no report).
 	Phases []core.PhaseSnapshot
@@ -103,6 +113,24 @@ type SweepOpts struct {
 	// every run. It writes to its own stream, so the sweep's primary
 	// output is unaffected.
 	Progress *sweep.Tracker
+	// Ctx, when non-nil, cancels dispatch: once it is done, no further
+	// run starts; in-flight runs drain to completion (and are journaled)
+	// and the undone remainder comes back in Results.Skipped. A nil Ctx
+	// never cancels.
+	Ctx context.Context
+	// RunCtx, when non-nil, cancels in-flight runs themselves: each run's
+	// engine polls it and aborts as a KindCanceled failure. The commands
+	// wire this to the second interrupt signal. Independent of Ctx — a
+	// graceful shutdown cancels only Ctx.
+	RunCtx context.Context
+	// State, when non-nil, is the crash-safe checkpoint journal: every
+	// completed run is appended durably, and runs the journal already
+	// holds are replayed instead of executed (see OpenState).
+	State *harness.RunLog
+	// Stall arms each run's stall watchdog: a run whose simulated time
+	// stops advancing for this long while events churn is killed as
+	// KindStalled instead of spinning forever. Zero disables it.
+	Stall time.Duration
 }
 
 // Run executes the full sweep with default options. Failed runs come back
@@ -128,33 +156,10 @@ func RunSweep(size bench.Size, opts SweepOpts) (*Results, []harness.RunError) {
 			bench.ModeParallelChunked: {},
 		},
 	}
-	var only map[string]bool
-	if opts.Only != nil {
-		only = map[string]bool{}
-		for _, n := range opts.Only {
-			only[n] = true
-		}
-	}
-
 	// One slot per (benchmark, mode) run, in the registry's stable order —
 	// the order the serial sweep ran in, and the order assembly below
 	// walks regardless of which worker finishes first.
-	type slot struct {
-		b    bench.Benchmark
-		mode bench.Mode
-		name string
-	}
-	var slots []slot
-	for _, b := range bench.All() {
-		name := b.Info().FullName()
-		if only != nil && !only[name] {
-			continue
-		}
-		slots = append(slots, slot{b, bench.ModeCopy, name}, slot{b, bench.ModeLimitedCopy, name})
-		for _, m := range b.Info().ExtraModes {
-			slots = append(slots, slot{b, m, name})
-		}
-	}
+	slots := sweepSlots(onlySet(opts.Only))
 
 	outs := make([]*harness.Outcome, len(slots))
 	var recs []*trace.Recorder
@@ -165,8 +170,23 @@ func RunSweep(size bench.Size, opts SweepOpts) (*Results, []harness.RunError) {
 		}
 	}
 	opts.Progress.SetTotal(len(slots))
+
+	// Replay checkpointed runs before dispatch: a replayed slot is filled
+	// from the journal and its task below degenerates to a no-op, so a
+	// resumed sweep executes only the missing runs yet assembles the full
+	// result set — byte-identical to an uninterrupted sweep.
+	for i, s := range slots {
+		if out := opts.State.Replayed(s.key()); out != nil {
+			outs[i] = out
+			opts.Progress.Replay(s.name + " " + s.mode.String())
+		}
+	}
+
 	var progressMu sync.Mutex
-	sweep.Each(opts.Jobs, len(slots), func(i int) {
+	sweep.Each(opts.Ctx, opts.Jobs, len(slots), func(i int) {
+		if outs[i] != nil {
+			return // replayed from the journal
+		}
 		s := slots[i]
 		runName := s.name + " " + s.mode.String()
 		if opts.OnProgress != nil {
@@ -175,7 +195,10 @@ func RunSweep(size bench.Size, opts SweepOpts) (*Results, []harness.RunError) {
 			progressMu.Unlock()
 		}
 		opts.Progress.Start(runName)
-		spec := harness.Spec{Bench: s.b, Mode: s.mode, Size: size, Budget: opts.Budget, Fault: opts.Fault}
+		spec := harness.Spec{
+			Bench: s.b, Mode: s.mode, Size: size, Budget: opts.Budget, Fault: opts.Fault,
+			Ctx: opts.RunCtx, Stall: opts.Stall,
+		}
 		if opts.Trace {
 			spec.Trace = recs[i]
 		}
@@ -188,6 +211,7 @@ func RunSweep(size bench.Size, opts SweepOpts) (*Results, []harness.RunError) {
 			opts.PerRun(&spec)
 		}
 		outs[i] = harness.Run(spec)
+		opts.State.Append(s.key(), outs[i])
 		if opts.Progress != nil {
 			out := outs[i]
 			if out.Err != nil {
@@ -201,10 +225,16 @@ func RunSweep(size bench.Size, opts SweepOpts) (*Results, []harness.RunError) {
 
 	for i, s := range slots {
 		out := outs[i]
+		if out == nil {
+			// Never dispatched: the sweep was canceled first. Not a
+			// failure — a resumed sweep re-runs exactly these.
+			r.Skipped = append(r.Skipped, s.name+" "+s.mode.String())
+			continue
+		}
 		meta := RunMeta{
 			Benchmark: s.name, Mode: s.mode, Size: out.Size,
 			Attempts: out.Attempts, Degraded: out.Degraded, Failed: out.Err != nil,
-			SimTime: out.SimTime, Events: out.Events,
+			SimTime: out.SimTime, Events: out.Events, Wall: out.Wall,
 		}
 		if out.Report != nil {
 			meta.Phases = out.Report.Phases

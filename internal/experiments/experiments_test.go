@@ -289,6 +289,18 @@ func TestSweepDeterministicAcrossJobs(t *testing.T) {
 			t.Fatalf("%s differs between jobs=1 and jobs=8:\n--- jobs=1\n%s\n--- jobs=8\n%s", name, a, b)
 		}
 	}
+	// Wall-clock durations are the one legitimately nondeterministic field
+	// in the export; zero them before comparing.
+	zeroWall := func(r *Results) {
+		for i := range r.Runs {
+			r.Runs[i].Wall = 0
+		}
+		for i := range r.Failed {
+			r.Failed[i].Wall = 0
+		}
+	}
+	zeroWall(serial)
+	zeroWall(wide)
 	aj, err := json.Marshal(serial.JSON())
 	if err != nil {
 		t.Fatal(err)

@@ -3,6 +3,7 @@ package experiments
 import (
 	"encoding/json"
 	"os"
+	"time"
 
 	"repro/internal/core"
 )
@@ -29,6 +30,9 @@ type SweepDoc struct {
 	Fig9      FigDoc[Fig9Row, Fig9Summary] `json:"fig9_classification"`
 	Footnotes Footnotes                    `json:"footnotes"`
 	Runs      []RunDocJSON                 `json:"runs,omitempty"`
+	// Skipped names runs a canceled sweep never dispatched; a resumed
+	// sweep re-runs exactly these. Empty (omitted) for a complete sweep.
+	Skipped []string `json:"skipped,omitempty"`
 }
 
 // RunDocJSON is one run's telemetry in the sweep doc. Every run of the
@@ -43,12 +47,13 @@ type RunDocJSON struct {
 	Failed    bool             `json:"failed,omitempty"`
 	SimMs     float64          `json:"sim_ms"`
 	Events    uint64           `json:"events"`
+	WallMs    float64          `json:"wall_ms,omitempty"`
 	Phases    []core.PhaseJSON `json:"phases,omitempty"`
 }
 
 // JSON reduces the sweep to its export document.
 func (r *Results) JSON() SweepDoc {
-	doc := SweepDoc{Size: r.Size.String(), Footnotes: r.Footnotes()}
+	doc := SweepDoc{Size: r.Size.String(), Footnotes: r.Footnotes(), Skipped: r.Skipped}
 	doc.Fig4.Rows, doc.Fig4.Summary = Fig4Rows(r)
 	doc.Fig5.Rows, doc.Fig5.Summary = Fig5Rows(r)
 	doc.Fig6.Rows, doc.Fig6.Summary = Fig6Rows(r)
@@ -59,6 +64,7 @@ func (r *Results) JSON() SweepDoc {
 			Benchmark: m.Benchmark, Mode: m.Mode.String(), Size: m.Size.String(),
 			Attempts: m.Attempts, Degraded: m.Degraded, Failed: m.Failed,
 			SimMs: m.SimTime.Millis(), Events: m.Events,
+			WallMs: float64(m.Wall) / float64(time.Millisecond),
 			Phases: core.PhasesJSON(m.Phases),
 		})
 	}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/bench"
+	"repro/internal/config"
+	"repro/internal/harness"
+	"repro/internal/journal"
+)
+
+// JournalKind stamps experiment-sweep journals, so a state dir written by
+// a different command is rejected on resume.
+const JournalKind = "experiments"
+
+// journalFile is the journal's file name inside a state dir.
+const journalFile = "sweep.journal"
+
+// runSlot is one (benchmark, mode) run of a sweep, in the registry's
+// stable order.
+type runSlot struct {
+	b    bench.Benchmark
+	mode bench.Mode
+	name string
+}
+
+// key is the slot's stable journal key.
+func (s runSlot) key() string { return s.name + "|" + s.mode.String() }
+
+// sweepSlots builds the sweep's run slots: every registered benchmark
+// (filtered by only when non-nil) in copy and limited-copy mode plus its
+// extra modes, in the registry's stable order.
+func sweepSlots(only map[string]bool) []runSlot {
+	var slots []runSlot
+	for _, b := range bench.All() {
+		name := b.Info().FullName()
+		if only != nil && !only[name] {
+			continue
+		}
+		slots = append(slots, runSlot{b, bench.ModeCopy, name}, runSlot{b, bench.ModeLimitedCopy, name})
+		for _, m := range b.Info().ExtraModes {
+			slots = append(slots, runSlot{b, m, name})
+		}
+	}
+	return slots
+}
+
+func onlySet(only []string) map[string]bool {
+	if only == nil {
+		return nil
+	}
+	set := map[string]bool{}
+	for _, n := range only {
+		set[n] = true
+	}
+	return set
+}
+
+// SweepFingerprint hashes everything that determines a sweep's results:
+// the simulated system configurations, the input size, the ordered
+// (benchmark, mode) slot list, the fault plan, the per-run budgets, and
+// whether tracing is on. A journal is only resumable under the identical
+// fingerprint — anything here changing means the recorded outcomes belong
+// to a different experiment. The worker count is deliberately excluded:
+// results are identical for every value of Jobs, so a sweep checkpointed
+// with -jobs 8 may resume with -jobs 1.
+func SweepFingerprint(size bench.Size, opts SweepOpts) string {
+	var fp journal.Fingerprint
+	fp.Add("version", strconv.Itoa(journal.Version))
+	// The compiled-in system configurations: a code change to either
+	// simulated machine invalidates old journals.
+	fp.Add("discrete", fmt.Sprintf("%+v", config.DiscreteGPU()))
+	fp.Add("hetero", fmt.Sprintf("%+v", config.HeteroProcessor()))
+	fp.Add("size", size.String())
+	for _, s := range sweepSlots(onlySet(opts.Only)) {
+		fp.Add("slot", s.key())
+	}
+	fp.Add("fault", opts.Fault.String())
+	fp.Add("max_events", strconv.FormatUint(opts.Budget.MaxEvents, 10))
+	fp.Add("timeout", opts.Budget.Timeout.String())
+	fp.Add("stall", opts.Stall.String())
+	fp.Add("trace", strconv.FormatBool(opts.Trace))
+	return fp.Sum()
+}
+
+// OpenState opens (or creates) the sweep checkpoint journal in state dir
+// for the given sweep configuration. With resume set, an existing journal
+// is replayed — its outcomes come back through the returned log and
+// RunSweep skips those runs — after validating that it was written by
+// this command under the identical configuration. Without resume, any
+// existing journal is discarded and a fresh one begins. The directory is
+// created if missing.
+func OpenState(dir string, resume bool, size bench.Size, opts SweepOpts) (*harness.RunLog, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("state dir: %w", err)
+	}
+	path := filepath.Join(dir, journalFile)
+	fingerprint := SweepFingerprint(size, opts)
+	slots := sweepSlots(onlySet(opts.Only))
+	names := make([]string, len(slots))
+	for i, s := range slots {
+		names[i] = s.key()
+	}
+	if resume {
+		return harness.OpenRunLog(path, JournalKind, fingerprint, names)
+	}
+	return harness.CreateRunLog(path, JournalKind, fingerprint, names)
+}

@@ -1,0 +1,283 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/device"
+)
+
+// TestRunCanceledBeforeStart: a spec whose context is already canceled
+// fails immediately as KindCanceled without building a system.
+func TestRunCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out := Run(Spec{
+		Bench: fakeBench{name: "never", run: func(s *device.System, _ bench.Mode, _ bench.Size) {
+			t.Error("canceled run must not execute")
+		}},
+		Mode: bench.ModeCopy, Size: bench.SizeSmall,
+		Ctx: ctx,
+	})
+	if out.Err == nil || out.Err.Kind != KindCanceled {
+		t.Fatalf("outcome = %+v, want KindCanceled", out.Err)
+	}
+	if out.Sys != nil {
+		t.Fatal("canceled-before-start run built a system")
+	}
+	if out.Attempts != 1 {
+		t.Fatalf("canceled run retried: %d attempts", out.Attempts)
+	}
+}
+
+// TestRunCanceledMidRun: cancellation lands inside the engine's event
+// loop (through the periodic check) and comes back as KindCanceled with
+// the trace tail, like every other abort. Cancellation also suppresses
+// the retry a budget failure would normally get.
+func TestRunCanceledMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	out := Run(Spec{
+		Bench: fakeBench{name: "canceled", run: func(s *device.System, _ bench.Mode, _ bench.Size) {
+			s.BeginROI()
+			// Cancel from inside the run, then keep burning events well
+			// past the engine's next periodic check. EndROI drains the
+			// engine, which is where the interrupt lands.
+			s.Eng.Schedule(1, cancel)
+			burnEvents(s, 50000)
+			s.EndROI()
+		}},
+		Mode: bench.ModeCopy, Size: bench.SizeMedium, // medium: a retry size exists
+		Ctx:  ctx,
+	})
+	if out.Err == nil || out.Err.Kind != KindCanceled {
+		t.Fatalf("outcome = %+v, want KindCanceled", out.Err)
+	}
+	if out.Err.Kind.String() != "canceled" {
+		t.Fatalf("kind string = %q", out.Err.Kind)
+	}
+	if out.Attempts != 1 {
+		t.Fatalf("canceled run must not retry: %d attempts", out.Attempts)
+	}
+	if len(out.Err.TraceTail) == 0 {
+		t.Fatal("canceled run carries no trace tail")
+	}
+	if out.Err.Events == 0 {
+		t.Fatal("canceled run reports zero events")
+	}
+}
+
+// TestRunStalled: a livelocked worklist — events churning forever at one
+// simulated tick — is killed by the stall watchdog as KindStalled instead
+// of hanging the sweep worker.
+func TestRunStalled(t *testing.T) {
+	out := Run(Spec{
+		Bench: fakeBench{name: "livelock", run: func(s *device.System, _ bench.Mode, _ bench.Size) {
+			s.BeginROI()
+			var tick func()
+			tick = func() { s.Eng.Schedule(0, tick) } // same-tick forever
+			s.Eng.Schedule(1, tick)
+			s.Eng.Run()
+		}},
+		Mode: bench.ModeCopy, Size: bench.SizeSmall,
+		Stall: 100 * time.Millisecond,
+	})
+	if out.Err == nil || out.Err.Kind != KindStalled {
+		t.Fatalf("outcome = %+v, want KindStalled", out.Err)
+	}
+	if !strings.Contains(out.Err.Msg, "frozen") {
+		t.Fatalf("stall message: %s", out.Err.Msg)
+	}
+	if len(out.Err.TraceTail) == 0 {
+		t.Fatal("stalled run carries no trace tail")
+	}
+	if out.Attempts != 1 {
+		t.Fatalf("stalled run must not retry: %d attempts", out.Attempts)
+	}
+}
+
+// TestRunStallWatchdogSparesHealthyRuns: a run that keeps advancing
+// simulated time must never trip the watchdog, however slow the window.
+func TestRunStallWatchdogSparesHealthyRuns(t *testing.T) {
+	out := Run(Spec{
+		Bench: fakeBench{name: "healthy", run: okRun(20000)},
+		Mode:  bench.ModeLimitedCopy, Size: bench.SizeSmall,
+		Stall: 25 * time.Millisecond,
+	})
+	if out.Err != nil {
+		t.Fatalf("healthy run killed: %v", out.Err)
+	}
+}
+
+// TestRunWallDurations: every outcome carries its total wall cost, and
+// each failed attempt carries its own.
+func TestRunWallDurations(t *testing.T) {
+	out := Run(Spec{
+		Bench: fakeBench{name: "ok", run: okRun(100)},
+		Mode:  bench.ModeLimitedCopy, Size: bench.SizeSmall,
+	})
+	if out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	if out.Wall <= 0 {
+		t.Fatalf("success wall = %v, want > 0", out.Wall)
+	}
+
+	// A budget failure that retries: two attempts, each with its own wall
+	// duration, summing (with the rest of the loop) into Outcome.Wall.
+	out = Run(Spec{
+		Bench:  fakeBench{name: "slow", run: okRun(100000)},
+		Mode:   bench.ModeLimitedCopy, Size: bench.SizeMedium,
+		Budget: Budget{MaxEvents: 1000},
+	})
+	if out.Err == nil || out.Attempts != 2 {
+		t.Fatalf("rigged budget run: err=%v attempts=%d", out.Err, out.Attempts)
+	}
+	if len(out.AttemptErrors) != 2 {
+		t.Fatalf("attempt errors = %d, want 2", len(out.AttemptErrors))
+	}
+	var sum time.Duration
+	for i, ae := range out.AttemptErrors {
+		if ae.Wall <= 0 {
+			t.Fatalf("attempt %d wall = %v, want > 0", i+1, ae.Wall)
+		}
+		sum += ae.Wall
+	}
+	if out.Wall < sum {
+		t.Fatalf("outcome wall %v < sum of attempt walls %v", out.Wall, sum)
+	}
+	if out.Err.Wall != out.AttemptErrors[1].Wall {
+		t.Fatal("final error's wall differs from its attempt record")
+	}
+	// And the JSON forms surface it.
+	if js := out.JSON(); js.WallMs <= 0 || js.Error.WallMs <= 0 {
+		t.Fatalf("wall_ms missing from JSON: %+v", js)
+	}
+}
+
+// TestOutcomeRecordRoundTrip is the byte-identity foundation of resume:
+// an Outcome pushed through its journal record and back must render the
+// same report text and the same JSON document as the original.
+func TestOutcomeRecordRoundTrip(t *testing.T) {
+	check := func(t *testing.T, out *Outcome) {
+		t.Helper()
+		data, err := json.Marshal(out.Record())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rec OutcomeRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			t.Fatal(err)
+		}
+		back := rec.Outcome()
+		if back.Sys != nil {
+			t.Fatal("replayed outcome must not carry a live system")
+		}
+		if (out.Report == nil) != (back.Report == nil) {
+			t.Fatal("report presence changed")
+		}
+		if out.Report != nil && out.Report.String() != back.Report.String() {
+			t.Fatalf("rendered report changed across the round trip:\n--- original\n%s\n--- replayed\n%s",
+				out.Report.String(), back.Report.String())
+		}
+		aj, _ := json.Marshal(out.JSON())
+		bj, _ := json.Marshal(back.JSON())
+		if string(aj) != string(bj) {
+			t.Fatalf("outcome JSON changed across the round trip:\n%s\nvs\n%s", aj, bj)
+		}
+		// Re-recording must be byte-stable too (journal idempotence).
+		data2, _ := json.Marshal(back.Record())
+		if string(data) != string(data2) {
+			t.Fatal("record is not byte-stable across a round trip")
+		}
+	}
+
+	t.Run("success", func(t *testing.T) {
+		out := Run(Spec{
+			Bench: fakeBench{name: "ok", run: okRun(5000)},
+			Mode:  bench.ModeLimitedCopy, Size: bench.SizeSmall,
+		})
+		if out.Err != nil {
+			t.Fatal(out.Err)
+		}
+		check(t, out)
+	})
+	t.Run("failure", func(t *testing.T) {
+		out := Run(Spec{
+			Bench:  fakeBench{name: "slow", run: okRun(100000)},
+			Mode:   bench.ModeCopy, Size: bench.SizeMedium,
+			Budget: Budget{MaxEvents: 1000},
+		})
+		if out.Err == nil {
+			t.Fatal("rigged run succeeded")
+		}
+		check(t, out)
+	})
+}
+
+// TestRunLogRoundTrip: outcomes journaled through a RunLog replay
+// identically, canceled outcomes are skipped, and a nil log is inert.
+func TestRunLogRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.journal")
+	log, err := CreateRunLog(path, "test", "fp1", []string{"a|copy", "b|copy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := Run(Spec{Bench: fakeBench{name: "ok", run: okRun(500)}, Mode: bench.ModeLimitedCopy, Size: bench.SizeSmall})
+	if ok.Err != nil {
+		t.Fatal(ok.Err)
+	}
+	if err := log.Append("a|copy", ok); err != nil {
+		t.Fatal(err)
+	}
+	// A canceled outcome must NOT be journaled: it is shutdown residue,
+	// and a resumed sweep should re-run the benchmark.
+	canceled := &Outcome{Err: &RunError{Kind: KindCanceled, Benchmark: "fake/b"}, Attempts: 1}
+	if err := log.Append("b|copy", canceled); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenRunLog(path, "test", "fp1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if !re.Resumed() || re.ReplayedCount() != 1 {
+		t.Fatalf("resumed=%v replayed=%d, want true/1", re.Resumed(), re.ReplayedCount())
+	}
+	got := re.Replayed("a|copy")
+	if got == nil || got.Report == nil || got.Report.String() != ok.Report.String() {
+		t.Fatal("replayed outcome does not match the journaled one")
+	}
+	if re.Replayed("b|copy") != nil {
+		t.Fatal("canceled outcome was journaled")
+	}
+
+	// Nil-log inertness: the un-journaled sweep path.
+	var nilLog *RunLog
+	if nilLog.Replayed("a|copy") != nil || nilLog.Append("x", ok) != nil ||
+		nilLog.Err() != nil || nilLog.Resumed() || nilLog.Close() != nil {
+		t.Fatal("nil RunLog is not inert")
+	}
+}
+
+// TestOpenRunLogMissingFile: resuming with no journal on disk is a fresh
+// start, not an error.
+func TestOpenRunLogMissingFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "none.journal")
+	log, err := OpenRunLog(path, "test", "fp1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	if log.Resumed() || log.ReplayedCount() != 0 {
+		t.Fatal("missing journal must open as a fresh log")
+	}
+}

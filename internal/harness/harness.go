@@ -15,6 +15,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"runtime/debug"
 	"time"
@@ -42,6 +43,15 @@ const (
 	// KindUsage is invalid input to the device API (bad config, bad kernel
 	// geometry, overrunning copy).
 	KindUsage
+	// KindCanceled is a run killed by context cancellation (operator
+	// shutdown, sweep abort). Canceled runs are artifacts of the shutdown,
+	// not results: the sweep journal skips them so a resumed sweep re-runs
+	// them from scratch.
+	KindCanceled
+	// KindStalled is a run killed by the stall watchdog: its engine
+	// stopped advancing simulated time past the configured deadline (a
+	// livelocked worklist churning events at one tick, for example).
+	KindStalled
 )
 
 // String names the failure kind.
@@ -57,6 +67,10 @@ func (k Kind) String() string {
 		return "deadlock"
 	case KindUsage:
 		return "usage-error"
+	case KindCanceled:
+		return "canceled"
+	case KindStalled:
+		return "stalled"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -75,6 +89,10 @@ type RunError struct {
 	Events    uint64   // engine events executed before the failure
 	Stack     []byte   // stack of the recovery point (KindPanic only)
 	Attempt   int      // 1-based attempt number that produced this error
+	// Wall is how long the failing attempt ran in wall-clock time — the
+	// per-attempt cost accounting a sweep post-mortem needs (a 2ms usage
+	// error and a 60s timeout are very different failures).
+	Wall time.Duration
 	// TraceTail is the trailing window of trace events the run emitted
 	// before dying — the last thing the machine was doing. Populated from
 	// Spec.Trace when set, else from the per-attempt ring the harness
@@ -106,6 +124,20 @@ type Spec struct {
 	Mode   bench.Mode
 	Size   bench.Size
 	Budget Budget
+	// Ctx, when non-nil, cancels the run: the engine polls it at its
+	// periodic check interval and the run comes back as a KindCanceled
+	// RunError (with its trace tail, like every other abort). Cancellation
+	// also suppresses retries — a canceled budget failure is shutdown, not
+	// a result.
+	Ctx context.Context
+	// Stall arms the per-run stall watchdog: a goroutine samples the
+	// engine's heartbeat and kills the run (KindStalled) if simulated time
+	// stops advancing for this long while events churn — a livelocked
+	// worklist, for example. Zero disables the watchdog. Choose a window
+	// much larger than any legitimate burst of same-tick events; like the
+	// wall-clock budget, the watchdog cannot reach a run wedged in host
+	// code between engine events.
+	Stall time.Duration
 	// Fault, when non-nil, injects hardware degradations into the run's
 	// system configuration.
 	Fault *FaultPlan
@@ -148,6 +180,9 @@ type Outcome struct {
 	Degraded bool       // true when Size is smaller than requested
 	SimTime  sim.Tick
 	Events   uint64
+	// Wall is the total wall-clock time across all attempts; each failed
+	// attempt's own duration is on its AttemptErrors entry.
+	Wall time.Duration
 	// AttemptErrors records every failed attempt in order, so a degraded
 	// success still reports what the earlier attempts hit. On an overall
 	// failure the last entry equals *Err.
@@ -166,13 +201,19 @@ func Run(spec Spec) *Outcome {
 	}
 	size := spec.Size
 	var attemptErrs []RunError
+	var totalWall time.Duration
 	for attempt := 1; ; attempt++ {
+		t0 := time.Now()
 		out := runOnce(spec, size, attempt)
+		wall := time.Since(t0)
+		totalWall += wall
 		out.Attempts = attempt
 		out.Size = size
 		out.Degraded = size != spec.Size
 		out.TraceEvents = spec.Trace.Len()
+		out.Wall = totalWall
 		if out.Err != nil {
+			out.Err.Wall = wall
 			attemptErrs = append(attemptErrs, *out.Err)
 		}
 		out.AttemptErrors = attemptErrs
@@ -181,9 +222,13 @@ func Run(spec Spec) *Outcome {
 		}
 		// Only resource exhaustion is worth retrying, and only degraded:
 		// the simulator is deterministic, so the same input would exhaust
-		// the same budget again.
+		// the same budget again. A canceled context means the sweep is
+		// shutting down — retrying would fight the shutdown.
 		smaller, canDegrade := size.Smaller()
 		retryable := out.Err.Kind == KindBudget || out.Err.Kind == KindTimeout
+		if spec.Ctx != nil && spec.Ctx.Err() != nil {
+			retryable = false
+		}
 		if attempt >= maxAttempts || !retryable || !canDegrade {
 			return out
 		}
@@ -232,6 +277,12 @@ func runOnce(spec Spec, size bench.Size, attempt int) (out *Outcome) {
 					kind = KindBudget
 				}
 				fail(kind, v.Error(), nil)
+			case *sim.InterruptError:
+				kind := KindCanceled
+				if v.Reason == sim.ReasonStalled {
+					kind = KindStalled
+				}
+				fail(kind, v.Error(), nil)
 			case *device.DeadlockError:
 				fail(KindDeadlock, v.Error(), nil)
 			case *device.UsageError:
@@ -247,6 +298,11 @@ func runOnce(spec Spec, size bench.Size, attempt int) (out *Outcome) {
 		}
 	}()
 
+	if spec.Ctx != nil && spec.Ctx.Err() != nil {
+		// Don't even build the system: the sweep is shutting down.
+		fail(KindCanceled, "run canceled before start: "+spec.Ctx.Err().Error(), nil)
+		return out
+	}
 	if !info.Supports(spec.Mode) {
 		fail(KindUsage, fmt.Sprintf("benchmark does not support mode %s", spec.Mode), nil)
 		return out
@@ -263,7 +319,11 @@ func runOnce(spec Spec, size bench.Size, attempt int) (out *Outcome) {
 	out.Sys = s
 	rec.Instant(stats.CPU, "harness", "harness",
 		fmt.Sprintf("attempt %d start (%s)", attempt, size), s.Eng.Now())
-	s.Eng.SetBudget(sim.Budget{MaxEvents: spec.Budget.MaxEvents, WallClock: spec.Budget.Timeout})
+	s.Eng.SetBudget(sim.Budget{MaxEvents: spec.Budget.MaxEvents, WallClock: spec.Budget.Timeout, Ctx: spec.Ctx})
+	if spec.Stall > 0 {
+		stop := watchStall(s.Eng, spec.Stall)
+		defer stop()
+	}
 	spec.Bench.Run(s, spec.Mode, size)
 	if start, end := s.Col.ROI(); end <= start {
 		fail(KindUsage, "run recorded no region of interest", nil)

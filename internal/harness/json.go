@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"time"
+
 	"repro/internal/core"
 	"repro/internal/trace"
 )
@@ -41,6 +43,7 @@ type RunErrorJSON struct {
 	Attempt   int              `json:"attempt"`
 	SimMs     float64          `json:"sim_ms"`
 	Events    uint64           `json:"events"`
+	WallMs    float64          `json:"wall_ms,omitempty"`
 	TraceTail []TraceEventJSON `json:"trace_tail,omitempty"`
 }
 
@@ -55,6 +58,7 @@ func (e *RunError) JSON() RunErrorJSON {
 		Attempt:   e.Attempt,
 		SimMs:     e.SimTime.Millis(),
 		Events:    e.Events,
+		WallMs:    float64(e.Wall) / float64(time.Millisecond),
 		TraceTail: traceTailJSON(e.TraceTail),
 	}
 }
@@ -69,6 +73,7 @@ type OutcomeJSON struct {
 	Degraded      bool             `json:"degraded"`
 	SimMs         float64          `json:"sim_ms"`
 	Events        uint64           `json:"events"`
+	WallMs        float64          `json:"wall_ms,omitempty"`
 	TraceEvents   int              `json:"trace_events,omitempty"`
 	Report        *core.ReportJSON `json:"report,omitempty"`
 	Error         *RunErrorJSON    `json:"error,omitempty"`
@@ -83,6 +88,7 @@ func (o *Outcome) JSON() OutcomeJSON {
 		Degraded:    o.Degraded,
 		SimMs:       o.SimTime.Millis(),
 		Events:      o.Events,
+		WallMs:      float64(o.Wall) / float64(time.Millisecond),
 		TraceEvents: o.TraceEvents,
 	}
 	if o.Report != nil {

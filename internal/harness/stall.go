@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// watchStall arms a stall watchdog on eng: a goroutine samples the
+// engine's heartbeat and posts a ReasonStalled interrupt when simulated
+// time has not advanced for at least window of wall-clock time while
+// events keep executing. The engine delivers the interrupt at its next
+// periodic check, so the run dies as a recoverable *sim.InterruptError
+// (mapped to KindStalled by runOnce) rather than hanging the sweep
+// worker forever.
+//
+// The returned stop function disarms the watchdog; runOnce defers it so
+// the goroutine never outlives its run. Like the wall-clock budget, the
+// watchdog can only reach a run that is still stepping the engine — a
+// wedge inside host code between events is beyond it.
+func watchStall(eng *sim.Engine, window time.Duration) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		// Poll well under the window so detection latency is a fraction
+		// of the deadline, not a multiple of it.
+		poll := window / 8
+		if poll < time.Millisecond {
+			poll = time.Millisecond
+		}
+		tick := time.NewTicker(poll)
+		defer tick.Stop()
+		lastEvents, lastNow := eng.Progress()
+		frozen := time.Now()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+			}
+			events, now := eng.Progress()
+			if now != lastNow {
+				// Simulated time moved: healthy. Restart the clock.
+				lastEvents, lastNow = events, now
+				frozen = time.Now()
+				continue
+			}
+			if events == lastEvents {
+				// No events either: the engine is idle (between attempts,
+				// or the run is wedged in host code where an interrupt
+				// could never be delivered anyway). Don't count idle time
+				// toward the stall window.
+				frozen = time.Now()
+				continue
+			}
+			lastEvents = events
+			if stalled := time.Since(frozen); stalled >= window {
+				eng.Interrupt(sim.ReasonStalled, fmt.Sprintf(
+					"sim time frozen at %.3f ms for %s while events advanced",
+					now.Millis(), stalled.Round(time.Millisecond)))
+				return
+			}
+		}
+	}()
+	return func() { close(done) }
+}

@@ -5,7 +5,9 @@
 package sim
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -148,6 +150,12 @@ type Budget struct {
 	MaxEvents uint64
 	// WallClock caps real elapsed time from the SetBudget call.
 	WallClock time.Duration
+	// Ctx, when non-nil, is polled at the engine's periodic check interval
+	// (every pulseMask+1 events): once it is canceled, the next check
+	// panics with an *InterruptError of ReasonCanceled. This is how sweep
+	// shutdown reaches arbitrarily nested benchmark code that has no error
+	// returns, exactly like the event/wall-clock budgets.
+	Ctx context.Context
 }
 
 // BudgetError reports a run terminated for exceeding its Budget. The engine
@@ -179,9 +187,60 @@ func (e *BudgetError) ExceededEvents() bool {
 	return e.MaxEvents > 0 && e.Events >= e.MaxEvents
 }
 
+// InterruptReason says why a run was interrupted from outside the
+// simulation loop.
+type InterruptReason int
+
+const (
+	// ReasonCanceled is a context cancellation (operator shutdown, sweep
+	// abort).
+	ReasonCanceled InterruptReason = iota
+	// ReasonStalled is a stall-watchdog kill: the engine stopped advancing
+	// simulated time past its deadline.
+	ReasonStalled
+)
+
+// String names the interrupt reason.
+func (r InterruptReason) String() string {
+	if r == ReasonStalled {
+		return "stalled"
+	}
+	return "canceled"
+}
+
+// InterruptError reports a run terminated by an external request — a
+// canceled context or a stall-watchdog kill — rather than by its own
+// budget. Like BudgetError it is delivered as a typed panic (the only way
+// to unwind nested benchmark code with no error returns) and recovered by
+// harness.Run into a structured run error.
+type InterruptError struct {
+	Reason  InterruptReason
+	Msg     string // what requested the interrupt
+	Events  uint64 // events executed when the interrupt landed
+	SimTime Tick
+}
+
+// Error describes the interrupt and where the run was.
+func (e *InterruptError) Error() string {
+	return fmt.Sprintf("sim: run %s (%s) after %d events at sim time %.3f ms",
+		e.Reason, e.Msg, e.Events, e.SimTime.Millis())
+}
+
+// intrRequest is a pending Interrupt call, stored atomically so any
+// goroutine (signal handler, stall watchdog) can post one.
+type intrRequest struct {
+	reason InterruptReason
+	msg    string
+}
+
 // wallCheckMask throttles time.Now calls: the wall clock is polled once
 // every 4096 events, cheap against event dispatch cost.
 const wallCheckMask = 1<<12 - 1
+
+// pulseMask throttles the engine's periodic liveness work — heartbeat
+// publication and interrupt/cancellation checks — to once every 4096
+// events, the same cadence as the wall-clock poll.
+const pulseMask = 1<<12 - 1
 
 // Engine is a single-threaded discrete-event scheduler. Events scheduled for
 // the same Tick run in the order they were scheduled.
@@ -201,6 +260,15 @@ type Engine struct {
 	budget     Budget
 	budgetBase uint64 // nRun when the budget was armed
 	wallStart  time.Time
+
+	// Heartbeat: (events, sim time) published every pulseMask+1 events so
+	// watchdog goroutines can observe progress without racing the
+	// single-threaded simulation loop.
+	hbEvents atomic.Uint64
+	hbNow    atomic.Int64
+	// intr holds a pending external interrupt request; the loop notices it
+	// at the next pulse and panics with an *InterruptError.
+	intr atomic.Pointer[intrRequest]
 }
 
 // NewEngine returns an engine with simulated time at zero.
@@ -249,6 +317,40 @@ func (e *Engine) SetBudget(b Budget) {
 	}
 }
 
+// Interrupt requests that the run be killed: the next periodic check in
+// Step panics with an *InterruptError. Safe to call from any goroutine
+// (it is how the stall watchdog and hard-abort paths reach a running
+// engine); the first request wins and later ones are ignored. The engine
+// notices within pulseMask+1 events — an engine that is not stepping at
+// all (wedged inside host code between events) cannot be interrupted,
+// just as it cannot notice a wall-clock budget.
+func (e *Engine) Interrupt(reason InterruptReason, msg string) {
+	e.intr.CompareAndSwap(nil, &intrRequest{reason: reason, msg: msg})
+}
+
+// Progress reports the engine's last published heartbeat: how many events
+// have run and the simulated time reached. It is safe to call from other
+// goroutines and may lag the live values by up to pulseMask events — it
+// exists for stall watchdogs, not for exact accounting (use EventsRun/Now
+// from the simulation goroutine for that).
+func (e *Engine) Progress() (events uint64, now Tick) {
+	return e.hbEvents.Load(), Tick(e.hbNow.Load())
+}
+
+// pulse is the periodic liveness check run every pulseMask+1 events: it
+// publishes the heartbeat and panics with an *InterruptError when an
+// external interrupt or context cancellation is pending.
+func (e *Engine) pulse() {
+	e.hbEvents.Store(e.nRun)
+	e.hbNow.Store(int64(e.now))
+	if req := e.intr.Load(); req != nil {
+		panic(&InterruptError{Reason: req.reason, Msg: req.msg, Events: e.nRun, SimTime: e.now})
+	}
+	if ctx := e.budget.Ctx; ctx != nil && ctx.Err() != nil {
+		panic(&InterruptError{Reason: ReasonCanceled, Msg: ctx.Err().Error(), Events: e.nRun, SimTime: e.now})
+	}
+}
+
 // checkBudget panics with a *BudgetError if a budget is exceeded.
 func (e *Engine) checkBudget() {
 	used := e.nRun - e.budgetBase
@@ -269,6 +371,9 @@ func (e *Engine) Step() bool {
 	fifoN := e.fifo.len()
 	if fifoN == 0 && e.events.len() == 0 {
 		return false
+	}
+	if e.nRun&pulseMask == 0 {
+		e.pulse()
 	}
 	if e.budget != (Budget{}) {
 		e.checkBudget()

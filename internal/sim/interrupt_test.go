@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func recoverInterruptError(t *testing.T, fn func()) *InterruptError {
+	t.Helper()
+	var ie *InterruptError
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("interrupted run did not stop")
+			}
+			var ok bool
+			if ie, ok = r.(*InterruptError); !ok {
+				t.Fatalf("panic value %T, want *InterruptError", r)
+			}
+		}()
+		fn()
+	}()
+	return ie
+}
+
+// TestEngineInterrupt: a posted interrupt is delivered at the next
+// periodic check as a typed panic, carrying the reason and progress.
+func TestEngineInterrupt(t *testing.T) {
+	e := NewEngine()
+	runawayLoop(e)
+	e.Interrupt(ReasonStalled, "test kill")
+	ie := recoverInterruptError(t, e.Run)
+	if ie.Reason != ReasonStalled {
+		t.Fatalf("reason = %v, want stalled", ie.Reason)
+	}
+	if !strings.Contains(ie.Error(), "stalled") || !strings.Contains(ie.Error(), "test kill") {
+		t.Fatalf("message: %s", ie.Error())
+	}
+	// The engine remains queryable post-mortem.
+	if e.Now() != ie.SimTime {
+		t.Fatalf("Now %v != interrupt SimTime %v", e.Now(), ie.SimTime)
+	}
+}
+
+// TestEngineInterruptFirstWins: the first posted interrupt's reason is
+// the one delivered; later posts are dropped, not queued.
+func TestEngineInterruptFirstWins(t *testing.T) {
+	e := NewEngine()
+	runawayLoop(e)
+	e.Interrupt(ReasonCanceled, "first")
+	e.Interrupt(ReasonStalled, "second")
+	ie := recoverInterruptError(t, e.Run)
+	if ie.Reason != ReasonCanceled || !strings.Contains(ie.Msg, "first") {
+		t.Fatalf("interrupt = %+v, want the first request", ie)
+	}
+}
+
+// TestEngineCtxCancel: a canceled Budget.Ctx stops the run at the next
+// periodic check with ReasonCanceled.
+func TestEngineCtxCancel(t *testing.T) {
+	e := NewEngine()
+	ctx, cancel := context.WithCancel(context.Background())
+	e.SetBudget(Budget{Ctx: ctx})
+	runawayLoop(e)
+	cancel()
+	ie := recoverInterruptError(t, e.Run)
+	if ie.Reason != ReasonCanceled {
+		t.Fatalf("reason = %v, want canceled", ie.Reason)
+	}
+}
+
+// TestEngineCtxUncanceledRuns: an armed but live context does not
+// disturb a normal run.
+func TestEngineCtxUncanceledRuns(t *testing.T) {
+	e := NewEngine()
+	e.SetBudget(Budget{Ctx: context.Background()})
+	ran := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(Tick(i), func() { ran++ })
+	}
+	e.Run()
+	if ran != 10 {
+		t.Fatalf("ran %d events, want 10", ran)
+	}
+}
+
+// TestEngineHeartbeat: Progress publishes event count and simulated time
+// at the pulse cadence, lagging the live values by at most one pulse
+// interval.
+func TestEngineHeartbeat(t *testing.T) {
+	e := NewEngine()
+	const n = 3 * (pulseMask + 1)
+	for i := 0; i < n; i++ {
+		e.Schedule(Tick(i), func() {})
+	}
+	e.Run()
+	events, now := e.Progress()
+	if events == 0 || now == 0 {
+		t.Fatal("heartbeat never published")
+	}
+	// The pulse publishes before its event runs, so the lag can reach a
+	// full pulse interval but never exceed it.
+	if lag := e.EventsRun() - events; lag > pulseMask+1 {
+		t.Fatalf("heartbeat lags %d events, max %d", lag, uint64(pulseMask+1))
+	}
+	if now > e.Now() {
+		t.Fatalf("heartbeat sim time %v ahead of live %v", now, e.Now())
+	}
+}

@@ -20,6 +20,7 @@ type Tracker struct {
 	finished int
 	failed   int
 	retried  int
+	replayed int
 	t0       time.Time
 }
 
@@ -83,6 +84,19 @@ func (p *Tracker) Finish(name string, ok bool, detail string) {
 	p.line("%s %-40s (%d/%d) %s", verb, name, p.finished, p.total, detail)
 }
 
+// Replay logs a run restored from a checkpoint journal instead of
+// executed; it counts toward the finished tally.
+func (p *Tracker) Replay(name string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.finished++
+	p.replayed++
+	p.line("replay %-40s (%d/%d) from journal", name, p.finished, p.total)
+}
+
 // Summary logs the final tally.
 func (p *Tracker) Summary() {
 	if p == nil {
@@ -90,5 +104,5 @@ func (p *Tracker) Summary() {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.line("sweep complete: %d runs, %d failed, %d retried", p.finished, p.failed, p.retried)
+	p.line("sweep complete: %d runs, %d failed, %d retried, %d replayed", p.finished, p.failed, p.retried, p.replayed)
 }

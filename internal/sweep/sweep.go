@@ -8,6 +8,7 @@
 package sweep
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -22,16 +23,25 @@ func Jobs(n int) int {
 
 // Each runs task(0..n-1) on a pool of jobs workers (jobs <= 0 means
 // GOMAXPROCS; jobs == 1 degenerates to a plain serial loop) and returns
-// when every task has completed. Tasks must be independent: the intended
-// pattern is for task i to write only into the i-th slot of a
+// when every dispatched task has completed. Tasks must be independent: the
+// intended pattern is for task i to write only into the i-th slot of a
 // caller-preallocated result slice, which keeps the assembled output
 // identical for every worker count. Each does not recover panics — the
 // harness below each sweep task already converts aborts into structured
 // errors, and a panic escaping that layer is a programming error that
 // should crash loudly rather than vanish into a worker.
-func Each(jobs, n int, task func(i int)) {
+//
+// Canceling ctx stops dispatch: tasks not yet handed to a worker never
+// run, while in-flight tasks drain to completion before Each returns —
+// the graceful-shutdown contract the checkpointing sweep needs (every
+// started run finishes and is journaled; nothing is half-done). A nil ctx
+// means never canceled.
+func Each(ctx context.Context, jobs, n int, task func(i int)) {
 	if n <= 0 {
 		return
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	jobs = Jobs(jobs)
 	if jobs > n {
@@ -39,6 +49,9 @@ func Each(jobs, n int, task func(i int)) {
 	}
 	if jobs == 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			task(i)
 		}
 		return
@@ -54,8 +67,14 @@ func Each(jobs, n int, task func(i int)) {
 			}
 		}()
 	}
+	done := ctx.Done()
+dispatch:
 	for i := 0; i < n; i++ {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-done:
+			break dispatch
+		}
 	}
 	close(idx)
 	wg.Wait()

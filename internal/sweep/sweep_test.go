@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -21,7 +22,7 @@ func TestEachFillsEverySlot(t *testing.T) {
 	for _, jobs := range []int{1, 2, 8, 0, 100} {
 		const n = 137
 		counts := make([]int32, n)
-		Each(jobs, n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		Each(nil, jobs, n, func(i int) { atomic.AddInt32(&counts[i], 1) })
 		for i, c := range counts {
 			if c != 1 {
 				t.Fatalf("jobs=%d: slot %d ran %d times", jobs, i, c)
@@ -31,19 +32,77 @@ func TestEachFillsEverySlot(t *testing.T) {
 }
 
 func TestEachEmpty(t *testing.T) {
-	Each(4, 0, func(i int) { t.Fatal("no tasks should run") })
-	Each(4, -1, func(i int) { t.Fatal("no tasks should run") })
+	Each(nil, 4, 0, func(i int) { t.Fatal("no tasks should run") })
+	Each(nil, 4, -1, func(i int) { t.Fatal("no tasks should run") })
 }
 
 // TestEachSerialOrder pins that jobs=1 is a plain in-order loop — the
 // serial reference the determinism tests compare the pool against.
 func TestEachSerialOrder(t *testing.T) {
 	var order []int
-	Each(1, 5, func(i int) { order = append(order, i) })
+	Each(nil, 1, 5, func(i int) { order = append(order, i) })
 	for i, v := range order {
 		if v != i {
 			t.Fatalf("serial order broken: %v", order)
 		}
+	}
+}
+
+// TestEachCancelStopsDispatch pins the graceful-shutdown contract: once
+// the context is canceled, no new task is dispatched, but tasks already
+// handed to a worker run to completion before Each returns.
+func TestEachCancelStopsDispatch(t *testing.T) {
+	t.Run("serial", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran int32
+		Each(ctx, 1, 100, func(i int) {
+			if atomic.AddInt32(&ran, 1) == 3 {
+				cancel()
+			}
+		})
+		if got := atomic.LoadInt32(&ran); got != 3 {
+			t.Fatalf("serial cancel: %d tasks ran, want 3", got)
+		}
+	})
+	t.Run("pool", func(t *testing.T) {
+		const workers = 4
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran, completed int32
+		started := make(chan struct{}, workers)
+		release := make(chan struct{})
+		// Once all workers are in flight, cancel dispatch, then let the
+		// blocked first wave finish — proving in-flight tasks drain
+		// rather than being abandoned.
+		go func() {
+			for i := 0; i < workers; i++ {
+				<-started
+			}
+			cancel()
+			close(release)
+		}()
+		Each(ctx, workers, 100, func(i int) {
+			if atomic.AddInt32(&ran, 1) <= workers {
+				started <- struct{}{}
+				<-release
+			}
+			atomic.AddInt32(&completed, 1)
+		})
+		// Each returned: every dispatched task completed.
+		if r, c := atomic.LoadInt32(&ran), atomic.LoadInt32(&completed); r != c {
+			t.Fatalf("Each returned with %d of %d dispatched tasks incomplete", r-c, r)
+		}
+		if got := atomic.LoadInt32(&ran); got >= 100 {
+			t.Fatalf("cancel did not stop dispatch: %d tasks ran", got)
+		}
+	})
+}
+
+// TestEachNilContext: a nil ctx means "never canceled" and must not panic.
+func TestEachNilContext(t *testing.T) {
+	var ran int32
+	Each(nil, 2, 10, func(i int) { atomic.AddInt32(&ran, 1) })
+	if ran != 10 {
+		t.Fatalf("ran = %d, want 10", ran)
 	}
 }
 
@@ -57,7 +116,7 @@ func TestEachActuallyConcurrent(t *testing.T) {
 	release := make(chan struct{})
 	done := make(chan struct{})
 	go func() {
-		Each(n, n, func(i int) {
+		Each(nil, n, n, func(i int) {
 			ready <- struct{}{}
 			<-release
 		})
