@@ -1,0 +1,120 @@
+// Command hetsimd serves the simulator as a daemon: POST /v1/sweep and
+// POST /v1/run accept JSON experiment requests, execute them on a bounded
+// simulation pool, and return the same SweepDoc/OutcomeJSON documents the
+// CLI commands export. One warm process amortizes engine setup across
+// many requests and memoizes completed results in a verified on-disk
+// cache; interrupted sweeps checkpoint into journals under -state and
+// resume on resubmission, across restarts.
+//
+// Shutdown mirrors the CLI sweeps' two-stage signal discipline: the first
+// SIGINT/SIGTERM stops admitting requests and stops dispatching new runs
+// inside in-flight sweeps (what completed is checkpointed and clients are
+// told to resubmit); a second signal aborts in-flight runs too; a third
+// restores default handling (kills the process). A clean drain exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/sweep"
+
+	_ "repro/internal/suites/lonestar"
+	_ "repro/internal/suites/pannotia"
+	_ "repro/internal/suites/parboil"
+	_ "repro/internal/suites/rodinia"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		state        = flag.String("state", "", "state directory for journals and the result cache (required)")
+		pool         = flag.Int("pool", 0, "max concurrently executing simulations across all requests (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 16, "max requests waiting for pool slots before 429s")
+		retryAfter   = flag.Duration("retry-after", 2*time.Second, "Retry-After hint on 429/503 responses")
+		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "max time to wait for in-flight requests after the first signal")
+		quiet        = flag.Bool("q", false, "suppress operational logging")
+	)
+	flag.Parse()
+	if *state == "" {
+		fmt.Fprintln(os.Stderr, "hetsimd: -state is required")
+		flag.Usage()
+		return 2
+	}
+
+	logw := io.Writer(os.Stderr)
+	if *quiet {
+		logw = io.Discard
+	}
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(logw, "hetsimd: "+format+"\n", args...)
+	}
+
+	drainCtx, hardCtx, stopSignals := sweep.SignalContexts(context.Background(), logw)
+	defer stopSignals()
+
+	srv, err := server.New(server.Config{
+		StateDir:   *state,
+		Pool:       *pool,
+		Queue:      *queue,
+		RetryAfter: *retryAfter,
+		Drain:      drainCtx,
+		Hard:       hardCtx,
+		Logf:       logf,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hetsimd: %v\n", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hetsimd: %v\n", err)
+		return 1
+	}
+	// Always announced (even with -q): tests and scripts parse this line
+	// to learn the bound port when -addr ends in :0.
+	fmt.Fprintf(os.Stderr, "hetsimd listening on http://%s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(os.Stderr, "hetsimd: serve: %v\n", err)
+		return 1
+	case <-drainCtx.Done():
+	}
+
+	// First signal received: Server already rejects new work and stops
+	// dispatching runs inside in-flight sweeps; Shutdown waits for those
+	// handlers to checkpoint and respond. The drain timeout bounds a
+	// pathological straggler (the second signal aborts runs sooner).
+	logf("draining: waiting up to %s for in-flight requests", *drainTimeout)
+	shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil {
+		logf("drain incomplete: %v", err)
+		httpSrv.Close()
+		return 1
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "hetsimd: serve: %v\n", err)
+		return 1
+	}
+	logf("drained cleanly")
+	return 0
+}

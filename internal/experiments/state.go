@@ -97,7 +97,16 @@ func OpenState(dir string, resume bool, size bench.Size, opts SweepOpts) (*harne
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("state dir: %w", err)
 	}
-	path := filepath.Join(dir, journalFile)
+	return OpenStateAt(filepath.Join(dir, journalFile), JournalKind, resume, size, opts)
+}
+
+// OpenStateAt is OpenState for callers that manage their own journal
+// placement and identity: path names the journal file itself and kind
+// stamps the producing command. The hetsimd server uses this to key one
+// journal per request fingerprint inside its state directory, where
+// OpenState's one-fixed-file-per-dir layout would make concurrent
+// requests fight over a single journal. The parent directory must exist.
+func OpenStateAt(path, kind string, resume bool, size bench.Size, opts SweepOpts) (*harness.RunLog, error) {
 	fingerprint := SweepFingerprint(size, opts)
 	slots := sweepSlots(onlySet(opts.Only))
 	names := make([]string, len(slots))
@@ -105,7 +114,7 @@ func OpenState(dir string, resume bool, size bench.Size, opts SweepOpts) (*harne
 		names[i] = s.key()
 	}
 	if resume {
-		return harness.OpenRunLog(path, JournalKind, fingerprint, names)
+		return harness.OpenRunLog(path, kind, fingerprint, names)
 	}
-	return harness.CreateRunLog(path, JournalKind, fingerprint, names)
+	return harness.CreateRunLog(path, kind, fingerprint, names)
 }

@@ -17,6 +17,7 @@ package harness
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"runtime/debug"
 	"time"
 
@@ -151,6 +152,12 @@ type Spec struct {
 	// for fault-injection experiments that deliberately want spaced
 	// attempts.
 	Backoff time.Duration
+	// Jitter spreads each retry delay uniformly within ±Jitter×delay
+	// (clamped to [0,1]), so concurrent pool workers retrying against the
+	// same injected fault do not retry in lockstep. Zero keeps the exact
+	// doubled Backoff. With Backoff zero there is no delay to spread, so
+	// Jitter has no effect and zero-backoff sweeps stay deterministic.
+	Jitter float64
 	// Trace, when non-nil, receives every trace event the run's hardware
 	// models emit (all attempts record into the same sink, separated by
 	// harness lifecycle instants). When nil, the harness still records a
@@ -239,9 +246,28 @@ func Run(spec Spec) *Outcome {
 		}
 		size = smaller
 		if spec.Backoff > 0 {
-			time.Sleep(spec.Backoff << (attempt - 1))
+			time.Sleep(retryDelay(spec.Backoff, spec.Jitter, attempt))
 		}
 	}
+}
+
+// retryDelay computes the sleep before retry number attempt+1: the base
+// backoff doubled per attempt, spread uniformly within ±jitter of that
+// value. The spread keeps a pool of workers that all hit the same
+// injected fault from hammering it again in lockstep. jitter is clamped
+// to [0,1], so the delay never goes negative and never exceeds twice the
+// un-jittered value.
+func retryDelay(backoff time.Duration, jitter float64, attempt int) time.Duration {
+	d := backoff << (attempt - 1)
+	if jitter <= 0 || d <= 0 {
+		return d
+	}
+	if jitter > 1 {
+		jitter = 1
+	}
+	// Uniform in [d*(1-jitter), d*(1+jitter)].
+	spread := (2*rand.Float64() - 1) * jitter * float64(d)
+	return d + time.Duration(spread)
 }
 
 // runOnce executes a single attempt, recovering any abort into a RunError.

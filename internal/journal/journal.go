@@ -41,6 +41,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 )
@@ -124,26 +125,58 @@ func parseLine(ln string) ([]byte, error) {
 	return []byte(body), nil
 }
 
+// SyncDir fsyncs the directory at dir. A freshly created or renamed file
+// is only durable once its directory entry is too: fsyncing the file
+// flushes its contents, but the entry naming it lives in the directory,
+// and a crash before the directory reaches stable storage can lose the
+// file wholesale. Callers creating, renaming, or removing durable files
+// follow up with SyncDir on the parent.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("sync dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("sync dir %s: %w", dir, err)
+	}
+	return nil
+}
+
+// writeHeader writes and syncs the header line into f.
+func writeHeader(f *os.File, kind, fingerprint string, slots []string) error {
+	hdr, err := json.Marshal(Header{V: Version, Kind: kind, Fingerprint: fingerprint, Slots: slots})
+	if err != nil {
+		return fmt.Errorf("journal: marshal header: %w", err)
+	}
+	if _, err := f.Write(line(hdr)); err != nil {
+		return fmt.Errorf("journal: write header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("journal: sync header: %w", err)
+	}
+	return nil
+}
+
 // Create starts a fresh journal at path, writing and syncing the header
-// before returning. An existing file is truncated: the caller decides
-// create-vs-resume, the journal just obeys.
+// — and the parent directory entry — before returning. An existing file
+// is truncated: the caller decides create-vs-resume, the journal just
+// obeys.
 func Create(path, kind, fingerprint string, slots []string) (*Journal, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("journal: create: %w", err)
 	}
-	hdr, err := json.Marshal(Header{V: Version, Kind: kind, Fingerprint: fingerprint, Slots: slots})
-	if err != nil {
+	if err := writeHeader(f, kind, fingerprint, slots); err != nil {
 		f.Close()
-		return nil, fmt.Errorf("journal: marshal header: %w", err)
+		return nil, err
 	}
-	if _, err := f.Write(line(hdr)); err != nil {
+	// The header is durable in the file, but the file's own directory
+	// entry is not until the directory is synced: a crash here could
+	// otherwise lose the just-created journal entirely.
+	if err := SyncDir(filepath.Dir(path)); err != nil {
 		f.Close()
-		return nil, fmt.Errorf("journal: write header: %w", err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("journal: sync header: %w", err)
+		return nil, fmt.Errorf("journal: create: %w", err)
 	}
 	return &Journal{f: f, path: path}, nil
 }
@@ -158,6 +191,18 @@ func Open(path, kind, fingerprint string) (*Journal, []Record, error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
 		return nil, nil, fmt.Errorf("journal: open: %w", err)
+	}
+	if st, serr := f.Stat(); serr == nil && st.Size() == 0 {
+		// A zero-byte journal is the crash window between Create's
+		// OpenFile and its header write (or an interrupted truncate) —
+		// nothing was ever recorded, so there is nothing to lose: treat
+		// it as a brand-new journal rather than hard corruption, so a
+		// restart can proceed.
+		if err := writeHeader(f, kind, fingerprint, nil); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return &Journal{f: f, path: path}, nil, nil
 	}
 	recs, keep, err := replay(f, kind, fingerprint)
 	if err != nil {

@@ -253,6 +253,73 @@ func TestFingerprintHelper(t *testing.T) {
 	}
 }
 
+// TestZeroByteJournalTreatedAsNew: a zero-byte file is the crash window
+// between Create's open and its header write. There is nothing recorded
+// and therefore nothing to lose, so Open must proceed as a fresh journal
+// instead of refusing — a restarted sweep should run, not wedge.
+func TestZeroByteJournalTreatedAsNew(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j, recs, err := Open(path, testKind, testFP)
+	if err != nil {
+		t.Fatalf("zero-byte journal should open as new, got %v", err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("zero-byte journal replayed %d records, want 0", len(recs))
+	}
+	// It must behave as a real journal from here: appendable, and
+	// reopenable with the header Open wrote on its behalf.
+	if err := j.Append("a", json.RawMessage(`{"run":"a"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err = Open(path, testKind, testFP)
+	if err != nil {
+		t.Fatalf("reopen after zero-byte recovery: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Slot != "a" || recs[0].Seq != 1 {
+		t.Fatalf("post-recovery records: %+v", recs)
+	}
+	// The recovered journal carries this caller's kind and fingerprint;
+	// a different configuration must still be rejected.
+	if _, _, err := Open(path, testKind, "otherfingerprint"); !errors.Is(err, ErrFingerprint) {
+		t.Fatalf("recovered journal fingerprint check: got %v, want ErrFingerprint", err)
+	}
+}
+
+// TestSyncDir pins the directory-fsync helper Create (and the hetsimd
+// result cache) rely on for durability of file creation and rename.
+func TestSyncDir(t *testing.T) {
+	if err := SyncDir(t.TempDir()); err != nil {
+		t.Fatalf("SyncDir on a real directory: %v", err)
+	}
+	if err := SyncDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("SyncDir on a missing directory should fail")
+	}
+}
+
+// TestCreateSyncsParentDir: Create must succeed (header + directory entry
+// synced) in a freshly made nested directory — the layout the sweep
+// commands produce with -state DIR on first use.
+func TestCreateSyncsParentDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "state", "journals")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	j, err := Create(filepath.Join(dir, "sweep.journal"), testKind, testFP, nil)
+	if err != nil {
+		t.Fatalf("Create in nested dir: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestCreateTruncatesExisting pins that Create starts over rather than
 // appending to a stale file.
 func TestCreateTruncatesExisting(t *testing.T) {

@@ -1,0 +1,117 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrBusy reports an admission rejection: every execution slot is taken
+// and the waiting line is full. The HTTP layer maps it to 429 with a
+// Retry-After hint — the bounded-queue alternative to accepting every
+// request and growing without bound until the process dies.
+var ErrBusy = errors.New("server: overloaded (queue full)")
+
+// Gate is the daemon's admission controller: a weighted semaphore over
+// simulation slots with a bounded waiting line. Every admitted request
+// holds as many slots as simulations it may run concurrently (its worker
+// count), so the sum of in-flight simulations across all requests never
+// exceeds the slot capacity — the process's simulation concurrency is a
+// configuration constant, not a function of offered load. Requests that
+// cannot be admitted immediately wait in a line bounded by queue; beyond
+// that, Admit fails fast with ErrBusy instead of queueing unboundedly.
+//
+// Waiters are woken in no particular order (sync.Cond broadcast), which
+// can let a light request barge ahead of a heavy one — acceptable
+// unfairness for a cap this small, and it can never starve the line
+// forever because every release broadcasts.
+type Gate struct {
+	mu      sync.Mutex
+	wake    *sync.Cond
+	slots   int // capacity: max total weight admitted at once
+	queue   int // capacity: max requests waiting for slots
+	held    int // weight currently admitted
+	waiting int // requests currently in the waiting line
+}
+
+// NewGate builds a gate with the given slot and queue capacities
+// (minimums of 1 slot and 0 queue are enforced).
+func NewGate(slots, queue int) *Gate {
+	if slots < 1 {
+		slots = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	g := &Gate{slots: slots, queue: queue}
+	g.wake = sync.NewCond(&g.mu)
+	return g
+}
+
+// Admit reserves weight slots (clamped to [1, capacity] so no request is
+// unsatisfiable), waiting in the bounded line when the gate is full. It
+// returns an idempotent release function on success; ErrBusy when the
+// line itself is full; or ctx.Err() when the caller's deadline fires or
+// its client disconnects while queued. The returned release MUST be
+// called exactly when the request's simulations are done — a deferred
+// call in the handler.
+func (g *Gate) Admit(ctx context.Context, weight int) (release func(), err error) {
+	if weight < 1 {
+		weight = 1
+	}
+	if weight > g.slots {
+		weight = g.slots
+	}
+	g.mu.Lock()
+	if g.held+weight > g.slots {
+		if g.waiting >= g.queue {
+			g.mu.Unlock()
+			return nil, ErrBusy
+		}
+		g.waiting++
+		// Wake this waiter when the caller gives up, not only when a
+		// slot frees: a queued request whose deadline fired must leave
+		// the line promptly so it cannot clog it.
+		stop := context.AfterFunc(ctx, g.wake.Broadcast)
+		for g.held+weight > g.slots && ctx.Err() == nil {
+			g.wake.Wait()
+		}
+		g.waiting--
+		stop()
+		if ctx.Err() != nil {
+			// Leaving the line may unblock nothing, but a broadcast is
+			// cheap and keeps the invariant simple.
+			g.wake.Broadcast()
+			g.mu.Unlock()
+			return nil, ctx.Err()
+		}
+	}
+	g.held += weight
+	g.mu.Unlock()
+
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			g.mu.Lock()
+			g.held -= weight
+			g.wake.Broadcast()
+			g.mu.Unlock()
+		})
+	}, nil
+}
+
+// GateStats is a point-in-time snapshot of the gate for health/metrics
+// endpoints and tests.
+type GateStats struct {
+	Slots   int `json:"slots"`
+	Queue   int `json:"queue"`
+	Held    int `json:"in_flight"`
+	Waiting int `json:"waiting"`
+}
+
+// Stats snapshots the gate.
+func (g *Gate) Stats() GateStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return GateStats{Slots: g.slots, Queue: g.queue, Held: g.held, Waiting: g.waiting}
+}

@@ -1,0 +1,154 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestGateWeightInvariant hammers the gate with mixed-weight requests and
+// checks the core admission invariant: the sum of admitted weights never
+// exceeds the slot capacity, no matter the offered load.
+func TestGateWeightInvariant(t *testing.T) {
+	const slots = 4
+	g := NewGate(slots, 64)
+	var held atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		weight := 1 + i%slots
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, err := g.Admit(context.Background(), weight)
+			if err != nil {
+				t.Errorf("Admit(weight=%d): %v", weight, err)
+				return
+			}
+			if now := held.Add(int64(weight)); now > slots {
+				t.Errorf("admitted weight reached %d, cap is %d", now, slots)
+			}
+			time.Sleep(time.Millisecond)
+			held.Add(int64(-weight))
+			release()
+		}()
+	}
+	wg.Wait()
+	if st := g.Stats(); st.Held != 0 || st.Waiting != 0 {
+		t.Fatalf("gate not drained: %+v", st)
+	}
+}
+
+// TestGateBusy: with the slots taken and the waiting line full, the next
+// request fails fast with ErrBusy instead of queueing.
+func TestGateBusy(t *testing.T) {
+	g := NewGate(1, 1)
+	release, err := g.Admit(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Occupy the single queue seat.
+	entered := make(chan struct{})
+	got := make(chan error, 1)
+	go func() {
+		close(entered)
+		r, err := g.Admit(context.Background(), 1)
+		if err == nil {
+			defer r()
+		}
+		got <- err
+	}()
+	<-entered
+	waitFor(t, func() bool { return g.Stats().Waiting == 1 })
+
+	if _, err := g.Admit(context.Background(), 1); !errors.Is(err, ErrBusy) {
+		t.Fatalf("Admit with full queue = %v, want ErrBusy", err)
+	}
+
+	release()
+	if err := <-got; err != nil {
+		t.Fatalf("queued request: %v", err)
+	}
+}
+
+// TestGateCanceledWhileQueued: a waiter whose context ends leaves the
+// line with its ctx error rather than blocking forever.
+func TestGateCanceledWhileQueued(t *testing.T) {
+	g := NewGate(1, 4)
+	release, err := g.Admit(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() {
+		_, err := g.Admit(ctx, 1)
+		got <- err
+	}()
+	waitFor(t, func() bool { return g.Stats().Waiting == 1 })
+	cancel()
+	select {
+	case err := <-got:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled waiter got %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled waiter never left the line")
+	}
+	if st := g.Stats(); st.Waiting != 0 {
+		t.Fatalf("waiting = %d after cancel, want 0", st.Waiting)
+	}
+}
+
+// TestGateWeightClamp: a request heavier than the whole gate is clamped,
+// not deadlocked as unsatisfiable.
+func TestGateWeightClamp(t *testing.T) {
+	g := NewGate(2, 0)
+	release, err := g.Admit(context.Background(), 99)
+	if err != nil {
+		t.Fatalf("oversized weight: %v", err)
+	}
+	if st := g.Stats(); st.Held != 2 {
+		t.Fatalf("held = %d, want clamp to %d", st.Held, 2)
+	}
+	release()
+}
+
+// TestGateReleaseIdempotent: double release must not free slots twice.
+func TestGateReleaseIdempotent(t *testing.T) {
+	g := NewGate(2, 0)
+	release, err := g.Admit(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	release()
+	if st := g.Stats(); st.Held != 0 {
+		t.Fatalf("held = %d, want 0", st.Held)
+	}
+	// A second admit still accounts correctly.
+	r2, err := g.Admit(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := g.Stats(); st.Held != 2 {
+		t.Fatalf("held = %d after re-admit, want 2", st.Held)
+	}
+	r2()
+}
+
+// waitFor polls cond until it holds or the test times out.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

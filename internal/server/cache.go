@@ -1,0 +1,176 @@
+package server
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/journal"
+)
+
+// Cache is the daemon's content-addressed result store: completed
+// responses keyed by request fingerprint, so a repeated request is a disk
+// read instead of a re-simulation. Entries are written atomically (temp
+// file, fsync, rename, directory fsync) and verified on every read by a
+// CRC32-Castagnoli checksum over the body. A corrupt entry — bit rot, a
+// torn write that survived, an operator's stray edit — is quarantined:
+// renamed aside with a ".corrupt" suffix and logged, and the caller
+// recomputes. The cache never refuses service over a bad entry; it is an
+// accelerator, and the journal underneath it remains the durable store of
+// record for in-progress work.
+//
+// The entry format is a one-line header followed by the raw body bytes:
+//
+//	hetsimd-cache 1 <crc32c %08x> <body length>\n<body>
+//
+// Serving the exact stored bytes (not a re-marshal) is what makes a cache
+// hit byte-identical to the miss that populated it.
+type Cache struct {
+	dir  string
+	logf func(format string, args ...any)
+	mu   sync.Mutex // serializes quarantine renames for the same key
+}
+
+// cacheMagic stamps entry headers; a version bump invalidates old entries
+// (they quarantine and recompute — the safe failure mode).
+const cacheMagic = "hetsimd-cache 1"
+
+// NewCache opens (creating if needed) a cache rooted at dir. logf
+// receives quarantine and write-failure diagnostics (nil discards them).
+func NewCache(dir string, logf func(format string, args ...any)) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache dir: %w", err)
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Cache{dir: dir, logf: logf}, nil
+}
+
+// path maps a key (a hex fingerprint — already filesystem-safe) to its
+// entry file.
+func (c *Cache) path(key string) string { return filepath.Join(c.dir, key+".entry") }
+
+// Get returns the verified body for key, or (nil, false) on a miss. A
+// present-but-corrupt entry is quarantined (renamed to <key>.corrupt,
+// replacing any earlier quarantine) and reported as a miss, so the caller
+// recomputes and overwrites it with a good entry.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	path := c.path(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			c.logf("cache: read %s: %v", path, err)
+		}
+		return nil, false
+	}
+	body, err := parseEntry(data)
+	if err != nil {
+		c.quarantine(path, err)
+		return nil, false
+	}
+	return body, true
+}
+
+// parseEntry validates one entry file and returns its body.
+func parseEntry(data []byte) ([]byte, error) {
+	nl := strings.IndexByte(string(data[:min(len(data), 64)]), '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("no header line")
+	}
+	fields := strings.Fields(string(data[:nl]))
+	if len(fields) != 4 || fields[0]+" "+fields[1] != cacheMagic {
+		return nil, fmt.Errorf("bad header %q", string(data[:nl]))
+	}
+	wantCRC, err := strconv.ParseUint(fields[2], 16, 32)
+	if err != nil {
+		return nil, fmt.Errorf("bad checksum field: %v", err)
+	}
+	wantLen, err := strconv.Atoi(fields[3])
+	if err != nil || wantLen < 0 {
+		return nil, fmt.Errorf("bad length field %q", fields[3])
+	}
+	body := data[nl+1:]
+	if len(body) != wantLen {
+		return nil, fmt.Errorf("body is %d bytes, header says %d", len(body), wantLen)
+	}
+	if got := crc32.Checksum(body, crc32.MakeTable(crc32.Castagnoli)); got != uint32(wantCRC) {
+		return nil, fmt.Errorf("checksum mismatch (want %08x, got %08x)", wantCRC, got)
+	}
+	return body, nil
+}
+
+// quarantine renames a damaged entry aside and logs it. Renaming (rather
+// than deleting) preserves the evidence for post-mortem; renaming (rather
+// than refusing) lets the caller recompute and move on.
+func (c *Cache) quarantine(path string, cause error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	q := path + ".corrupt"
+	if err := os.Rename(path, q); err != nil {
+		c.logf("cache: quarantine %s: %v (entry was corrupt: %v)", path, err, cause)
+		return
+	}
+	// Make the rename durable so a crash cannot resurrect the corrupt
+	// entry under its serving name.
+	if err := journal.SyncDir(c.dir); err != nil {
+		c.logf("cache: quarantine %s: %v", path, err)
+	}
+	c.logf("cache: quarantined corrupt entry %s -> %s: %v", path, q, cause)
+}
+
+// Put durably stores body under key: temp file in the same directory,
+// contents fsync'd, atomic rename over any existing entry, directory
+// fsync. Readers racing a Put see either the old complete entry or the
+// new one, never a torn hybrid.
+func (c *Cache) Put(key string, body []byte) error {
+	path := c.path(key)
+	header := fmt.Sprintf("%s %08x %d\n", cacheMagic,
+		crc32.Checksum(body, crc32.MakeTable(crc32.Castagnoli)), len(body))
+	tmp, err := os.CreateTemp(c.dir, key+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.WriteString(header); err == nil {
+		_, err = tmp.Write(body)
+		if err == nil {
+			err = tmp.Sync()
+		}
+	} else {
+		tmp.Close()
+		return fmt.Errorf("cache: write: %w", err)
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("cache: write: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := journal.SyncDir(c.dir); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	return nil
+}
+
+// Len counts stored (non-quarantined) entries, for the health endpoint.
+func (c *Cache) Len() int {
+	ents, err := os.ReadDir(c.dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".entry") {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,589 @@
+// Package server is the sweep-as-a-service layer: the HTTP daemon
+// (cmd/hetsimd) that accepts run and sweep requests, executes them on the
+// bounded simulation pool, and serves the same SweepDoc/OutcomeJSON
+// documents the CLI commands export. One warm process amortizes setup
+// across many tenants — the CrystalGPU-style management layer the roadmap
+// calls for — so the design center is failure behavior, not features:
+//
+//   - Admission control: a weighted gate caps concurrent simulations at
+//     the configured pool size and bounds the waiting line; beyond that,
+//     requests fail fast with 429 + Retry-After instead of queueing
+//     without bound.
+//   - Request isolation: every request's simulations run under the
+//     fault-tolerant harness (a panicking or livelocked run fails that
+//     request with a structured error, never the process), per-request
+//     deadlines cancel through the engines' periodic checks, and a
+//     handler-level recover turns server bugs into 500s.
+//   - Durability: each sweep request checkpoints into its own
+//     fingerprint-keyed journal, so a killed daemon resumes rather than
+//     restarts; completed responses are memoized in a CRC-verified
+//     content-addressed cache, so a repeated request is a disk read.
+//     Corrupt entries quarantine and recompute — the store self-heals
+//     instead of refusing service.
+//   - Graceful drain: the Drain context (first SIGTERM) stops admission
+//     and stops dispatching new runs inside in-flight sweeps; what has
+//     completed is journaled and the client is told to resubmit. The
+//     Hard context (second signal) aborts in-flight runs too.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/experiments"
+	"repro/internal/harness"
+	"repro/internal/journal"
+	"repro/internal/sweep"
+)
+
+// JournalKind stamps the server's per-request sweep journals.
+const JournalKind = "hetsimd"
+
+// Response headers the daemon sets; tests and operators key off them.
+const (
+	// HeaderCache reports whether the response body came from the result
+	// cache ("hit") or a fresh execution ("miss").
+	HeaderCache = "X-Hetsimd-Cache"
+	// HeaderResumed reports how many of a sweep's runs were replayed
+	// from its checkpoint journal instead of executed (a restart
+	// resuming interrupted work).
+	HeaderResumed = "X-Hetsimd-Resumed"
+	// HeaderWallMs reports the handler's wall-clock cost in ms. The
+	// response bodies themselves carry no wall times — those are scrubbed
+	// so identical requests produce byte-identical (and so cacheable)
+	// documents.
+	HeaderWallMs = "X-Hetsimd-Wall-Ms"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// StateDir roots the daemon's durable state: StateDir/journals for
+	// per-request checkpoint journals, StateDir/cache for the result
+	// cache. Required.
+	StateDir string
+	// Pool caps concurrently executing simulations across all requests
+	// (0 = GOMAXPROCS). This is the hard bound admission enforces.
+	Pool int
+	// Queue caps requests waiting for pool slots; a request beyond it is
+	// rejected with 429 (0 = no waiting: full pool means reject).
+	Queue int
+	// RetryAfter is the hint sent with 429/503 responses (0 = 2s).
+	RetryAfter time.Duration
+	// Drain, when done, puts the server into drain: readyz flips to 503,
+	// new requests are rejected, in-flight sweeps stop dispatching runs
+	// and checkpoint what completed. Nil = never drains.
+	Drain context.Context
+	// Hard, when done, aborts in-flight runs through engine cancellation
+	// (the second-signal stage). Nil = never.
+	Hard context.Context
+	// Logf receives operational diagnostics (nil discards).
+	Logf func(format string, args ...any)
+}
+
+// Server is the sweep-as-a-service request layer. Build with New, mount
+// with Handler.
+type Server struct {
+	cfg        Config
+	gate       *Gate
+	cache      *Cache
+	journalDir string
+	locks      sync.Map // fingerprint -> *sync.Mutex (sweep singleflight)
+
+	// Execution seams, overridden by tests to substitute deterministic
+	// stand-ins for the simulator.
+	runSweep func(bench.Size, experiments.SweepOpts) (*experiments.Results, []harness.RunError)
+	runOne   func(harness.Spec) *harness.Outcome
+}
+
+// New builds a Server over cfg, creating the state layout on disk.
+func New(cfg Config) (*Server, error) {
+	if cfg.StateDir == "" {
+		return nil, errors.New("server: Config.StateDir is required")
+	}
+	if cfg.Pool <= 0 {
+		cfg.Pool = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Queue < 0 {
+		cfg.Queue = 0
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = 2 * time.Second
+	}
+	if cfg.Drain == nil {
+		cfg.Drain = context.Background()
+	}
+	if cfg.Hard == nil {
+		cfg.Hard = context.Background()
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	journalDir := filepath.Join(cfg.StateDir, "journals")
+	if err := os.MkdirAll(journalDir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: state dir: %w", err)
+	}
+	cache, err := NewCache(filepath.Join(cfg.StateDir, "cache"), cfg.Logf)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	return &Server{
+		cfg:        cfg,
+		gate:       NewGate(cfg.Pool, cfg.Queue),
+		cache:      cache,
+		journalDir: journalDir,
+		runSweep:   experiments.RunSweep,
+		runOne:     harness.Run,
+	}, nil
+}
+
+// Handler returns the daemon's HTTP handler tree.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	return s.recoverMiddleware(mux)
+}
+
+// draining reports whether the first shutdown stage has begun.
+func (s *Server) draining() bool { return s.cfg.Drain.Err() != nil }
+
+// statusWriter tracks whether a handler already committed a status, so
+// the panic recovery layer knows whether a 500 can still be sent.
+type statusWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.wrote = true
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	sw.wrote = true
+	return sw.ResponseWriter.Write(b)
+}
+
+// Flush keeps the wrapped writer usable for streaming responses.
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// recoverMiddleware is the request-isolation backstop: a panic out of any
+// handler (a server-layer bug — simulation panics are already recovered
+// by the harness) fails that request with a 500 and a logged stack, never
+// the process.
+func (s *Server) recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			if v := recover(); v != nil {
+				s.cfg.Logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+				if !sw.wrote {
+					writeJSONError(sw, http.StatusInternalServerError, "internal", "internal server error")
+				}
+			}
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// writeJSONError writes the uniform error document:
+// {"error": code, "message": msg}.
+func writeJSONError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": code, "message": msg})
+}
+
+// fail routes an error to the right medium: an in-progress stream gets a
+// terminal error frame (the status line is long gone); anything else gets
+// a plain JSON error response.
+func (s *Server) fail(w http.ResponseWriter, st *streamer, status int, code, msg string) {
+	if st != nil && st.started {
+		st.fail(code, msg)
+		return
+	}
+	writeJSONError(w, status, code, msg)
+}
+
+// retryAfter stamps the Retry-After hint on throttling responses.
+func (s *Server) retryAfter(w http.ResponseWriter) {
+	secs := int(s.cfg.RetryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
+// mergeCtx derives a context canceled when either a or b is. The release
+// func must be called to free the propagation hook.
+func mergeCtx(a, b context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(a)
+	stop := context.AfterFunc(b, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":        "ok",
+		"draining":      s.draining(),
+		"gate":          s.gate.Stats(),
+		"cache_entries": s.cache.Len(),
+	})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining() {
+		writeJSONError(w, http.StatusServiceUnavailable, "draining", "server is draining; not accepting work")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]string{"status": "ready"})
+}
+
+// benchmarkInfo is one row of GET /v1/benchmarks.
+type benchmarkInfo struct {
+	Name       string   `json:"name"`
+	Desc       string   `json:"desc"`
+	ExtraModes []string `json:"extra_modes,omitempty"`
+}
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	var rows []benchmarkInfo
+	for _, b := range bench.All() {
+		info := b.Info()
+		row := benchmarkInfo{Name: info.FullName(), Desc: info.Desc}
+		for _, m := range info.ExtraModes {
+			row.ExtraModes = append(row.ExtraModes, m.String())
+		}
+		rows = append(rows, row)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(rows)
+}
+
+// admit performs the shared admission steps: drain check, deadline
+// wiring, gate entry. It returns the request context (with any deadline
+// applied), the gate release, and false if the response has already been
+// written.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, deadline time.Duration, weight int) (context.Context, context.CancelFunc, func(), bool) {
+	if s.draining() {
+		s.retryAfter(w)
+		writeJSONError(w, http.StatusServiceUnavailable, "draining", "server is draining; retry against another instance or after restart")
+		return nil, nil, nil, false
+	}
+	reqCtx := r.Context()
+	cancel := context.CancelFunc(func() {})
+	if deadline > 0 {
+		reqCtx, cancel = context.WithTimeout(reqCtx, deadline)
+	}
+	release, err := s.gate.Admit(reqCtx, weight)
+	if err != nil {
+		cancel()
+		switch {
+		case errors.Is(err, ErrBusy):
+			s.retryAfter(w)
+			writeJSONError(w, http.StatusTooManyRequests, "busy",
+				fmt.Sprintf("all %d simulation slots busy and the waiting line (%d) is full", s.cfg.Pool, s.cfg.Queue))
+		case errors.Is(err, context.DeadlineExceeded):
+			writeJSONError(w, http.StatusGatewayTimeout, "deadline", "request deadline expired while queued for admission")
+		default:
+			// Client went away while queued; nothing useful to write.
+		}
+		return nil, nil, nil, false
+	}
+	return reqCtx, cancel, release, true
+}
+
+// serveDoc writes a completed JSON document with the daemon's telemetry
+// headers, through the stream when one is active.
+func (s *Server) serveDoc(w http.ResponseWriter, st *streamer, body []byte, cache string, wall time.Duration) {
+	if st != nil {
+		if !st.started {
+			w.Header().Set(HeaderCache, cache)
+			w.Header().Set(HeaderWallMs, strconv.FormatInt(wall.Milliseconds(), 10))
+		}
+		st.result(body)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(HeaderCache, cache)
+	w.Header().Set(HeaderWallMs, strconv.FormatInt(wall.Milliseconds(), 10))
+	w.Write(body)
+}
+
+// fpLock returns the singleflight mutex for a fingerprint: concurrent
+// identical sweep requests must not share one journal file, so the
+// second waits and then (typically) finds the first's cache entry.
+func (s *Server) fpLock(fp string) *sync.Mutex {
+	v, _ := s.locks.LoadOrStore(fp, &sync.Mutex{})
+	return v.(*sync.Mutex)
+}
+
+// openJournal opens (resume semantics) the fingerprint-keyed checkpoint
+// journal for a sweep request. A corrupt or mismatched journal is
+// quarantined — renamed aside and logged, like a corrupt cache entry —
+// and a fresh one begins: the robust daemon recomputes, it never wedges a
+// fingerprint on damaged state.
+func (s *Server) openJournal(path string, p *sweepParams) (*harness.RunLog, error) {
+	state, err := experiments.OpenStateAt(path, JournalKind, true, p.size, p.opts)
+	if err == nil {
+		return state, nil
+	}
+	if errors.Is(err, journal.ErrCorrupt) || errors.Is(err, journal.ErrFingerprint) {
+		q := path + ".corrupt"
+		if rerr := os.Rename(path, q); rerr != nil {
+			return nil, fmt.Errorf("quarantine %s: %w (journal was bad: %v)", path, rerr, err)
+		}
+		if serr := journal.SyncDir(s.journalDir); serr != nil {
+			s.cfg.Logf("journal quarantine: %v", serr)
+		}
+		s.cfg.Logf("quarantined bad journal %s -> %s: %v", path, q, err)
+		return experiments.OpenStateAt(path, JournalKind, false, p.size, p.opts)
+	}
+	return nil, err
+}
+
+// interruption classifies why a sweep came back incomplete: canceled
+// outcomes and never-dispatched slots both mean the request was cut short
+// (drain, deadline, or client disconnect) and the document must be
+// neither served as complete nor cached.
+func interruption(res *experiments.Results) bool {
+	if len(res.Skipped) > 0 {
+		return true
+	}
+	for i := range res.Failed {
+		if res.Failed[i].Kind == harness.KindCanceled {
+			return true
+		}
+	}
+	return false
+}
+
+// scrubSweepDoc zeroes the document's wall-clock telemetry. Wall times
+// are the one nondeterministic ingredient of a sweep document; scrubbed,
+// identical requests produce byte-identical documents — which is what
+// makes the result cache coherent and lets a resumed sweep's response
+// match an uninterrupted one's exactly. The handler's real wall cost is
+// reported out of band in the X-Hetsimd-Wall-Ms header.
+func scrubSweepDoc(doc *experiments.SweepDoc) {
+	for i := range doc.Runs {
+		doc.Runs[i].WallMs = 0
+	}
+	for i := range doc.Footnotes.Failed {
+		doc.Footnotes.Failed[i].WallMs = 0
+	}
+}
+
+// scrubOutcome does the same for a single-run document.
+func scrubOutcome(doc *harness.OutcomeJSON) {
+	doc.WallMs = 0
+	if doc.Error != nil {
+		doc.Error.WallMs = 0
+	}
+	for i := range doc.AttemptErrors {
+		doc.AttemptErrors[i].WallMs = 0
+	}
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	format, err := parseStream(r.URL.Query().Get("stream"))
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	var req SweepRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeJSONError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	p, err := resolveSweep(&req, s.cfg.Pool)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+
+	t0 := time.Now()
+	reqCtx, cancel, release, ok := s.admit(w, r, p.deadline, p.jobs)
+	if !ok {
+		return
+	}
+	defer cancel()
+	defer release()
+	st := newStreamer(w, format)
+
+	// Fast path: the fingerprint's result is already on disk, verified.
+	if body, ok := s.cache.Get(p.fingerprint); ok {
+		s.serveDoc(w, st, body, "hit", time.Since(t0))
+		return
+	}
+	// One executor per fingerprint: a concurrent identical request waits
+	// here, then usually leaves through the cache re-check.
+	lock := s.fpLock(p.fingerprint)
+	lock.Lock()
+	defer lock.Unlock()
+	if body, ok := s.cache.Get(p.fingerprint); ok {
+		s.serveDoc(w, st, body, "hit", time.Since(t0))
+		return
+	}
+
+	jpath := filepath.Join(s.journalDir, p.fingerprint+".journal")
+	state, err := s.openJournal(jpath, p)
+	if err != nil {
+		s.fail(w, st, http.StatusInternalServerError, "internal", "checkpoint journal: "+err.Error())
+		return
+	}
+	resumed := state.ReplayedCount()
+	if resumed > 0 {
+		s.cfg.Logf("sweep %s: resuming, %d runs already journaled", short(p.fingerprint), resumed)
+	}
+
+	// Dispatch stops on drain or request end; in-flight runs abort on
+	// the hard stage or request end. Between the two, a drained request
+	// finishes (and journals) what it started.
+	dispatchCtx, stopDispatch := mergeCtx(reqCtx, s.cfg.Drain)
+	defer stopDispatch()
+	runCtx, stopRun := mergeCtx(reqCtx, s.cfg.Hard)
+	defer stopRun()
+
+	opts := p.opts
+	opts.State = state
+	opts.Ctx, opts.RunCtx = dispatchCtx, runCtx
+	if st != nil {
+		opts.Progress = sweep.NewEventTracker(st.progress)
+		// Headers must beat the first progress frame out the door.
+		w.Header().Set(HeaderCache, "miss")
+		w.Header().Set(HeaderResumed, strconv.Itoa(resumed))
+	}
+
+	res, _ := s.runSweep(p.size, opts)
+	if jerr := state.Err(); jerr != nil {
+		s.cfg.Logf("sweep %s: journaling failed mid-sweep: %v", short(p.fingerprint), jerr)
+	}
+	state.Close()
+
+	if interruption(res) {
+		done := len(res.Runs)
+		total := done + len(res.Skipped)
+		switch {
+		case s.draining():
+			s.retryAfter(w)
+			s.fail(w, st, http.StatusServiceUnavailable, "draining",
+				fmt.Sprintf("server draining: %d of %d runs completed and checkpointed; resubmit to resume", done, total))
+		case reqCtx.Err() == context.DeadlineExceeded:
+			s.fail(w, st, http.StatusGatewayTimeout, "deadline",
+				fmt.Sprintf("request deadline expired: %d of %d runs completed and checkpointed; resubmit to resume", done, total))
+		default:
+			// Client disconnect (or hard abort): the journal keeps what
+			// finished; nothing useful to write to a vanished client.
+			s.fail(w, st, http.StatusServiceUnavailable, "canceled",
+				fmt.Sprintf("request canceled: %d of %d runs completed and checkpointed", done, total))
+		}
+		return
+	}
+
+	doc := res.JSON()
+	scrubSweepDoc(&doc)
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		s.fail(w, st, http.StatusInternalServerError, "internal", "marshal sweep doc: "+err.Error())
+		return
+	}
+	body := append(data, '\n')
+	if err := s.cache.Put(p.fingerprint, body); err != nil {
+		// The cache is an accelerator: failure to memoize must not fail
+		// the request. The journal stays put so nothing is lost.
+		s.cfg.Logf("sweep %s: cache write failed: %v", short(p.fingerprint), err)
+	} else {
+		// The cache entry subsumes the journal; drop it so the state
+		// dir stays bounded by distinct fingerprints, not request
+		// history. (A crash between Put and Remove leaves both; the
+		// cache hit wins and the orphan journal is harmless.)
+		if err := os.Remove(jpath); err != nil {
+			s.cfg.Logf("sweep %s: removing subsumed journal: %v", short(p.fingerprint), err)
+		} else if err := journal.SyncDir(s.journalDir); err != nil {
+			s.cfg.Logf("sweep %s: %v", short(p.fingerprint), err)
+		}
+	}
+	if st == nil {
+		w.Header().Set(HeaderResumed, strconv.Itoa(resumed))
+	}
+	s.serveDoc(w, st, body, "miss", time.Since(t0))
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeJSONError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	p, err := resolveRun(&req)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+
+	t0 := time.Now()
+	reqCtx, cancel, release, ok := s.admit(w, r, p.deadline, 1)
+	if !ok {
+		return
+	}
+	defer cancel()
+	defer release()
+
+	if body, ok := s.cache.Get(p.fingerprint); ok {
+		s.serveDoc(w, nil, body, "hit", time.Since(t0))
+		return
+	}
+
+	runCtx, stopRun := mergeCtx(reqCtx, s.cfg.Hard)
+	defer stopRun()
+	spec := p.spec
+	spec.Ctx = runCtx
+	out := s.runOne(spec)
+
+	doc := out.JSON()
+	scrubOutcome(&doc)
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		writeJSONError(w, http.StatusInternalServerError, "internal", "marshal outcome: "+err.Error())
+		return
+	}
+	body := append(data, '\n')
+	// A canceled outcome is an artifact of this request's shutdown
+	// (deadline, drain's hard stage, client disconnect), not a result:
+	// serve it structured, but never memoize it — the same rule the
+	// journal applies.
+	if out.Err == nil || out.Err.Kind != harness.KindCanceled {
+		if err := s.cache.Put(p.fingerprint, body); err != nil {
+			s.cfg.Logf("run %s: cache write failed: %v", short(p.fingerprint), err)
+		}
+	}
+	s.serveDoc(w, nil, body, "miss", time.Since(t0))
+}
+
+// short abbreviates a fingerprint for log lines.
+func short(fp string) string {
+	if len(fp) > 12 {
+		return fp[:12]
+	}
+	return fp
+}

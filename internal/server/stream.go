@@ -1,0 +1,118 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/sweep"
+)
+
+// streamFormat selects the progress-stream encoding a client asked for
+// with the ?stream query parameter.
+type streamFormat int
+
+const (
+	streamNone streamFormat = iota
+	// streamSSE is text/event-stream: "event: <kind>\ndata: <json>\n\n".
+	streamSSE
+	// streamNDJSON is application/x-ndjson: one JSON object per line,
+	// each tagged with an "event" field.
+	streamNDJSON
+)
+
+// parseStream maps the ?stream= value to a format.
+func parseStream(v string) (streamFormat, error) {
+	switch v {
+	case "":
+		return streamNone, nil
+	case "sse":
+		return streamSSE, nil
+	case "ndjson":
+		return streamNDJSON, nil
+	}
+	return streamNone, badRequest("unknown stream format %q (want sse or ndjson)", v)
+}
+
+// streamer writes progress events and the final result/error frame of a
+// streamed request. Once the first event is written the HTTP status is
+// committed to 200, so failures after that point travel as an "error"
+// frame in the stream rather than a status code — the price of streaming
+// over plain HTTP. Writes are serialized by a mutex: progress events
+// arrive from pool workers (already serialized by the Tracker's lock, but
+// the final frame comes from the handler goroutine).
+type streamer struct {
+	mu      sync.Mutex
+	w       http.ResponseWriter
+	flush   http.Flusher
+	format  streamFormat
+	started bool
+}
+
+// newStreamer prepares a streamer on w, or nil if format is streamNone.
+func newStreamer(w http.ResponseWriter, format streamFormat) *streamer {
+	if format == streamNone {
+		return nil
+	}
+	f, _ := w.(http.Flusher)
+	return &streamer{w: w, flush: f, format: format}
+}
+
+// header commits the response headers once.
+func (s *streamer) header() {
+	if s.started {
+		return
+	}
+	s.started = true
+	ct := "text/event-stream"
+	if s.format == streamNDJSON {
+		ct = "application/x-ndjson"
+	}
+	s.w.Header().Set("Content-Type", ct)
+	s.w.Header().Set("Cache-Control", "no-store")
+	s.w.Header().Set("X-Accel-Buffering", "no") // defeat proxy buffering
+	s.w.WriteHeader(http.StatusOK)
+}
+
+// frame writes one event frame. payload must be a JSON-marshalable value;
+// for NDJSON it is extended with the event kind inline.
+func (s *streamer) frame(kind string, payload any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.header()
+	switch s.format {
+	case streamSSE:
+		data, err := json.Marshal(payload)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(s.w, "event: %s\ndata: %s\n\n", kind, data)
+	case streamNDJSON:
+		// Tag the payload with its kind so each line is self-describing.
+		line := map[string]any{"event": kind, "data": payload}
+		data, err := json.Marshal(line)
+		if err != nil {
+			return
+		}
+		s.w.Write(append(data, '\n'))
+	}
+	if s.flush != nil {
+		s.flush.Flush()
+	}
+}
+
+// progress emits one sweep progress event.
+func (s *streamer) progress(ev sweep.Event) { s.frame("progress", ev) }
+
+// result emits the final result frame. body is the same JSON document a
+// non-streamed response would carry; framing compacts it (a frame must be
+// newline-free), so streamed results match the cached document's JSON
+// value, while only non-streamed responses are byte-identical.
+func (s *streamer) result(body []byte) { s.frame("result", json.RawMessage(body)) }
+
+// fail emits a terminal error frame with the same shape as the JSON error
+// responses.
+func (s *streamer) fail(code, msg string) {
+	s.frame("error", map[string]string{"error": code, "message": msg})
+}
