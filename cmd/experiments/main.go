@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	experiments [-exp all|table1|table2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablation|faults]
+//	experiments [-exp all|table1|table2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|faults]
 //	            [-size small|medium] [-only NAME[,NAME...]] [-jobs N]
 //	            [-timeout 60s] [-max-events N] [-stall 30s]
 //	            [-state DIR] [-resume]
@@ -10,9 +10,11 @@
 //	            [-trace FILE] [-flame] [-progress]
 //	            [-cpuprofile FILE] [-memprofile FILE] [-pprof ADDR]
 //
-// Figures 4-9 come from one shared sweep of every benchmark in copy and
-// limited-copy mode; Figure 3 additionally runs the kmeans restructured
-// organizations. The sweep's runs execute on -jobs workers (default
+// Figures 4-10 come from one shared sweep of every benchmark in copy and
+// limited-copy mode (plus each benchmark's restructured organizations);
+// Figure 3 additionally runs the kmeans restructured organizations, and
+// Figure 10 compares every measured overlapped organization against the
+// Eq. 1 Rco bound from its baseline run. The sweep's runs execute on -jobs workers (default
 // GOMAXPROCS) and produce byte-identical output for every worker count.
 // Sweeps are fault-tolerant: a run that panics, deadlocks, or exceeds its
 // -timeout/-max-events budget is recorded and footnoted in the figures
@@ -74,7 +76,7 @@ func main() {
 // run holds the real main so deferred cleanup (profile flushes) survives
 // error exits; main turns its return into the process exit code.
 func run() int {
-	exp := flag.String("exp", "all", "which experiment: all, table1, table2, fig3..fig9, ablation, faults (comma-separated)")
+	exp := flag.String("exp", "all", "which experiment: all, table1, table2, fig3..fig10, ablation, faults (comma-separated)")
 	sizeFlag := flag.String("size", "small", "input scale: small or medium")
 	csvDir := flag.String("csv", "", "also export the sweep as CSV files into this directory")
 	jsonPath := flag.String("json", "", "also export the sweep's rows and summaries as JSON to this file")
@@ -187,7 +189,7 @@ func run() int {
 	}
 
 	needSweep := false
-	for _, f := range []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9"} {
+	for _, f := range []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"} {
 		if sel(f) {
 			needSweep = true
 		}
@@ -301,6 +303,9 @@ func run() int {
 	}
 	if sel("fig9") {
 		fmt.Println(experiments.Fig9Text(res))
+	}
+	if sel("fig10") {
+		fmt.Println(experiments.Fig10Text(res))
 	}
 	if interrupted {
 		// 128 + SIGINT, the conventional interrupted-process exit code;

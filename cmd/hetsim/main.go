@@ -80,33 +80,24 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		fmt.Printf("%-26s %-10s %s\n", "NAME", "EXTRA", "DESCRIPTION")
+		fmt.Printf("%-26s %-42s %s\n", "NAME", "MODES", "DESCRIPTION")
 		for _, b := range bench.All() {
 			info := b.Info()
-			extra := ""
-			for i, m := range info.ExtraModes {
+			modes := ""
+			for i, m := range info.Modes() {
 				if i > 0 {
-					extra += ","
+					modes += ","
 				}
-				extra += m.String()
+				modes += m.String()
 			}
-			fmt.Printf("%-26s %-10s %s\n", info.FullName(), extra, info.Desc)
+			fmt.Printf("%-26s %-42s %s\n", info.FullName(), modes, info.Desc)
 		}
 		return
 	}
 
-	var mode bench.Mode
-	switch *modeFlag {
-	case "copy":
-		mode = bench.ModeCopy
-	case "limited-copy":
-		mode = bench.ModeLimitedCopy
-	case "async-streams":
-		mode = bench.ModeAsyncStreams
-	case "parallel-chunked":
-		mode = bench.ModeParallelChunked
-	default:
-		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *modeFlag)
+	mode, err := bench.ParseMode(*modeFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
 		os.Exit(2)
 	}
 	size := bench.SizeSmall

@@ -1,13 +1,22 @@
 // Command lssys prints the resolved Table I system configurations for the
-// discrete GPU system and the heterogeneous CPU-GPU processor.
+// discrete GPU system and the heterogeneous CPU-GPU processor, followed by
+// the organization capability matrix: which run modes (copy, limited-copy,
+// async-streams, parallel-chunked) each registered benchmark supports.
 package main
 
 import (
 	"fmt"
 
 	"repro/internal/experiments"
+
+	_ "repro/internal/suites/lonestar"
+	_ "repro/internal/suites/pannotia"
+	_ "repro/internal/suites/parboil"
+	_ "repro/internal/suites/rodinia"
 )
 
 func main() {
 	fmt.Print(experiments.Table1())
+	fmt.Println()
+	fmt.Print(experiments.OrgMatrixText())
 }

@@ -49,6 +49,17 @@ func (m Mode) String() string {
 	}
 }
 
+// ParseMode maps a mode's wire/CLI name back to the Mode. Every name
+// String produces round-trips.
+func ParseMode(s string) (Mode, error) {
+	for m := Mode(0); m < NumModes; m++ {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown mode %q", s)
+}
+
 // Size selects input scale. Small keeps CI fast; Medium reproduces the
 // paper's cache-pressure regime (per-stage working sets well beyond the 1MB
 // GPU L2).
@@ -118,6 +129,12 @@ type Info struct {
 
 // FullName is "suite/name".
 func (i Info) FullName() string { return i.Suite + "/" + i.Name }
+
+// Modes lists every organization the benchmark supports: the two baseline
+// modes every benchmark runs plus its registered extra organizations.
+func (i Info) Modes() []Mode {
+	return append([]Mode{ModeCopy, ModeLimitedCopy}, i.ExtraModes...)
+}
 
 // Supports reports whether the benchmark runs in the given mode.
 func (i Info) Supports(m Mode) bool {

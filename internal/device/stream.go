@@ -1,0 +1,153 @@
+package device
+
+import (
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Stream is a named in-order queue of asynchronous device operations — the
+// CUDA-stream analogue of the raw Handle machinery. Operations submitted to
+// one stream execute in submission order (each op implicitly depends on the
+// stream's previous op); operations on different streams order only through
+// recorded events, explicit handle dependencies, or AfterAll joins, exactly
+// like cudaStreamWaitEvent / cudaEventRecord.
+//
+// Each submitted op also emits one span on the stream's own trace track
+// ("stream <name>"), so Perfetto renders one lane per stream and the
+// cross-stream overlap is directly visible. The spans are not activity
+// spans: they decorate the trace without feeding the busy timelines, so
+// traced busy totals still equal the figure timelines to the cycle.
+type Stream struct {
+	s    *System
+	name string
+	tail *Handle // completion of the most recently submitted op
+	// fences holds event handles from WaitEvent calls not yet folded into a
+	// submitted op; the next op waits on all of them.
+	fences []*Handle
+	depBuf []*Handle // reused per-submission dependency scratch
+}
+
+// NewStream creates a named stream. The name labels the stream's trace
+// track and deadlock diagnostics.
+func (s *System) NewStream(name string) *Stream {
+	return &Stream{s: s, name: name}
+}
+
+// Name reports the stream's name.
+func (st *Stream) Name() string { return st.name }
+
+// deps assembles the next op's dependency list: the stream tail (FIFO
+// order), any pending event fences, then the caller's explicit extras. The
+// returned slice is scratch reused across submissions — the *Async methods
+// consume it synchronously and do not retain it.
+func (st *Stream) deps(extra []*Handle) []*Handle {
+	st.depBuf = st.depBuf[:0]
+	if st.tail != nil {
+		st.depBuf = append(st.depBuf, st.tail)
+	}
+	st.depBuf = append(st.depBuf, st.fences...)
+	st.fences = st.fences[:0]
+	st.depBuf = append(st.depBuf, extra...)
+	return st.depBuf
+}
+
+// submit installs op as the new stream tail and, when tracing, emits the
+// stream-lane span [ready, end) — from the moment every dependency resolved
+// to the op's completion. The ready join is only built under tracing; it is
+// pure host-side bookkeeping (no engine events), so traced and untraced
+// runs stay tick-identical.
+func (st *Stream) submit(label string, deps []*Handle, op *Handle) *Handle {
+	if st.s.Tr.Enabled() {
+		ready := st.s.afterAll(append([]*Handle(nil), deps...))
+		track := "stream " + st.name
+		op.whenDone(func(end sim.Tick) {
+			st.s.Tr.Span(stats.CPU, track, "stream", label, ready.end, end)
+		})
+	}
+	st.tail = op
+	return op
+}
+
+// Launch submits a kernel to the stream.
+func (st *Stream) Launch(k KernelSpec, deps ...*Handle) *Handle {
+	d := st.deps(deps)
+	return st.submit("kernel "+k.Name, d, st.s.LaunchAsync(k, d...))
+}
+
+// CPUTask submits a CPU phase to the stream.
+func (st *Stream) CPUTask(spec CPUTaskSpec, deps ...*Handle) *Handle {
+	d := st.deps(deps)
+	return st.submit("cpu "+spec.Name, d, st.s.CPUTaskAsync(spec, d...))
+}
+
+// Copy submits a full-buffer copy to the stream.
+func Copy[T any](st *Stream, dst, src *Buf[T], deps ...*Handle) *Handle {
+	d := st.deps(deps)
+	return st.submit("copy "+src.A.Name+"->"+dst.A.Name, d, MemcpyAsync(st.s, dst, src, d...))
+}
+
+// CopyRange submits a ranged copy (count elements, src[srcOff:] to
+// dst[dstOff:]) to the stream.
+func CopyRange[T any](st *Stream, dst *Buf[T], dstOff int, src *Buf[T], srcOff, count int, deps ...*Handle) *Handle {
+	d := st.deps(deps)
+	return st.submit("copy "+src.A.Name+"->"+dst.A.Name, d,
+		MemcpyRangeAsync(st.s, dst, dstOff, src, srcOff, count, d...))
+}
+
+// Event marks a point in a stream's submission order. Waiting on an event
+// (Stream.WaitEvent, or its Handle as an *Async dependency) orders against
+// every op the owning stream had submitted when the event was recorded.
+type Event struct {
+	name string
+	h    *Handle
+}
+
+// Handle exposes the event as a dependency for raw *Async calls.
+func (e *Event) Handle() *Handle { return e.h }
+
+// Done reports whether every op preceding the event has completed.
+func (e *Event) Done() bool { return e.h.Done() }
+
+// Record captures the stream's current tail as an event. Recording on a
+// stream with no submitted ops yields an already-completed event.
+func (st *Stream) Record(name string) *Event {
+	h := st.tail
+	if h == nil {
+		h = st.s.newHandle("event " + name)
+		h.complete(st.s.Eng.Now())
+	}
+	return &Event{name: name, h: h}
+}
+
+// WaitEvent fences the stream on an event (possibly from another stream):
+// every subsequently submitted op also waits for the event — the
+// cudaStreamWaitEvent cross-stream join.
+func (st *Stream) WaitEvent(e *Event) {
+	st.fences = append(st.fences, e.h)
+}
+
+// Tail returns a handle that completes once every op submitted to the
+// stream so far has completed (an immediately-complete handle for an empty
+// stream) — the join point for cross-stream barriers via AfterAll.
+func (st *Stream) Tail() *Handle {
+	if st.tail == nil {
+		h := st.s.newHandle("stream " + st.name)
+		h.complete(st.s.Eng.Now())
+		return h
+	}
+	return st.tail
+}
+
+// Sync runs the simulation until the stream drains — cudaStreamSynchronize.
+func (st *Stream) Sync() {
+	if st.tail != nil {
+		st.s.Wait(st.tail)
+	}
+}
+
+// WaitStreams runs the simulation until every given stream drains.
+func (s *System) WaitStreams(streams ...*Stream) {
+	for _, st := range streams {
+		st.Sync()
+	}
+}

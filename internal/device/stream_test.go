@@ -1,0 +1,386 @@
+package device
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func scaleKernel(name string, src, dst *Buf[float32], grid, block int) KernelSpec {
+	return KernelSpec{
+		Name: name, Grid: grid, Block: block,
+		Func: func(th *Thread) {
+			i := th.Global()
+			v := Ld(th, src, i)
+			th.FLOP(1)
+			St(th, dst, i, v*2)
+		},
+	}
+}
+
+func TestStreamOrdersSubmissions(t *testing.T) {
+	s := discrete()
+	d := AllocBuf[float32](s, 4096, "d", Device)
+	st := s.NewStream("s0")
+	h1 := st.Launch(scaleKernel("k1", d, d, 16, 256))
+	h2 := st.Launch(scaleKernel("k2", d, d, 16, 256))
+	h3 := st.CPUTask(CPUTaskSpec{Name: "c", Threads: 1, Func: func(c *CPUThread) { c.FLOP(1) }})
+	st.Sync()
+	if !(h1.End() < h2.End() && h2.End() < h3.End()) {
+		t.Fatalf("stream ops out of order: %v %v %v", h1.End(), h2.End(), h3.End())
+	}
+	if st.Tail() != h3 {
+		t.Fatal("tail is not the last submission")
+	}
+}
+
+func TestStreamCopyMovesData(t *testing.T) {
+	s := discrete()
+	h := AllocBuf[float32](s, 1024, "h", Host)
+	d := AllocBuf[float32](s, 1024, "d", Device)
+	o := AllocBuf[float32](s, 1024, "o", Host)
+	for i := range h.V {
+		h.V[i] = float32(i)
+	}
+	st := s.NewStream("cp")
+	Copy(st, d, h)
+	CopyRange(st, o, 100, d, 100, 200)
+	st.Sync()
+	if o.V[150] != 150 || o.V[99] != 0 {
+		t.Fatalf("stream copies wrong: %v %v", o.V[150], o.V[99])
+	}
+}
+
+func TestWaitEventJoinsStreams(t *testing.T) {
+	s := discrete()
+	d := AllocBuf[float32](s, 4096, "d", Device)
+	e := AllocBuf[float32](s, 4096, "e", Device)
+	a := s.NewStream("a")
+	b := s.NewStream("b")
+	ha := a.Launch(scaleKernel("prod", d, d, 16, 256))
+	ev := a.Record("prod-done")
+	b.WaitEvent(ev)
+	hb := b.Launch(scaleKernel("cons", e, e, 16, 256))
+	s.WaitStreams(a, b)
+	if hb.End() <= ha.End() {
+		t.Fatalf("consumer (%v) must end after producer (%v)", hb.End(), ha.End())
+	}
+	if !ev.Done() || ev.Handle().End() != ha.End() {
+		t.Fatal("event must carry the producer completion")
+	}
+}
+
+func TestEmptyStreamEventAndTail(t *testing.T) {
+	s := discrete()
+	st := s.NewStream("empty")
+	if ev := st.Record("nothing"); !ev.Done() {
+		t.Fatal("event on an empty stream must be complete")
+	}
+	if !st.Tail().Done() {
+		t.Fatal("tail of an empty stream must be complete")
+	}
+	st.Sync() // must not panic or deadlock
+}
+
+func TestStreamTraceLanes(t *testing.T) {
+	tr := trace.New()
+	s := NewSystem(config.DiscreteGPU(), WithTrace(tr))
+	d := AllocBuf[float32](s, 4096, "d", Device)
+	st := s.NewStream("lane0")
+	st.Launch(scaleKernel("k", d, d, 16, 256))
+	st.Sync()
+	found := false
+	for _, e := range tr.Events() {
+		if e.Track == "stream lane0" && e.Cat == "stream" && e.Kind == trace.Span {
+			if e.Activity {
+				t.Fatal("stream spans must not feed the busy timeline")
+			}
+			if e.End <= e.Start {
+				t.Fatalf("degenerate stream span [%v,%v)", e.Start, e.End)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no span on the stream's trace lane")
+	}
+}
+
+// pipelineRun pushes n elements through a depth-slot chunked
+// upload→scale→download pipeline and checks the functional result.
+func pipelineRun(t *testing.T, depth, chunks, chunkElems, tailElems int) *System {
+	t.Helper()
+	s := discrete()
+	n := (chunks-1)*chunkElems + tailElems
+	in := AllocBuf[float32](s, chunks*chunkElems, "in", Host)
+	out := AllocBuf[float32](s, chunks*chunkElems, "out", Host)
+	slots := depth
+	if slots <= 0 {
+		slots = chunks
+	}
+	dbuf := AllocBuf[float32](s, slots*chunkElems, "dbuf", Device)
+	for i := 0; i < n; i++ {
+		in.V[i] = float32(i)
+	}
+	elems := func(c int) int {
+		if c == chunks-1 {
+			return tailElems
+		}
+		return chunkElems
+	}
+	s.BeginROI()
+	done := s.Pipeline(PipelineSpec{
+		Name: "scale", Chunks: chunks, Depth: depth,
+		H2D: func(c int, deps ...*Handle) *Handle {
+			if elems(c) == 0 {
+				return nil
+			}
+			return MemcpyRangeAsync(s, dbuf, (c%slots)*chunkElems, in, c*chunkElems, elems(c), deps...)
+		},
+		Kernel: func(c int, deps ...*Handle) *Handle {
+			if elems(c) == 0 {
+				return nil
+			}
+			slot := c % slots
+			return s.LaunchAsync(KernelSpec{
+				Name: "scale", Grid: (elems(c) + 255) / 256, Block: 256,
+				Func: func(th *Thread) {
+					i := th.Global()
+					if i >= elems(c) {
+						return
+					}
+					v := Ld(th, dbuf, slot*chunkElems+i)
+					th.FLOP(1)
+					St(th, dbuf, slot*chunkElems+i, v*2)
+				},
+			}, deps...)
+		},
+		D2H: func(c int, deps ...*Handle) *Handle {
+			if elems(c) == 0 {
+				return nil
+			}
+			return MemcpyRangeAsync(s, out, c*chunkElems, dbuf, (c%slots)*chunkElems, elems(c), deps...)
+		},
+	})
+	s.Wait(done)
+	s.EndROI()
+	for i := 0; i < n; i++ {
+		if out.V[i] != float32(i)*2 {
+			t.Fatalf("out[%d] = %v, want %v", i, out.V[i], float32(i)*2)
+		}
+	}
+	return s
+}
+
+func TestPipelineDoubleBuffer(t *testing.T)   { pipelineRun(t, 2, 8, 1024, 1024) }
+func TestPipelineTripleBuffer(t *testing.T)   { pipelineRun(t, 3, 8, 1024, 1024) }
+func TestPipelineUnlimitedDepth(t *testing.T) { pipelineRun(t, 0, 4, 1024, 1024) }
+func TestPipelineFewerChunksThanDepth(t *testing.T) {
+	pipelineRun(t, 3, 2, 1024, 1024)
+	pipelineRun(t, 2, 1, 1024, 1024)
+}
+func TestPipelineSingleChunk(t *testing.T)  { pipelineRun(t, 0, 1, 2048, 2048) }
+func TestPipelineZeroSizeTail(t *testing.T) { pipelineRun(t, 2, 5, 1024, 0) }
+
+func TestPipelineOverlapBeatsSerial(t *testing.T) {
+	// The double-buffered pipeline must beat a serialized
+	// upload→kernel→download per chunk on the same work.
+	over := pipelineRun(t, 2, 8, 4096, 4096).Report("t", "pipe").ROI
+
+	s := discrete()
+	chunks, chunkElems := 8, 4096
+	in := AllocBuf[float32](s, chunks*chunkElems, "in", Host)
+	out := AllocBuf[float32](s, chunks*chunkElems, "out", Host)
+	dbuf := AllocBuf[float32](s, chunkElems, "dbuf", Device)
+	for i := range in.V {
+		in.V[i] = float32(i)
+	}
+	s.BeginROI()
+	for c := 0; c < chunks; c++ {
+		s.Wait(MemcpyRangeAsync(s, dbuf, 0, in, c*chunkElems, chunkElems))
+		s.Launch(scaleKernel("scale", dbuf, dbuf, chunkElems/256, 256))
+		s.Wait(MemcpyRangeAsync(s, out, c*chunkElems, dbuf, 0, chunkElems))
+	}
+	s.EndROI()
+	serial := s.Report("t", "serial").ROI
+	if over >= serial {
+		t.Fatalf("pipeline (%v) did not beat serial (%v)", over, serial)
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	s := discrete()
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if r := recover(); r == nil {
+				t.Fatalf("%s: no panic", name)
+			} else if _, ok := r.(*UsageError); !ok {
+				t.Fatalf("%s: panic %v is not a UsageError", name, r)
+			}
+		}()
+		fn()
+	}
+	expectPanic("no chunks", func() {
+		s.Pipeline(PipelineSpec{Name: "p", Chunks: 0, Kernel: func(c int, deps ...*Handle) *Handle { return nil }})
+	})
+	expectPanic("no kernel", func() {
+		s.Pipeline(PipelineSpec{Name: "p", Chunks: 1})
+	})
+}
+
+func TestPipelineTraceLanesPerSlot(t *testing.T) {
+	tr := trace.New()
+	s := NewSystem(config.DiscreteGPU(), WithTrace(tr))
+	d := AllocBuf[float32](s, 2*1024, "d", Device)
+	done := s.DoubleBuffer(PipelineSpec{
+		Name: "p", Chunks: 4,
+		Kernel: func(c int, deps ...*Handle) *Handle {
+			return s.LaunchAsync(scaleKernel("k", d, d, 4, 256), deps...)
+		},
+	})
+	s.Wait(done)
+	lanes := map[string]int{}
+	for _, e := range tr.Events() {
+		if e.Cat == "pipeline" && e.Kind == trace.Span {
+			lanes[e.Track]++
+		}
+	}
+	// Depth 2 → exactly two slot lanes, two kernel spans each.
+	if len(lanes) != 2 || lanes["pipeline p slot 0"] != 2 || lanes["pipeline p slot 1"] != 2 {
+		t.Fatalf("pipeline lanes = %v", lanes)
+	}
+}
+
+func TestPersistentKernelFunctionalAndFLOPs(t *testing.T) {
+	s := discrete()
+	n := 8192
+	d := AllocBuf[float32](s, n, "d", Device)
+	for i := range d.V {
+		d.V[i] = float32(i)
+	}
+	s.BeginROI()
+	pk := s.LaunchPersistent(PersistentKernelSpec{
+		Name: "pscale", Block: 256,
+		Func: func(th *Thread) {
+			i := th.Global()
+			v := Ld(th, d, i)
+			th.FLOP(1)
+			St(th, d, i, v*2)
+		},
+	})
+	batches := 4
+	per := n / 256 / batches
+	var feeds []*Handle
+	for b := 0; b < batches; b++ {
+		feeds = append(feeds, pk.Feed(per))
+	}
+	s.Wait(pk.Close())
+	s.EndROI()
+	for i := 0; i < n; i++ {
+		if d.V[i] != float32(i)*2 {
+			t.Fatalf("d[%d] = %v", i, d.V[i])
+		}
+	}
+	for i, f := range feeds {
+		if !f.Done() {
+			t.Fatalf("feed %d not complete", i)
+		}
+		if i > 0 && f.End() < feeds[i-1].End() {
+			t.Fatalf("feed %d ended before feed %d", i, i-1)
+		}
+	}
+	rep := s.Report("t", "persistent")
+	if rep.FLOPs[stats.GPU] != uint64(n) {
+		t.Fatalf("GPU flops = %d, want %d", rep.FLOPs[stats.GPU], n)
+	}
+}
+
+func TestPersistentAmortizesLaunches(t *testing.T) {
+	// N chained tiny kernels pay N host launches; one persistent kernel with
+	// N feeds pays one. The persistent run must show less CPU launch
+	// activity and a lower serial floor.
+	chunks := 8
+	// CTA indices are global across feeds in the persistent version, so the
+	// kernel works on a fixed 512-element window in both versions.
+	kern := func(d *Buf[float32]) func(th *Thread) {
+		return func(th *Thread) {
+			i := th.Global() % 512
+			v := Ld(th, d, i)
+			th.FLOP(1)
+			St(th, d, i, v+1)
+		}
+	}
+
+	s1 := discrete()
+	d1 := AllocBuf[float32](s1, 2048, "d", Device)
+	s1.BeginROI()
+	var prev *Handle
+	for c := 0; c < chunks; c++ {
+		var deps []*Handle
+		if prev != nil {
+			deps = append(deps, prev)
+		}
+		prev = s1.LaunchAsync(KernelSpec{Name: "k", Grid: 2, Block: 256, Func: kern(d1)}, deps...)
+	}
+	s1.Wait(prev)
+	s1.EndROI()
+	repLaunches := s1.Report("t", "launches")
+
+	s2 := discrete()
+	d2 := AllocBuf[float32](s2, 2048, "d", Device)
+	s2.BeginROI()
+	pk := s2.LaunchPersistent(PersistentKernelSpec{Name: "k", Block: 256, Func: kern(d2)})
+	var prev2 *Handle
+	for c := 0; c < chunks; c++ {
+		var deps []*Handle
+		if prev2 != nil {
+			deps = append(deps, prev2)
+		}
+		prev2 = pk.Feed(2, deps...)
+	}
+	s2.Wait(pk.Close())
+	s2.EndROI()
+	repPersistent := s2.Report("t", "persistent")
+
+	if repPersistent.CPUActive >= repLaunches.CPUActive {
+		t.Fatalf("persistent CPU launch activity %v not below per-chunk launches %v",
+			repPersistent.CPUActive, repLaunches.CPUActive)
+	}
+	if repPersistent.FLOPs[stats.GPU] != repLaunches.FLOPs[stats.GPU] {
+		t.Fatalf("flops diverged: %d vs %d", repPersistent.FLOPs[stats.GPU], repLaunches.FLOPs[stats.GPU])
+	}
+}
+
+func TestPersistentCloseWithoutFeeds(t *testing.T) {
+	s := discrete()
+	pk := s.LaunchPersistent(PersistentKernelSpec{Name: "idle", Block: 32, Func: func(th *Thread) {}})
+	s.Wait(pk.Close())
+	if !pk.Done().Done() {
+		t.Fatal("unfed persistent kernel never drained")
+	}
+}
+
+func TestPersistentUsageErrors(t *testing.T) {
+	s := discrete()
+	pk := s.LaunchPersistent(PersistentKernelSpec{Name: "p", Block: 32, Func: func(th *Thread) {}})
+	s.Wait(pk.Close())
+	for name, fn := range map[string]func(){
+		"feed after close": func() { pk.Feed(1) },
+		"double close":     func() { pk.Close() },
+		"zero block":       func() { s.LaunchPersistent(PersistentKernelSpec{Name: "z", Func: func(th *Thread) {}}) },
+	} {
+		func() {
+			defer func() {
+				if r := recover(); r == nil {
+					t.Fatalf("%s: no panic", name)
+				} else if _, ok := r.(*UsageError); !ok {
+					t.Fatalf("%s: panic %v is not a UsageError", name, r)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -116,5 +116,21 @@ func WriteCSVs(dir string, r *Results) error {
 	for c := core.Class(0); c < core.NumClasses; c++ {
 		hdr = append(hdr, c.String())
 	}
-	return write("fig9_classification.csv", hdr, rows)
+	if err := write("fig9_classification.csv", hdr, rows); err != nil {
+		return err
+	}
+
+	// Figure 10: measured overlap vs the Eq. 1 bound.
+	fig10, _ := Fig10Rows(r)
+	rows = rows[:0]
+	for _, fr := range fig10 {
+		rows = append(rows, []string{
+			fr.Benchmark, fr.Mode,
+			ff(fr.BaselineMs), ff(fr.BoundMs), ff(fr.MeasuredMs),
+			ff(fr.ExposedCopyPct), ff(fr.IdlePct),
+		})
+	}
+	return write("fig10_overlap.csv",
+		[]string{"benchmark", "mode",
+			"baseline_ms", "bound_ms", "measured_ms", "exposed_copy_pct", "idle_pct"}, rows)
 }

@@ -124,19 +124,25 @@ func fakeResults() *Results {
 	return &Results{
 		Copy:    map[string]*core.Report{"x/y": mk(1000, 50, 100)},
 		Limited: map[string]*core.Report{"x/y": mk(800, 0, 100)},
-		Extra:   map[bench.Mode]map[string]*core.Report{bench.ModeAsyncStreams: {}, bench.ModeParallelChunked: {}},
+		Extra: map[bench.Mode]map[string]*core.Report{
+			// The async run sits between the copy run's Rco (500) and its
+			// ROI (1000), as a real overlapped organization must.
+			bench.ModeAsyncStreams:    {"x/y": mk(600, 10, 100)},
+			bench.ModeParallelChunked: {},
+		},
 	}
 }
 
 func TestFigureRenderersOnFakeData(t *testing.T) {
 	r := fakeResults()
 	for name, txt := range map[string]string{
-		"fig4": Fig4Text(r),
-		"fig5": Fig5Text(r),
-		"fig6": Fig6Text(r),
-		"fig7": Fig7Text(r),
-		"fig8": Fig8Text(r),
-		"fig9": Fig9Text(r),
+		"fig4":  Fig4Text(r),
+		"fig5":  Fig5Text(r),
+		"fig6":  Fig6Text(r),
+		"fig7":  Fig7Text(r),
+		"fig8":  Fig8Text(r),
+		"fig9":  Fig9Text(r),
+		"fig10": Fig10Text(r),
 	} {
 		if !strings.Contains(txt, "x/y") {
 			t.Fatalf("%s missing benchmark row:\n%s", name, txt)
@@ -144,6 +150,67 @@ func TestFigureRenderersOnFakeData(t *testing.T) {
 		if strings.Contains(txt, "NaN") || strings.Contains(txt, "%!") {
 			t.Fatalf("%s has formatting garbage:\n%s", name, txt)
 		}
+	}
+}
+
+// TestFig10Guards pins the new figure's degenerate cases: a zero-ROI
+// async report (the residue of a failed run) and a missing baseline are
+// dropped rather than rendered, a sweep with no async organizations
+// renders an explicit placeholder, and nothing ever formats as NaN.
+func TestFig10Guards(t *testing.T) {
+	r := fakeResults()
+	r.Extra[bench.ModeAsyncStreams]["x/y"].ROI = 0
+	rows, _ := Fig10Rows(r)
+	if len(rows) != 0 {
+		t.Fatalf("zero-ROI async run must be dropped, got %+v", rows)
+	}
+	if txt := Fig10Text(r); !strings.Contains(txt, "no async-streams organizations") ||
+		strings.Contains(txt, "NaN") || strings.Contains(txt, "%!") {
+		t.Fatalf("empty fig10 render malformed:\n%s", txt)
+	}
+
+	// Async run without its copy baseline (the baseline failed).
+	r = fakeResults()
+	delete(r.Copy, "x/y")
+	r.Limited = map[string]*core.Report{}
+	if rows, _ := Fig10Rows(r); len(rows) != 0 {
+		t.Fatalf("async run without a baseline must be dropped, got %+v", rows)
+	}
+
+	// A sweep that recorded no Extra runs at all (nil map) must not panic.
+	r = fakeResults()
+	r.Extra = nil
+	if rows, _ := Fig10Rows(r); len(rows) != 0 {
+		t.Fatalf("nil Extra must yield no rows, got %+v", rows)
+	}
+}
+
+// TestFig10BoundHolds is the figure's sanity invariant on real runs: an
+// async-streams organization executes its baseline's kernels and copies
+// verbatim, so its measured time can never beat the Eq. 1 Rco bound
+// computed from the copy run.
+func TestFig10BoundHolds(t *testing.T) {
+	res, errs := RunSweep(bench.SizeSmall, SweepOpts{
+		Only: []string{"parboil/sgemm", "pannotia/pr_spmv", "rodinia/hotspot"},
+	})
+	if len(errs) != 0 {
+		t.Fatalf("unexpected failures: %v", errs)
+	}
+	rows, sum := Fig10Rows(res)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want one per async benchmark: %+v", len(rows), rows)
+	}
+	for _, row := range rows {
+		if row.MeasuredMs < row.BoundMs {
+			t.Fatalf("%s: measured %.6fms beats the Rco bound %.6fms",
+				row.Benchmark, row.MeasuredMs, row.BoundMs)
+		}
+		if row.GapPct < 0 {
+			t.Fatalf("%s: negative gap %+.2f%%", row.Benchmark, row.GapPct)
+		}
+	}
+	if sum.GeomeanGapPct < 0 {
+		t.Fatalf("geomean gap %+.2f%% negative", sum.GeomeanGapPct)
 	}
 }
 
@@ -284,6 +351,7 @@ func TestSweepDeterministicAcrossJobs(t *testing.T) {
 	for name, render := range map[string]func(*Results) string{
 		"fig4": Fig4Text, "fig5": Fig5Text, "fig6": Fig6Text,
 		"fig7": Fig7Text, "fig8": Fig8Text, "fig9": Fig9Text,
+		"fig10": Fig10Text,
 	} {
 		if a, b := render(serial), render(wide); a != b {
 			t.Fatalf("%s differs between jobs=1 and jobs=8:\n--- jobs=1\n%s\n--- jobs=8\n%s", name, a, b)
@@ -373,17 +441,23 @@ func TestWriteCSVs(t *testing.T) {
 	if err := WriteCSVs(dir, fakeResults()); err != nil {
 		t.Fatal(err)
 	}
-	for _, f := range []string{
-		"fig4_footprint.csv", "fig5_accesses.csv", "fig6_runtime.csv",
-		"fig78_models.csv", "fig9_classification.csv",
+	for f, wantLines := range map[string]int{
+		// header + copy + limited for the one benchmark...
+		"fig4_footprint.csv":      3,
+		"fig5_accesses.csv":       3,
+		"fig6_runtime.csv":        3,
+		"fig78_models.csv":        3,
+		"fig9_classification.csv": 3,
+		// ...and header + the one async organization.
+		"fig10_overlap.csv": 2,
 	} {
 		b, err := os.ReadFile(filepath.Join(dir, f))
 		if err != nil {
 			t.Fatalf("%s: %v", f, err)
 		}
 		lines := strings.Split(strings.TrimSpace(string(b)), "\n")
-		if len(lines) != 3 { // header + copy + limited for the one benchmark
-			t.Fatalf("%s: %d lines", f, len(lines))
+		if len(lines) != wantLines {
+			t.Fatalf("%s: %d lines, want %d", f, len(lines), wantLines)
 		}
 		if !strings.Contains(lines[1], "x/y") {
 			t.Fatalf("%s: missing benchmark row", f)

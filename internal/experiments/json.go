@@ -20,16 +20,17 @@ type FigDoc[Row, Summary any] struct {
 // (successes and failures reported symmetrically). Figures 7 and 8 share
 // their model rows (fig78) and keep separate summaries.
 type SweepDoc struct {
-	Size      string                       `json:"size"`
-	Fig4      FigDoc[Fig4Row, Fig4Summary] `json:"fig4_footprint"`
-	Fig5      FigDoc[Fig5Row, Fig5Summary] `json:"fig5_accesses"`
-	Fig6      FigDoc[Fig6Row, Fig6Summary] `json:"fig6_runtime"`
-	Fig78Rows []Fig78Row                   `json:"fig78_models"`
-	Fig7      Fig7Summary                  `json:"fig7_summary"`
-	Fig8      Fig8Summary                  `json:"fig8_summary"`
-	Fig9      FigDoc[Fig9Row, Fig9Summary] `json:"fig9_classification"`
-	Footnotes Footnotes                    `json:"footnotes"`
-	Runs      []RunDocJSON                 `json:"runs,omitempty"`
+	Size      string                         `json:"size"`
+	Fig4      FigDoc[Fig4Row, Fig4Summary]   `json:"fig4_footprint"`
+	Fig5      FigDoc[Fig5Row, Fig5Summary]   `json:"fig5_accesses"`
+	Fig6      FigDoc[Fig6Row, Fig6Summary]   `json:"fig6_runtime"`
+	Fig78Rows []Fig78Row                     `json:"fig78_models"`
+	Fig7      Fig7Summary                    `json:"fig7_summary"`
+	Fig8      Fig8Summary                    `json:"fig8_summary"`
+	Fig9      FigDoc[Fig9Row, Fig9Summary]   `json:"fig9_classification"`
+	Fig10     FigDoc[Fig10Row, Fig10Summary] `json:"fig10_overlap"`
+	Footnotes Footnotes                      `json:"footnotes"`
+	Runs      []RunDocJSON                   `json:"runs,omitempty"`
 	// Skipped names runs a canceled sweep never dispatched; a resumed
 	// sweep re-runs exactly these. Empty (omitted) for a complete sweep.
 	Skipped []string `json:"skipped,omitempty"`
@@ -59,6 +60,7 @@ func (r *Results) JSON() SweepDoc {
 	doc.Fig6.Rows, doc.Fig6.Summary = Fig6Rows(r)
 	doc.Fig78Rows, doc.Fig7, doc.Fig8 = Fig78Rows(r)
 	doc.Fig9.Rows, doc.Fig9.Summary = Fig9Rows(r)
+	doc.Fig10.Rows, doc.Fig10.Summary = Fig10Rows(r)
 	for _, m := range r.Runs {
 		doc.Runs = append(doc.Runs, RunDocJSON{
 			Benchmark: m.Benchmark, Mode: m.Mode.String(), Size: m.Size.String(),

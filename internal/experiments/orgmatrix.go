@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+// OrgMatrixText renders the organization capability matrix: one row per
+// registered benchmark, one column per run mode, marking which
+// organizations each implementation supports. This is the same capability
+// surface GET /v1/benchmarks serves as JSON; clients consult either
+// before requesting an overlapped sweep.
+func OrgMatrixText() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ORGANIZATION CAPABILITY MATRIX (x = supported)\n")
+	fmt.Fprintf(&b, "%-26s", "benchmark")
+	for m := bench.Mode(0); m < bench.NumModes; m++ {
+		fmt.Fprintf(&b, " %16s", m.String())
+	}
+	b.WriteString("\n")
+	counts := make([]int, bench.NumModes)
+	total := 0
+	for _, bm := range bench.All() {
+		info := bm.Info()
+		total++
+		fmt.Fprintf(&b, "%-26s", info.FullName())
+		for m := bench.Mode(0); m < bench.NumModes; m++ {
+			mark := "-"
+			if info.Supports(m) {
+				mark = "x"
+				counts[m]++
+			}
+			fmt.Fprintf(&b, " %16s", mark)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "%-26s", fmt.Sprintf("supported (%d total)", total))
+	for m := bench.Mode(0); m < bench.NumModes; m++ {
+		fmt.Fprintf(&b, " %16d", counts[m])
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -143,6 +143,36 @@ func Fig8Text(r *Results) string {
 	return RenderFig8(rows, sum, r.Footnotes())
 }
 
+// RenderFig10 formats the measured-overlap figure from its rows: each
+// async-streams organization's measured run time next to the Eq. 1 Rco
+// bound, both normalized to the copy-mode baseline run, with the gap
+// over the bound attributed to exposed copy time and idle time.
+func RenderFig10(rows []Fig10Row, sum Fig10Summary, fn Footnotes) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FIGURE 10. Measured async-streams run time vs the Eq. 1 Rco bound (normalized to copy run time)\n")
+	fmt.Fprintf(&b, "%-24s %7s %9s %8s %9s %6s\n",
+		"benchmark", "bound", "measured", "gap", "exp-copy", "idle")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-24s %6.1f%% %8.1f%% %+7.1f%% %8.1f%% %5.1f%%\n",
+			row.Benchmark, row.BoundPct, row.MeasuredPct,
+			row.GapPct, row.ExposedCopyPct, row.IdlePct)
+	}
+	if len(rows) == 0 {
+		b.WriteString("(no async-streams organizations in this sweep)\n")
+	} else {
+		fmt.Fprintf(&b, "geomean measured: %.1f%% of copy run time (Rco bound %.1f%%); gap over bound: %+.1f%%\n",
+			sum.GeomeanMeasuredPct, sum.GeomeanBoundPct, sum.GeomeanGapPct)
+	}
+	b.WriteString(fn.String())
+	return b.String()
+}
+
+// Fig10Text renders Figure 10 from a sweep.
+func Fig10Text(r *Results) string {
+	rows, sum := Fig10Rows(r)
+	return RenderFig10(rows, sum, r.Footnotes())
+}
+
 // RenderFig9 formats the off-chip access classification from its rows.
 func RenderFig9(rows []Fig9Row, sum Fig9Summary, fn Footnotes) string {
 	var b strings.Builder

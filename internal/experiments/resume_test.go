@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/device"
 	"repro/internal/journal"
 )
 
@@ -160,6 +161,59 @@ func TestSweepFingerprintIgnoresJobs(t *testing.T) {
 	if SweepFingerprint(bench.SizeSmall, a) == SweepFingerprint(bench.SizeSmall, c) {
 		t.Fatal("fingerprint must cover the stall window")
 	}
+}
+
+// modeSetBench is a registry stub whose organization list can change
+// between fingerprint computations, modeling a benchmark gaining or
+// losing an extra mode across code versions. It is never swept (every
+// sweep in this package restricts Only), so Run stays unreachable.
+type modeSetBench struct {
+	extra []bench.Mode
+}
+
+func (b *modeSetBench) Info() bench.Info {
+	return bench.Info{Suite: "zz_test", Name: "modeset", Desc: "fingerprint mode-set stub", ExtraModes: b.extra}
+}
+
+func (b *modeSetBench) Run(s *device.System, mode bench.Mode, size bench.Size) {
+	panic("modeSetBench must never run")
+}
+
+// TestFingerprintCoversModeSet: a benchmark's organization list is part
+// of the sweep fingerprint, so a journal (or cache entry keyed by the
+// fingerprint) recorded before the benchmark gained an extra mode can
+// never alias the new sweep — resume is rejected with ErrFingerprint,
+// which the CLI maps to exit 2.
+func TestFingerprintCoversModeSet(t *testing.T) {
+	stub := &modeSetBench{}
+	bench.Register(stub)
+	opts := SweepOpts{Only: []string{"zz_test/modeset"}, Jobs: 1}
+
+	dir := t.TempDir()
+	state, err := OpenState(dir, false, bench.SizeSmall, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state.Close()
+	before := SweepFingerprint(bench.SizeSmall, opts)
+
+	// The benchmark gains async-streams support; the fingerprint moves
+	// and the old journal no longer resumes.
+	stub.extra = []bench.Mode{bench.ModeAsyncStreams}
+	if after := SweepFingerprint(bench.SizeSmall, opts); after == before {
+		t.Fatal("fingerprint must cover the benchmark's organization list")
+	}
+	if _, err := OpenState(dir, true, bench.SizeSmall, opts); !errors.Is(err, journal.ErrFingerprint) {
+		t.Fatalf("changed mode set: got %v, want ErrFingerprint", err)
+	}
+
+	// Restoring the original mode set resumes fine.
+	stub.extra = nil
+	state, err = OpenState(dir, true, bench.SizeSmall, opts)
+	if err != nil {
+		t.Fatalf("restored mode set rejected: %v", err)
+	}
+	state.Close()
 }
 
 // TestOpenStateJournalOnDisk pins the journal file location the docs

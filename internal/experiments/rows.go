@@ -292,6 +292,75 @@ func fig7Validations(r *Results) []Fig7Validation {
 	return vals
 }
 
+// Fig10Row is one async-streams organization's measured run time against
+// the Eq. 1 Rco bound computed from its copy-mode baseline. The
+// organization runs the baseline's kernels and copies verbatim, so Rco —
+// perfect copy/compute overlap of that same work — is a true floor on
+// the measured time. ExposedCopyPct and IdlePct attribute the measured
+// run's gap over the bound: copy time the organization failed to hide,
+// and time no component was busy (fence latency, launch serialization,
+// host feedback stalls). Parallel-chunked organizations are deliberately
+// absent: they migrate compute to the CPU, shrinking Eq. 1's G term, so
+// the baseline's Rco does not bound them (Figure 7's validation section
+// reports that comparison instead).
+type Fig10Row struct {
+	Benchmark      string  `json:"benchmark"`
+	Mode           string  `json:"mode"`
+	BaselineMs     float64 `json:"baseline_ms"`
+	BoundMs        float64 `json:"bound_ms"`
+	MeasuredMs     float64 `json:"measured_ms"`
+	BoundPct       float64 `json:"bound_pct"`        // Rco vs baseline ROI
+	MeasuredPct    float64 `json:"measured_pct"`     // measured ROI vs baseline ROI
+	GapPct         float64 `json:"gap_pct"`          // measured over the bound
+	ExposedCopyPct float64 `json:"exposed_copy_pct"` // of measured ROI
+	IdlePct        float64 `json:"idle_pct"`         // of measured ROI
+}
+
+// Fig10Summary aggregates Figure 10.
+type Fig10Summary struct {
+	GeomeanMeasuredPct float64 `json:"geomean_measured_pct"`
+	GeomeanBoundPct    float64 `json:"geomean_bound_pct"`
+	GeomeanGapPct      float64 `json:"geomean_gap_pct"`
+}
+
+// Fig10Rows computes the measured-overlap rows: every async-streams
+// organization the sweep ran, in Names() order, against its copy run's
+// Rco. Rows with a missing baseline, a zero bound, or a zero measured
+// ROI (the residue of failed runs) are dropped rather than rendered as
+// NaN.
+func Fig10Rows(r *Results) ([]Fig10Row, Fig10Summary) {
+	var rows []Fig10Row
+	var meas, bounds, gaps []float64
+	for _, name := range r.Names() {
+		rep, base := r.Extra[bench.ModeAsyncStreams][name], r.Copy[name]
+		if rep == nil || base == nil || rep.ROI <= 0 || base.ROI <= 0 || base.Rco <= 0 {
+			continue
+		}
+		denom := float64(base.ROI)
+		rows = append(rows, Fig10Row{
+			Benchmark: name, Mode: bench.ModeAsyncStreams.String(),
+			BaselineMs:     base.ROI.Millis(),
+			BoundMs:        base.Rco.Millis(),
+			MeasuredMs:     rep.ROI.Millis(),
+			BoundPct:       pct(float64(base.Rco), denom),
+			MeasuredPct:    pct(float64(rep.ROI), denom),
+			GapPct:         pct(float64(rep.ROI)-float64(base.Rco), float64(base.Rco)),
+			ExposedCopyPct: pct(float64(rep.Breakdown.Exclusive(stats.Copy)), float64(rep.ROI)),
+			IdlePct:        pct(float64(rep.Breakdown.Idle()), float64(rep.ROI)),
+		})
+		meas = append(meas, float64(rep.ROI)/denom)
+		bounds = append(bounds, float64(base.Rco)/denom)
+		gaps = append(gaps, float64(rep.ROI)/float64(base.Rco))
+	}
+	var sum Fig10Summary
+	if len(gaps) > 0 {
+		sum.GeomeanMeasuredPct = 100 * geomean(meas)
+		sum.GeomeanBoundPct = 100 * geomean(bounds)
+		sum.GeomeanGapPct = 100 * (geomean(gaps) - 1)
+	}
+	return rows, sum
+}
+
 // ClassShare is one off-chip access class's share of a run's classified
 // accesses.
 type ClassShare struct {

@@ -75,7 +75,24 @@ func SweepFingerprint(size bench.Size, opts SweepOpts) string {
 	fp.Add("discrete", fmt.Sprintf("%+v", config.DiscreteGPU()))
 	fp.Add("hetero", fmt.Sprintf("%+v", config.HeteroProcessor()))
 	fp.Add("size", size.String())
-	for _, s := range sweepSlots(onlySet(opts.Only)) {
+	// Each benchmark's full organization list, explicitly. The slot list
+	// below already encodes it implicitly, but hashing the mode set by
+	// name guarantees a journal or cache entry written before a benchmark
+	// gained (or lost) an organization can never alias the new sweep, even
+	// if slot enumeration is ever restructured.
+	only := onlySet(opts.Only)
+	for _, b := range bench.All() {
+		info := b.Info()
+		if only != nil && !only[info.FullName()] {
+			continue
+		}
+		line := info.FullName()
+		for _, m := range info.Modes() {
+			line += " " + m.String()
+		}
+		fp.Add("modes", line)
+	}
+	for _, s := range sweepSlots(only) {
 		fp.Add("slot", s.key())
 	}
 	fp.Add("fault", opts.Fault.String())

@@ -39,8 +39,36 @@ type Kernel struct {
 
 	remaining int // CTAs not yet dispatched
 	live      int // CTAs resident on SMs
+	nextCTA   int // next global CTA index to dispatch
 	flops     uint64
 	lastEnd   sim.Tick
+
+	// Persistent-kernel state: an open kernel holds its queue slot and
+	// accepts CTA batches via Feed until ClosePersistent.
+	open    bool
+	batches []*ctaBatch
+}
+
+// ctaBatch is one Feed's worth of CTAs in a persistent kernel: the grid is
+// grown batch-by-batch while the kernel stays resident, so per-chunk work
+// costs one queue append instead of a full launch.
+type ctaBatch struct {
+	start, end int // global CTA index range [start, end)
+	remaining  int // batch CTAs not yet dispatched
+	live       int // batch CTAs resident on SMs
+	flops      uint64
+	lastEnd    sim.Tick
+	done       func(end sim.Tick, flops uint64)
+}
+
+// totalFlops sums kernel-level and per-batch FLOP accumulators. Normal
+// kernels have no batches, so this is exactly k.flops for them.
+func (k *Kernel) totalFlops() uint64 {
+	f := k.flops
+	for _, b := range k.batches {
+		f += b.flops
+	}
+	return f
 }
 
 // GPU is the whole device: SMs sharing an L2 through their L1s.
@@ -140,6 +168,7 @@ func (g *GPU) Launch(at sim.Tick, k *Kernel) {
 		panic("gpucore: kernel needs at least one CTA and one thread")
 	}
 	k.remaining = k.CTAs
+	k.nextCTA = 0
 	g.Eng.At(at, func() {
 		g.Tr.Instant(stats.GPU, "GPU dispatch", "kernel", "kernel queued: "+k.Name, g.Eng.Now(),
 			trace.Arg{Key: "ctas", Val: k.CTAs}, trace.Arg{Key: "block", Val: k.ThreadsPerTA})
@@ -148,17 +177,90 @@ func (g *GPU) Launch(at sim.Tick, k *Kernel) {
 	})
 }
 
+// LaunchPersistent enqueues an open (persistent) kernel at time at. The
+// kernel starts with zero CTAs and holds its FIFO slot: Feed grows the grid
+// batch-by-batch while the kernel stays resident, and ClosePersistent
+// retires it. Done fires once — after close, when the last fed CTA drains —
+// with the total FLOPs across all batches, amortizing the launch over every
+// chunk the way a real persistent kernel amortizes its dispatch.
+func (g *GPU) LaunchPersistent(at sim.Tick, k *Kernel) {
+	if k.ThreadsPerTA <= 0 {
+		panic("gpucore: kernel needs at least one thread")
+	}
+	k.open = true
+	k.CTAs = 0
+	k.remaining = 0
+	k.nextCTA = 0
+	g.Eng.At(at, func() {
+		g.Tr.Instant(stats.GPU, "GPU dispatch", "kernel", "persistent kernel opened: "+k.Name, g.Eng.Now(),
+			trace.Arg{Key: "block", Val: k.ThreadsPerTA})
+		g.queue = append(g.queue, k)
+	})
+}
+
+// Feed appends a batch of ctas CTAs to an open persistent kernel at time
+// at. done (optional) fires when this batch's last CTA completes, with the
+// batch's FLOPs — the per-chunk completion signal.
+func (g *GPU) Feed(at sim.Tick, k *Kernel, ctas int, done func(end sim.Tick, flops uint64)) {
+	if ctas <= 0 {
+		panic("gpucore: feed needs at least one CTA")
+	}
+	g.Eng.At(at, func() {
+		if !k.open {
+			panic("gpucore: Feed on closed kernel " + k.Name)
+		}
+		b := &ctaBatch{start: k.CTAs, end: k.CTAs + ctas, remaining: ctas, done: done}
+		k.batches = append(k.batches, b)
+		k.CTAs += ctas
+		k.remaining += ctas
+		g.Tr.Instant(stats.GPU, "GPU dispatch", "kernel", "batch fed: "+k.Name, g.Eng.Now(),
+			trace.Arg{Key: "ctas", Val: ctas})
+		g.dispatch()
+	})
+}
+
+// ClosePersistent stops an open kernel accepting batches at time at. If the
+// kernel has already drained, Done fires immediately (at the close time —
+// the resident kernel exits when it observes the stop flag); otherwise it
+// fires when the last CTA completes.
+func (g *GPU) ClosePersistent(at sim.Tick, k *Kernel) {
+	g.Eng.At(at, func() {
+		if !k.open {
+			return
+		}
+		k.open = false
+		if k.remaining == 0 && k.live == 0 {
+			now := g.Eng.Now()
+			if k.lastEnd < now {
+				k.lastEnd = now
+			}
+			if k.Done != nil {
+				k.Done(k.lastEnd, k.totalFlops())
+			}
+			g.dispatch() // unpark the queue slot the closed kernel held
+		}
+	})
+}
+
 // warpsNeeded reports warps per CTA for kernel k.
 func (g *GPU) warpsNeeded(k *Kernel) int {
 	return (k.ThreadsPerTA + g.warpsz - 1) / g.warpsz
 }
 
-// dispatch fills SMs with CTAs from the queue head.
+// dispatch fills SMs with CTAs from the queue head. A drained normal (or
+// closed persistent) kernel is removed; an open persistent kernel with no
+// pending CTAs parks in place — it keeps its slot but does not head-block
+// later kernels while waiting for its next Feed.
 func (g *GPU) dispatch() {
-	for len(g.queue) > 0 {
-		k := g.queue[0]
+	qi := 0
+	for qi < len(g.queue) {
+		k := g.queue[qi]
 		if k.remaining == 0 {
-			g.queue = g.queue[1:]
+			if k.open {
+				qi++ // parked: open persistent kernel awaiting a Feed
+				continue
+			}
+			g.queue = append(g.queue[:qi], g.queue[qi+1:]...)
 			continue
 		}
 		placed := false
@@ -167,7 +269,8 @@ func (g *GPU) dispatch() {
 				break
 			}
 			if s.canTake(k) {
-				s.startCTA(k, k.CTAs-k.remaining)
+				s.startCTA(k, k.nextCTA)
+				k.nextCTA++
 				k.remaining--
 				k.live++
 				placed = true
@@ -190,8 +293,10 @@ func (s *sm) canTake(k *Kernel) bool {
 type ctaState struct {
 	sm        *sm
 	k         *Kernel
-	idx       int      // CTA index within the grid
-	start     sim.Tick // residency start, for the trace span
+	b         *ctaBatch // owning feed batch (persistent kernels only)
+	fl        *uint64   // flops accumulator: &k.flops or &b.flops
+	idx       int       // CTA index within the grid
+	start     sim.Tick  // residency start, for the trace span
 	liveWarps int
 	// barrier state
 	arrived int
@@ -206,7 +311,16 @@ func (s *sm) startCTA(k *Kernel, ctaIdx int) {
 		panic("gpucore: Gen returned wrong lane count for kernel " + k.Name)
 	}
 	w := s.g.warpsNeeded(k)
-	cs := &ctaState{sm: s, k: k, idx: ctaIdx, start: now, liveWarps: w}
+	cs := &ctaState{sm: s, k: k, fl: &k.flops, idx: ctaIdx, start: now, liveWarps: w}
+	for _, b := range k.batches {
+		if ctaIdx >= b.start && ctaIdx < b.end {
+			cs.b = b
+			cs.fl = &b.flops
+			b.remaining--
+			b.live++
+			break
+		}
+	}
 	s.liveCTAs++
 	s.liveWarps += w
 	s.scratch += k.ScratchBytes
@@ -244,10 +358,21 @@ func (cs *ctaState) warpDone(end sim.Tick) {
 	if end > cs.k.lastEnd {
 		cs.k.lastEnd = end
 	}
+	if b := cs.b; b != nil {
+		b.live--
+		if end > b.lastEnd {
+			b.lastEnd = end
+		}
+		if b.remaining == 0 && b.live == 0 && b.done != nil {
+			done := b.done
+			b.done = nil
+			done(b.lastEnd, b.flops)
+		}
+	}
 	k := cs.k
-	if k.remaining == 0 && k.live == 0 {
+	if !k.open && k.remaining == 0 && k.live == 0 {
 		if k.Done != nil {
-			k.Done(k.lastEnd, k.flops)
+			k.Done(k.lastEnd, k.totalFlops())
 		}
 	}
 	s.g.dispatch()
@@ -349,7 +474,7 @@ func (w *warp) step() {
 			}
 			start := w.sm.issue.Claim(w.t, g.Clk.Cycles(cyc))
 			w.t = start + g.Clk.Cycles(cyc)
-			w.cta.k.flops += sum
+			*w.cta.fl += sum
 			g.cFLOPs.Add(sum)
 
 		case isa.OpScratch:

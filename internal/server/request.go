@@ -110,19 +110,16 @@ func parseSize(s string) (bench.Size, error) {
 	return 0, badRequest("unknown size %q (want small or medium)", s)
 }
 
-// parseMode maps the wire mode name to the bench mode.
+// parseMode maps the wire mode name to the bench mode ("" = copy).
 func parseMode(s string) (bench.Mode, error) {
-	switch s {
-	case "", "copy":
+	if s == "" {
 		return bench.ModeCopy, nil
-	case "limited-copy":
-		return bench.ModeLimitedCopy, nil
-	case "async-streams":
-		return bench.ModeAsyncStreams, nil
-	case "parallel-chunked":
-		return bench.ModeParallelChunked, nil
 	}
-	return 0, badRequest("unknown mode %q", s)
+	m, err := bench.ParseMode(s)
+	if err != nil {
+		return 0, badRequest("%v", err)
+	}
+	return m, nil
 }
 
 // validateFault parses an untrusted fault-plan string and proves the

@@ -259,10 +259,15 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(map[string]string{"status": "ready"})
 }
 
-// benchmarkInfo is one row of GET /v1/benchmarks.
+// benchmarkInfo is one row of GET /v1/benchmarks. Modes lists every
+// organization the benchmark supports — the two baseline modes plus any
+// restructured organizations — so clients can request overlapped sweeps
+// without trial-and-error; ExtraModes repeats just the restructured ones
+// for older clients.
 type benchmarkInfo struct {
 	Name       string   `json:"name"`
 	Desc       string   `json:"desc"`
+	Modes      []string `json:"modes"`
 	ExtraModes []string `json:"extra_modes,omitempty"`
 }
 
@@ -271,6 +276,9 @@ func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
 	for _, b := range bench.All() {
 		info := b.Info()
 		row := benchmarkInfo{Name: info.FullName(), Desc: info.Desc}
+		for _, m := range info.Modes() {
+			row.Modes = append(row.Modes, m.String())
+		}
 		for _, m := range info.ExtraModes {
 			row.ExtraModes = append(row.ExtraModes, m.String())
 		}

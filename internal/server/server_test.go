@@ -480,6 +480,12 @@ func TestBenchmarksEndpoint(t *testing.T) {
 	for _, row := range rows {
 		if row.Name == "rodinia/backprop" {
 			found = true
+			// backprop supports every organization; the listing must
+			// report the complete capability set, not just the names.
+			want := []string{"copy", "limited-copy", "async-streams", "parallel-chunked"}
+			if !reflect.DeepEqual(row.Modes, want) {
+				t.Fatalf("rodinia/backprop modes = %v, want %v", row.Modes, want)
+			}
 		}
 	}
 	if !found {

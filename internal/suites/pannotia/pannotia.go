@@ -100,6 +100,7 @@ func (PageRankSpMV) Info() bench.Info {
 		Suite: "pannotia", Name: "pr_spmv",
 		Desc:   "PageRank via SpMV with host convergence check",
 		PCComm: true, PipeParal: true, Regular: true, Irregular: true,
+		ExtraModes: []bench.Mode{bench.ModeAsyncStreams},
 	}
 }
 
@@ -125,29 +126,15 @@ func (PageRankSpMV) Run(s *device.System, mode bench.Mode, size bench.Size) {
 		}
 	}
 
-	s.BeginROI()
-	dRow, _ := device.ToDevice(s, rowPtr)
-	dCol, _ := device.ToDevice(s, colIdx)
-	dRank, _ := device.ToDevice(s, rank)
-	dDeg, _ := device.ToDevice(s, outDeg)
-	dDelta, _ := device.ToDevice(s, delta)
-	// The new-rank vector lives only on the GPU — never CPU-touched.
-	dNew := device.AllocBuf[float32](s, n, "rank_new", device.Device)
-	s.Drain()
-
-	for it := 0; it < iters; it++ {
-		delta.V[0] = 0
-		if !s.Unified() {
-			device.Memcpy(s, dDelta, delta)
-		} else {
-			dDelta.V[0] = 0
-		}
-		// SpMV kernel: gather neighbour ranks (note: treats colIdx rows as
-		// in-edges, as pannotia's transposed representation does).
-		s.Launch(device.KernelSpec{
-			Name: "pr_spmv", Grid: n / block, Block: block,
+	// spmv gathers neighbour ranks for vertices [base, base+count) (note:
+	// treats colIdx rows as in-edges, as pannotia's transposed
+	// representation does); update swaps in the new ranks and accumulates
+	// |delta| over the same range.
+	spmv := func(dRow, dCol, dDeg *device.Buf[int32], dRank, dNew *device.Buf[float32], base, count int) device.KernelSpec {
+		return device.KernelSpec{
+			Name: "pr_spmv", Grid: count / block, Block: block,
 			Func: func(t *device.Thread) {
-				v := t.Global()
+				v := base + t.Global()
 				lo := int(device.Ld(t, dRow, v))
 				hi := int(device.Ld(t, dRow, v+1))
 				var acc float32
@@ -160,12 +147,13 @@ func (PageRankSpMV) Run(s *device.System, mode bench.Mode, size bench.Size) {
 				t.FLOP(2 * (hi - lo))
 				device.St(t, dNew, v, 0.15/float32(n)+0.85*acc)
 			},
-		})
-		// Rank-update kernel: swap in the new ranks and accumulate |delta|.
-		s.Launch(device.KernelSpec{
-			Name: "pr_update", Grid: n / block, Block: block,
+		}
+	}
+	update := func(dRank, dNew, dDelta *device.Buf[float32], base, count int) device.KernelSpec {
+		return device.KernelSpec{
+			Name: "pr_update", Grid: count / block, Block: block,
 			Func: func(t *device.Thread) {
-				v := t.Global()
+				v := base + t.Global()
 				old := device.Ld(t, dRank, v)
 				nw := device.Ld(t, dNew, v)
 				df := nw - old
@@ -178,24 +166,97 @@ func (PageRankSpMV) Run(s *device.System, mode bench.Mode, size bench.Size) {
 					device.AtomicAddF32(t, dDelta, 0, df)
 				}
 			},
-		})
-		// Host convergence check.
-		if !s.Unified() {
-			device.Memcpy(s, delta, dDelta)
-		}
-		stop := false
-		s.CPUTask(device.CPUTaskSpec{
-			Name: "pr_check", Threads: 1,
-			Func: func(c *device.CPUThread) {
-				stop = device.Ld(c, delta, 0) < 1e-4
-				c.FLOP(1)
-			},
-		})
-		if stop {
-			break
 		}
 	}
-	s.Wait(device.FromDevice(s, rank, dRank))
+
+	s.BeginROI()
+	if mode == bench.ModeAsyncStreams {
+		// The first SpMV sweep overlaps the CSR upload: each vertex
+		// chunk's gather kernel fences on its own rows' pointers and
+		// edges, with the rank and degree vectors (read at arbitrary
+		// columns) uploaded once up front. The host convergence check
+		// stays serial per iteration.
+		const chunks = 4
+		per := n / chunks
+		dRow := device.AllocBuf[int32](s, n+1, "d_row_ptr", device.Device)
+		dCol := device.AllocBuf[int32](s, g.M(), "d_col_idx", device.Device)
+		dRank := device.AllocBuf[float32](s, n, "d_rank", device.Device)
+		dDeg := device.AllocBuf[int32](s, n, "d_out_degree", device.Device)
+		dDelta := device.AllocBuf[float32](s, 1, "d_delta", device.Device)
+		dNew := device.AllocBuf[float32](s, n, "rank_new", device.Device)
+		rankUp := device.MemcpyAsync(s, dRank, rank)
+		degUp := device.MemcpyAsync(s, dDeg, outDeg)
+		deltaUp := device.MemcpyAsync(s, dDelta, delta)
+		prev := s.Pipeline(device.PipelineSpec{
+			Name: "pr_spmv", Chunks: chunks,
+			H2D: func(c int, deps ...*device.Handle) *device.Handle {
+				lo := c * per
+				elo, ehi := int(g.RowPtr[lo]), int(g.RowPtr[lo+per])
+				h := device.MemcpyRangeAsync(s, dRow, lo, rowPtr, lo, per+1, deps...)
+				return device.MemcpyRangeAsync(s, dCol, elo, colIdx, elo, ehi-elo, h)
+			},
+			Kernel: func(c int, deps ...*device.Handle) *device.Handle {
+				return s.LaunchAsync(spmv(dRow, dCol, dDeg, dRank, dNew, c*per, per),
+					append(deps, rankUp, degUp)...)
+			},
+		})
+		for it := 0; ; it++ {
+			upd := s.LaunchAsync(update(dRank, dNew, dDelta, 0, n), prev, deltaUp)
+			fb := device.MemcpyAsync(s, delta, dDelta, upd)
+			stop := false
+			s.Wait(s.CPUTaskAsync(device.CPUTaskSpec{
+				Name: "pr_check", Threads: 1,
+				Func: func(c *device.CPUThread) {
+					stop = device.Ld(c, delta, 0) < 1e-4
+					c.FLOP(1)
+				},
+			}, fb))
+			prev = upd
+			if stop || it == iters-1 {
+				break
+			}
+			delta.V[0] = 0
+			deltaUp = device.MemcpyAsync(s, dDelta, delta, fb)
+			prev = s.LaunchAsync(spmv(dRow, dCol, dDeg, dRank, dNew, 0, n), prev)
+		}
+		s.Wait(device.MemcpyAsync(s, rank, dRank, prev))
+	} else {
+		dRow, _ := device.ToDevice(s, rowPtr)
+		dCol, _ := device.ToDevice(s, colIdx)
+		dRank, _ := device.ToDevice(s, rank)
+		dDeg, _ := device.ToDevice(s, outDeg)
+		dDelta, _ := device.ToDevice(s, delta)
+		// The new-rank vector lives only on the GPU — never CPU-touched.
+		dNew := device.AllocBuf[float32](s, n, "rank_new", device.Device)
+		s.Drain()
+
+		for it := 0; it < iters; it++ {
+			delta.V[0] = 0
+			if !s.Unified() {
+				device.Memcpy(s, dDelta, delta)
+			} else {
+				dDelta.V[0] = 0
+			}
+			s.Launch(spmv(dRow, dCol, dDeg, dRank, dNew, 0, n))
+			s.Launch(update(dRank, dNew, dDelta, 0, n))
+			// Host convergence check.
+			if !s.Unified() {
+				device.Memcpy(s, delta, dDelta)
+			}
+			stop := false
+			s.CPUTask(device.CPUTaskSpec{
+				Name: "pr_check", Threads: 1,
+				Func: func(c *device.CPUThread) {
+					stop = device.Ld(c, delta, 0) < 1e-4
+					c.FLOP(1)
+				},
+			})
+			if stop {
+				break
+			}
+		}
+		s.Wait(device.FromDevice(s, rank, dRank))
+	}
 	s.EndROI()
 	s.AddResult(device.ChecksumF32(rank.V))
 }

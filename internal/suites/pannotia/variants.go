@@ -154,6 +154,7 @@ func (PageRank) Info() bench.Info {
 		Suite: "pannotia", Name: "pr",
 		Desc:   "push-style PageRank with atomic scatter",
 		PCComm: true, PipeParal: true, Regular: true, Irregular: true,
+		ExtraModes: []bench.Mode{bench.ModeAsyncStreams},
 	}
 }
 
@@ -174,19 +175,13 @@ func (PageRank) Run(s *device.System, mode bench.Mode, size bench.Size) {
 		rank.V[v] = 1.0 / float32(n)
 	}
 
-	s.BeginROI()
-	dRow, _ := device.ToDevice(s, rowPtr)
-	dCol, _ := device.ToDevice(s, colIdx)
-	dRank, _ := device.ToDevice(s, rank)
-	dAcc, _ := device.ToDevice(s, acc)
-	s.Drain()
-
-	for it := 0; it < iters; it++ {
-		// Scatter kernel: push contributions with atomics.
-		s.Launch(device.KernelSpec{
-			Name: "pr_push", Grid: n / block, Block: block,
+	// push scatters rank shares for vertices [base, base+count); apply
+	// folds the accumulators back into ranks for the same range.
+	push := func(dRow, dCol *device.Buf[int32], dRank, dAcc *device.Buf[float32], base, count int) device.KernelSpec {
+		return device.KernelSpec{
+			Name: "pr_push", Grid: count / block, Block: block,
 			Func: func(t *device.Thread) {
-				v := t.Global()
+				v := base + t.Global()
 				lo := int(device.Ld(t, dRow, v))
 				hi := int(device.Ld(t, dRow, v+1))
 				if hi == lo {
@@ -199,20 +194,68 @@ func (PageRank) Run(s *device.System, mode bench.Mode, size bench.Size) {
 					t.FLOP(2)
 				}
 			},
-		})
-		// Apply kernel: fold accumulators into ranks.
-		s.Launch(device.KernelSpec{
-			Name: "pr_apply", Grid: n / block, Block: block,
+		}
+	}
+	apply := func(dRank, dAcc *device.Buf[float32], base, count int) device.KernelSpec {
+		return device.KernelSpec{
+			Name: "pr_apply", Grid: count / block, Block: block,
 			Func: func(t *device.Thread) {
-				v := t.Global()
+				v := base + t.Global()
 				a := device.Ld(t, dAcc, v)
 				t.FLOP(3)
 				device.St(t, dRank, v, 0.15/float32(n)+0.85*a)
 				device.St(t, dAcc, v, 0)
 			},
-		})
+		}
 	}
-	s.Wait(device.FromDevice(s, rank, dRank))
+
+	s.BeginROI()
+	if mode == bench.ModeAsyncStreams {
+		// The first push sweep overlaps the CSR upload: each vertex
+		// chunk's push kernel fences only on its own rows' pointers and
+		// edges (the scatter targets need rank/acc resident, uploaded
+		// first). Later iterations reuse the resident graph.
+		const chunks = 4
+		per := n / chunks
+		dRow := device.AllocBuf[int32](s, n+1, "d_row_ptr", device.Device)
+		dCol := device.AllocBuf[int32](s, g.M(), "d_col_idx", device.Device)
+		dRank := device.AllocBuf[float32](s, n, "d_rank", device.Device)
+		dAcc := device.AllocBuf[float32](s, n, "d_rank_acc", device.Device)
+		rankUp := device.MemcpyAsync(s, dRank, rank)
+		accUp := device.MemcpyAsync(s, dAcc, acc)
+		pipe := s.Pipeline(device.PipelineSpec{
+			Name: "pr", Chunks: chunks,
+			H2D: func(c int, deps ...*device.Handle) *device.Handle {
+				lo := c * per
+				elo, ehi := int(g.RowPtr[lo]), int(g.RowPtr[lo+per])
+				h := device.MemcpyRangeAsync(s, dRow, lo, rowPtr, lo, per+1, deps...)
+				return device.MemcpyRangeAsync(s, dCol, elo, colIdx, elo, ehi-elo, h)
+			},
+			Kernel: func(c int, deps ...*device.Handle) *device.Handle {
+				return s.LaunchAsync(push(dRow, dCol, dRank, dAcc, c*per, per), append(deps, rankUp, accUp)...)
+			},
+		})
+		prev := s.LaunchAsync(apply(dRank, dAcc, 0, n), pipe)
+		for it := 1; it < iters; it++ {
+			prev = s.LaunchAsync(push(dRow, dCol, dRank, dAcc, 0, n), prev)
+			prev = s.LaunchAsync(apply(dRank, dAcc, 0, n), prev)
+		}
+		s.Wait(device.MemcpyAsync(s, rank, dRank, prev))
+	} else {
+		dRow, _ := device.ToDevice(s, rowPtr)
+		dCol, _ := device.ToDevice(s, colIdx)
+		dRank, _ := device.ToDevice(s, rank)
+		dAcc, _ := device.ToDevice(s, acc)
+		s.Drain()
+
+		for it := 0; it < iters; it++ {
+			// Scatter kernel: push contributions with atomics.
+			s.Launch(push(dRow, dCol, dRank, dAcc, 0, n))
+			// Apply kernel: fold accumulators into ranks.
+			s.Launch(apply(dRank, dAcc, 0, n))
+		}
+		s.Wait(device.FromDevice(s, rank, dRank))
+	}
 	s.EndROI()
 	s.AddResult(device.ChecksumF32(rank.V))
 }
@@ -229,12 +272,13 @@ func (SSSP) Info() bench.Info {
 		Suite: "pannotia", Name: "sssp",
 		Desc:   "Bellman-Ford sweeps over CSR with host loop",
 		PCComm: true, PipeParal: true, Regular: true, Irregular: true,
+		ExtraModes: []bench.Mode{bench.ModeAsyncStreams},
 	}
 }
 
 // Run executes sssp.
 func (SSSP) Run(s *device.System, mode bench.Mode, size bench.Size) {
-	runPannotiaSSSP(s, size, false)
+	runPannotiaSSSP(s, mode, size, false)
 }
 
 // SSSPEll is Pannotia's sssp_ell: the same relaxation over an ELL-packed
@@ -249,15 +293,16 @@ func (SSSPEll) Info() bench.Info {
 		Suite: "pannotia", Name: "sssp_ell",
 		Desc:   "Bellman-Ford sweeps over an ELL-packed graph",
 		PCComm: true, PipeParal: true, Regular: true, Irregular: true,
+		ExtraModes: []bench.Mode{bench.ModeAsyncStreams},
 	}
 }
 
 // Run executes sssp_ell.
 func (SSSPEll) Run(s *device.System, mode bench.Mode, size bench.Size) {
-	runPannotiaSSSP(s, size, true)
+	runPannotiaSSSP(s, mode, size, true)
 }
 
-func runPannotiaSSSP(s *device.System, size bench.Size, ell bool) {
+func runPannotiaSSSP(s *device.System, mode bench.Mode, size bench.Size, ell bool) {
 	n := bench.ScaleN(16384, size)
 	g := workload.RMATGraph(n, 8, 213)
 	block := 256
@@ -295,33 +340,13 @@ func runPannotiaSSSP(s *device.System, size bench.Size, ell bool) {
 		copy(weights.V, g.EdgeWeigh)
 	}
 
-	s.BeginROI()
-	dDist, _ := device.ToDevice(s, dist)
-	dFlag, _ := device.ToDevice(s, flag)
-	var dRow, dCol, dEllIdx *device.Buf[int32]
-	var dW, dEllW *device.Buf[float32]
-	if ell {
-		dEllIdx, _ = device.ToDevice(s, ellIdx)
-		dEllW, _ = device.ToDevice(s, ellW)
-	} else {
-		dRow, _ = device.ToDevice(s, rowPtr)
-		dCol, _ = device.ToDevice(s, colIdx)
-		dW, _ = device.ToDevice(s, weights)
-	}
-	s.Drain()
-
-	for round := 0; round < 24; round++ {
-		flag.V[0] = 0
-		if !s.Unified() {
-			device.Memcpy(s, dFlag, flag)
-		} else {
-			dFlag.V[0] = 0
-		}
-		s.Launch(device.KernelSpec{
+	// relax builds the relaxation kernel over vertices [base, base+count).
+	relax := func(dDist, dFlag, dRow, dCol, dEllIdx *device.Buf[int32], dW, dEllW *device.Buf[float32], base, count int) device.KernelSpec {
+		return device.KernelSpec{
 			Name: map[bool]string{false: "sssp_csr", true: "sssp_ell"}[ell],
-			Grid: n / block, Block: block,
+			Grid: count / block, Block: block,
 			Func: func(t *device.Thread) {
-				v := t.Global()
+				v := base + t.Global()
 				dv := device.Ld(t, dDist, v)
 				if dv >= 1<<30 {
 					return
@@ -353,25 +378,121 @@ func runPannotiaSSSP(s *device.System, size bench.Size, ell bool) {
 					t.FLOP(2)
 				}
 			},
-		})
-		if !s.Unified() {
-			device.Memcpy(s, hostFlag, dFlag)
-		} else {
-			hostFlag.V[0] = dFlag.V[0]
-		}
-		changed := false
-		s.CPUTask(device.CPUTaskSpec{
-			Name: "sssp_check", Threads: 1,
-			Func: func(c *device.CPUThread) {
-				changed = device.Ld(c, hostFlag, 0) != 0
-				c.FLOP(1)
-			},
-		})
-		if !changed {
-			break
 		}
 	}
-	s.Wait(device.FromDevice(s, dist, dDist))
+
+	s.BeginROI()
+	if mode == bench.ModeAsyncStreams {
+		// Round 0 overlaps the graph upload with per-chunk relaxations:
+		// each vertex chunk's kernel fences only on its own rows' CSR (or
+		// ELL column) slices, with distances and the changed flag uploaded
+		// once up front. The host convergence loop stays serial per round.
+		// ELL's column-major layout needs one strided copy per column per
+		// chunk, so it uses fewer chunks to keep the copy count sane.
+		chunks := 4
+		if ell {
+			chunks = 2
+		}
+		per := n / chunks
+		dDist := device.AllocBuf[int32](s, n, "d_dist", device.Device)
+		dFlag := device.AllocBuf[int32](s, 1, "d_changed", device.Device)
+		var dRow, dCol, dEllIdx *device.Buf[int32]
+		var dW, dEllW *device.Buf[float32]
+		if ell {
+			dEllIdx = device.AllocBuf[int32](s, n*width, "d_ell_col", device.Device)
+			dEllW = device.AllocBuf[float32](s, n*width, "d_ell_weight", device.Device)
+		} else {
+			dRow = device.AllocBuf[int32](s, n+1, "d_row_ptr", device.Device)
+			dCol = device.AllocBuf[int32](s, g.M(), "d_col_idx", device.Device)
+			dW = device.AllocBuf[float32](s, g.M(), "d_weights", device.Device)
+		}
+		distUp := device.MemcpyAsync(s, dDist, dist)
+		flagUp := device.MemcpyAsync(s, dFlag, flag)
+		prev := s.Pipeline(device.PipelineSpec{
+			Name: "sssp", Chunks: chunks,
+			H2D: func(c int, deps ...*device.Handle) *device.Handle {
+				lo := c * per
+				if ell {
+					// Column-major ELL: one strided slice per column.
+					h := device.MemcpyRangeAsync(s, dEllIdx, lo, ellIdx, lo, per, deps...)
+					for j := 1; j < width; j++ {
+						h = device.MemcpyRangeAsync(s, dEllIdx, j*n+lo, ellIdx, j*n+lo, per, h)
+					}
+					for j := 0; j < width; j++ {
+						h = device.MemcpyRangeAsync(s, dEllW, j*n+lo, ellW, j*n+lo, per, h)
+					}
+					return h
+				}
+				elo, ehi := int(g.RowPtr[lo]), int(g.RowPtr[lo+per])
+				h := device.MemcpyRangeAsync(s, dRow, lo, rowPtr, lo, per+1, deps...)
+				h = device.MemcpyRangeAsync(s, dCol, elo, colIdx, elo, ehi-elo, h)
+				return device.MemcpyRangeAsync(s, dW, elo, weights, elo, ehi-elo, h)
+			},
+			Kernel: func(c int, deps ...*device.Handle) *device.Handle {
+				return s.LaunchAsync(relax(dDist, dFlag, dRow, dCol, dEllIdx, dW, dEllW, c*per, per),
+					append(deps, distUp, flagUp)...)
+			},
+		})
+		for round := 0; ; round++ {
+			fb := device.MemcpyAsync(s, hostFlag, dFlag, prev)
+			changed := false
+			s.Wait(s.CPUTaskAsync(device.CPUTaskSpec{
+				Name: "sssp_check", Threads: 1,
+				Func: func(c *device.CPUThread) {
+					changed = device.Ld(c, hostFlag, 0) != 0
+					c.FLOP(1)
+				},
+			}, fb))
+			if !changed || round == 23 {
+				break
+			}
+			flag.V[0] = 0
+			rst := device.MemcpyAsync(s, dFlag, flag, fb)
+			prev = s.LaunchAsync(relax(dDist, dFlag, dRow, dCol, dEllIdx, dW, dEllW, 0, n), rst)
+		}
+		s.Wait(device.MemcpyAsync(s, dist, dDist, prev))
+	} else {
+		dDist, _ := device.ToDevice(s, dist)
+		dFlag, _ := device.ToDevice(s, flag)
+		var dRow, dCol, dEllIdx *device.Buf[int32]
+		var dW, dEllW *device.Buf[float32]
+		if ell {
+			dEllIdx, _ = device.ToDevice(s, ellIdx)
+			dEllW, _ = device.ToDevice(s, ellW)
+		} else {
+			dRow, _ = device.ToDevice(s, rowPtr)
+			dCol, _ = device.ToDevice(s, colIdx)
+			dW, _ = device.ToDevice(s, weights)
+		}
+		s.Drain()
+
+		for round := 0; round < 24; round++ {
+			flag.V[0] = 0
+			if !s.Unified() {
+				device.Memcpy(s, dFlag, flag)
+			} else {
+				dFlag.V[0] = 0
+			}
+			s.Launch(relax(dDist, dFlag, dRow, dCol, dEllIdx, dW, dEllW, 0, n))
+			if !s.Unified() {
+				device.Memcpy(s, hostFlag, dFlag)
+			} else {
+				hostFlag.V[0] = dFlag.V[0]
+			}
+			changed := false
+			s.CPUTask(device.CPUTaskSpec{
+				Name: "sssp_check", Threads: 1,
+				Func: func(c *device.CPUThread) {
+					changed = device.Ld(c, hostFlag, 0) != 0
+					c.FLOP(1)
+				},
+			})
+			if !changed {
+				break
+			}
+		}
+		s.Wait(device.FromDevice(s, dist, dDist))
+	}
 	s.EndROI()
 	s.AddResult(device.ChecksumI32(dist.V))
 }

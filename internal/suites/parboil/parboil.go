@@ -3,6 +3,8 @@
 package parboil
 
 import (
+	"strconv"
+
 	"repro/internal/bench"
 	"repro/internal/device"
 	"repro/internal/workload"
@@ -21,6 +23,7 @@ func (Stencil) Info() bench.Info {
 		Suite: "parboil", Name: "stencil",
 		Desc:   "iterated 7-point stencil with device double-buffering",
 		PCComm: true, PipeParal: true, Regular: true,
+		ExtraModes: []bench.Mode{bench.ModeAsyncStreams},
 	}
 }
 
@@ -35,18 +38,12 @@ func (Stencil) Run(s *device.System, mode bench.Mode, size bench.Size) {
 	grid := device.AllocBuf[float32](s, cells, "grid", device.Host)
 	copy(grid.V, workload.Grid(ny*nz, nx, 13))
 
-	s.BeginROI()
-	dA, _ := device.ToDevice(s, grid)
-	dB := device.AllocBuf[float32](s, cells, "grid_tmp", device.Device)
-	s.Drain()
-
-	src, dst := dA, dB
-	for it := 0; it < iters; it++ {
-		a, b := src, dst
-		s.Launch(device.KernelSpec{
-			Name: "stencil_step", Grid: cells / block, Block: block,
+	// step builds the stencil kernel over cells [base, base+count).
+	step := func(a, b *device.Buf[float32], base, count int) device.KernelSpec {
+		return device.KernelSpec{
+			Name: "stencil_step", Grid: count / block, Block: block,
 			Func: func(t *device.Thread) {
-				i := t.Global()
+				i := base + t.Global()
 				z := i / (nx * ny)
 				rem := i % (nx * ny)
 				y, x := rem/nx, rem%nx
@@ -73,13 +70,59 @@ func (Stencil) Run(s *device.System, mode bench.Mode, size bench.Size) {
 				t.FLOP(8)
 				device.St(t, b, i, v+0.1*acc)
 			},
-		})
-		src, dst = dst, src
+		}
 	}
-	if src != dA {
-		device.Memcpy(s, dA, src)
+
+	s.BeginROI()
+	if mode == bench.ModeAsyncStreams {
+		// One H2D stream per z-slab; the first sweep runs as per-slab
+		// kernels, each fenced (cudaStreamWaitEvent-style) on its own
+		// slab's upload and both halo neighbours', so interior slabs
+		// compute while later slabs still stream in. The remaining sweeps
+		// touch the whole grid and chain as ordinary async kernels.
+		dA := device.AllocBuf[float32](s, cells, "grid_dev", device.Device)
+		dB := device.AllocBuf[float32](s, cells, "grid_tmp", device.Device)
+		slab := nx * ny
+		events := make([]*device.Event, nz)
+		for z := 0; z < nz; z++ {
+			up := s.NewStream("stencil_h2d_z" + strconv.Itoa(z))
+			device.CopyRange(up, dA, z*slab, grid, z*slab, slab)
+			events[z] = up.Record("slab" + strconv.Itoa(z))
+		}
+		deps := make([]*device.Handle, 0, nz)
+		for z := 0; z < nz; z++ {
+			ks := s.NewStream("stencil_k_z" + strconv.Itoa(z))
+			for dz := -1; dz <= 1; dz++ {
+				if z+dz >= 0 && z+dz < nz {
+					ks.WaitEvent(events[z+dz])
+				}
+			}
+			deps = append(deps, ks.Launch(step(dA, dB, z*slab, slab)))
+		}
+		src, dst := dB, dA
+		for it := 1; it < iters; it++ {
+			deps = []*device.Handle{s.LaunchAsync(step(src, dst, 0, cells), deps...)}
+			src, dst = dst, src
+		}
+		if src != dA {
+			deps = []*device.Handle{device.MemcpyAsync(s, dA, src, deps...)}
+		}
+		s.Wait(device.MemcpyAsync(s, grid, dA, deps...))
+	} else {
+		dA, _ := device.ToDevice(s, grid)
+		dB := device.AllocBuf[float32](s, cells, "grid_tmp", device.Device)
+		s.Drain()
+
+		src, dst := dA, dB
+		for it := 0; it < iters; it++ {
+			s.Launch(step(src, dst, 0, cells))
+			src, dst = dst, src
+		}
+		if src != dA {
+			device.Memcpy(s, dA, src)
+		}
+		s.Wait(device.FromDevice(s, grid, dA))
 	}
-	s.Wait(device.FromDevice(s, grid, dA))
 	s.EndROI()
 	s.AddResult(device.ChecksumF32(grid.V))
 }
@@ -97,6 +140,7 @@ func (SpMV) Info() bench.Info {
 		Suite: "parboil", Name: "spmv",
 		Desc:   "CSR sparse matrix-vector product, irregular gathers",
 		PCComm: true, PipeParal: true, Regular: true, Irregular: true,
+		ExtraModes: []bench.Mode{bench.ModeAsyncStreams},
 	}
 }
 
@@ -119,19 +163,12 @@ func (SpMV) Run(s *device.System, mode bench.Mode, size bench.Size) {
 		x.V[i] = 1
 	}
 
-	s.BeginROI()
-	dRow, _ := device.ToDevice(s, rowPtr)
-	dCol, _ := device.ToDevice(s, colIdx)
-	dVal, _ := device.ToDevice(s, vals)
-	dX, _ := device.ToDevice(s, x)
-	dY, _ := device.ToDevice(s, y)
-	s.Drain()
-
-	for it := 0; it < iters; it++ {
-		s.Launch(device.KernelSpec{
-			Name: "spmv_csr", Grid: n / block, Block: block,
+	// csr builds the SpMV kernel over rows [base, base+count).
+	csr := func(dRow, dCol *device.Buf[int32], dVal, dX, dY *device.Buf[float32], base, count int) device.KernelSpec {
+		return device.KernelSpec{
+			Name: "spmv_csr", Grid: count / block, Block: block,
 			Func: func(t *device.Thread) {
-				r := t.Global()
+				r := base + t.Global()
 				lo := int(device.Ld(t, dRow, r))
 				hi := int(device.Ld(t, dRow, r+1))
 				var acc float32
@@ -143,9 +180,53 @@ func (SpMV) Run(s *device.System, mode bench.Mode, size bench.Size) {
 				t.FLOP(2 * (hi - lo))
 				device.St(t, dY, r, acc)
 			},
-		})
+		}
 	}
-	s.Wait(device.FromDevice(s, y, dY))
+
+	s.BeginROI()
+	if mode == bench.ModeAsyncStreams {
+		const chunks = 4
+		per := n / chunks
+		dRow := device.AllocBuf[int32](s, n+1, "d_row_ptr", device.Device)
+		dCol := device.AllocBuf[int32](s, g.M(), "d_col_idx", device.Device)
+		dVal := device.AllocBuf[float32](s, g.M(), "d_values", device.Device)
+		dX := device.AllocBuf[float32](s, n, "d_x", device.Device)
+		dY := device.AllocBuf[float32](s, n, "d_y", device.Device)
+		xUp := device.MemcpyAsync(s, dX, x)
+		// The first sweep overlaps the CSR upload: each row chunk's kernel
+		// starts as soon as its row pointers and edges (plus x) are
+		// resident; later sweeps reuse the resident graph.
+		pipe := s.Pipeline(device.PipelineSpec{
+			Name: "spmv", Chunks: chunks,
+			H2D: func(c int, deps ...*device.Handle) *device.Handle {
+				lo := c * per
+				elo, ehi := int(g.RowPtr[lo]), int(g.RowPtr[lo+per])
+				h := device.MemcpyRangeAsync(s, dRow, lo, rowPtr, lo, per+1, deps...)
+				h = device.MemcpyRangeAsync(s, dCol, elo, colIdx, elo, ehi-elo, h)
+				return device.MemcpyRangeAsync(s, dVal, elo, vals, elo, ehi-elo, h)
+			},
+			Kernel: func(c int, deps ...*device.Handle) *device.Handle {
+				return s.LaunchAsync(csr(dRow, dCol, dVal, dX, dY, c*per, per), append(deps, xUp)...)
+			},
+		})
+		prev := pipe
+		for it := 1; it < iters; it++ {
+			prev = s.LaunchAsync(csr(dRow, dCol, dVal, dX, dY, 0, n), prev)
+		}
+		s.Wait(device.MemcpyAsync(s, y, dY, prev))
+	} else {
+		dRow, _ := device.ToDevice(s, rowPtr)
+		dCol, _ := device.ToDevice(s, colIdx)
+		dVal, _ := device.ToDevice(s, vals)
+		dX, _ := device.ToDevice(s, x)
+		dY, _ := device.ToDevice(s, y)
+		s.Drain()
+
+		for it := 0; it < iters; it++ {
+			s.Launch(csr(dRow, dCol, dVal, dX, dY, 0, n))
+		}
+		s.Wait(device.FromDevice(s, y, dY))
+	}
 	s.EndROI()
 	s.AddResult(device.ChecksumF32(y.V))
 }
@@ -162,6 +243,7 @@ func (SGEMM) Info() bench.Info {
 		Suite: "parboil", Name: "sgemm",
 		Desc:   "tiled dense matrix multiply",
 		PCComm: true, PipeParal: true, Regular: true,
+		ExtraModes: []bench.Mode{bench.ModeAsyncStreams},
 	}
 }
 
@@ -177,35 +259,65 @@ func (SGEMM) Run(s *device.System, mode bench.Mode, size bench.Size) {
 	copy(a.V, workload.Matrix(n, n, 23))
 	copy(b.V, workload.Matrix(n, n, 24))
 
-	s.BeginROI()
-	dA, _ := device.ToDevice(s, a)
-	dB, _ := device.ToDevice(s, b)
-	dC, _ := device.ToDevice(s, cOut)
-	s.Drain()
-
-	s.Launch(device.KernelSpec{
-		Name: "sgemm_tiled", Grid: n * n / block, Block: block,
-		ScratchBytes: 2 * T * T * 4,
-		Func: func(t *device.Thread) {
-			i := t.Global()
-			r, c := i/n, i%n
-			var acc float32
-			for k0 := 0; k0 < n; k0 += T {
-				// Tile loads: this thread's row slice of A and (via the
-				// cooperative tile) a strided slice of B.
-				ar := device.LdN(t, dA, r*n+k0, T)
-				device.LdN(t, dB, (k0+t.Lane()%T)*n+(c/T)*T, T)
-				for kk := 0; kk < T; kk++ {
-					acc += ar[kk] * dB.V[(k0+kk)*n+c]
+	// gemm builds the tiled-multiply kernel over C elements
+	// [base, base+count) — whole rows of C when count is a multiple of n.
+	gemm := func(dA, dB, dC *device.Buf[float32], base, count int) device.KernelSpec {
+		return device.KernelSpec{
+			Name: "sgemm_tiled", Grid: count / block, Block: block,
+			ScratchBytes: 2 * T * T * 4,
+			Func: func(t *device.Thread) {
+				i := base + t.Global()
+				r, c := i/n, i%n
+				var acc float32
+				for k0 := 0; k0 < n; k0 += T {
+					// Tile loads: this thread's row slice of A and (via the
+					// cooperative tile) a strided slice of B.
+					ar := device.LdN(t, dA, r*n+k0, T)
+					device.LdN(t, dB, (k0+t.Lane()%T)*n+(c/T)*T, T)
+					for kk := 0; kk < T; kk++ {
+						acc += ar[kk] * dB.V[(k0+kk)*n+c]
+					}
+					t.ScratchOp(2)
+					t.FLOP(2 * T)
+					t.Sync()
 				}
-				t.ScratchOp(2)
-				t.FLOP(2 * T)
-				t.Sync()
-			}
-			device.St(t, dC, i, acc)
-		},
-	})
-	s.Wait(device.FromDevice(s, cOut, dC))
+				device.St(t, dC, i, acc)
+			},
+		}
+	}
+
+	s.BeginROI()
+	if mode == bench.ModeAsyncStreams {
+		const chunks = 4
+		per := n / chunks * n // whole rows of A and C per chunk
+		dA := device.AllocBuf[float32](s, n*n, "d_A", device.Device)
+		dB := device.AllocBuf[float32](s, n*n, "d_B", device.Device)
+		dC := device.AllocBuf[float32](s, n*n, "d_C", device.Device)
+		// B is read by every chunk, so it uploads once up front; the A row
+		// blocks stream in against the other chunks' kernels and C row
+		// blocks stream out behind them.
+		bUp := device.MemcpyAsync(s, dB, b)
+		s.Wait(s.Pipeline(device.PipelineSpec{
+			Name: "sgemm", Chunks: chunks,
+			H2D: func(c int, deps ...*device.Handle) *device.Handle {
+				return device.MemcpyRangeAsync(s, dA, c*per, a, c*per, per, deps...)
+			},
+			Kernel: func(c int, deps ...*device.Handle) *device.Handle {
+				return s.LaunchAsync(gemm(dA, dB, dC, c*per, per), append(deps, bUp)...)
+			},
+			D2H: func(c int, deps ...*device.Handle) *device.Handle {
+				return device.MemcpyRangeAsync(s, cOut, c*per, dC, c*per, per, deps...)
+			},
+		}))
+	} else {
+		dA, _ := device.ToDevice(s, a)
+		dB, _ := device.ToDevice(s, b)
+		dC, _ := device.ToDevice(s, cOut)
+		s.Drain()
+
+		s.Launch(gemm(dA, dB, dC, 0, n*n))
+		s.Wait(device.FromDevice(s, cOut, dC))
+	}
 	s.EndROI()
 	s.AddResult(device.ChecksumF32(cOut.V))
 }

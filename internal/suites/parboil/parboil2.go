@@ -19,6 +19,7 @@ func (CutCP) Info() bench.Info {
 		Suite: "parboil", Name: "cutcp",
 		Desc:   "cutoff Coulomb potential over a binned atom set",
 		PCComm: true, PipeParal: true, Regular: true,
+		ExtraModes: []bench.Mode{bench.ModeAsyncStreams},
 	}
 }
 
@@ -45,15 +46,11 @@ func (CutCP) Run(s *device.System, mode bench.Mode, size bench.Size) {
 		}
 	}
 
-	s.BeginROI()
-	dAtoms, _ := device.ToDevice(s, atoms)
-	dPot, _ := device.ToDevice(s, pot)
-	s.Drain()
-
-	s.Launch(device.KernelSpec{
-		Name: "cutcp_potential", Grid: points / block, Block: block,
-		ScratchBytes: 9 * atomsPerCell * 3 * 4,
-		Func: func(t *device.Thread) {
+	// potential is the per-thread kernel body (shared by the classic launch
+	// and the persistent-kernel organization, whose global CTA indexing
+	// matches the one-shot launch exactly).
+	potential := func(dAtoms, dPot *device.Buf[float32]) func(t *device.Thread) {
+		return func(t *device.Thread) {
 			i := t.Global()
 			py, px := i/side, i%side
 			x := float32(px) / float32(side)
@@ -80,9 +77,56 @@ func (CutCP) Run(s *device.System, mode bench.Mode, size bench.Size) {
 				}
 			}
 			device.St(t, dPot, i, acc)
-		},
-	})
-	s.Wait(device.FromDevice(s, pot, dPot))
+		}
+	}
+
+	s.BeginROI()
+	if mode == bench.ModeAsyncStreams {
+		// Persistent-kernel organization: one resident kernel is launched
+		// (one host launch claim), then fed lattice-point batches whose
+		// potentials stream back per batch — dispatch overhead amortized
+		// across every chunk, D2H overlapped with the remaining compute.
+		ctas := points / block
+		feeds := 4
+		if ctas < feeds {
+			feeds = ctas
+		}
+		per := ctas / feeds
+		dAtoms := device.AllocBuf[float32](s, natoms*3, "d_atoms", device.Device)
+		dPot := device.AllocBuf[float32](s, points, "d_potential", device.Device)
+		aUp := device.MemcpyAsync(s, dAtoms, atoms)
+		pk := s.LaunchPersistent(device.PersistentKernelSpec{
+			Name: "cutcp_potential", Block: block,
+			ScratchBytes: 9 * atomsPerCell * 3 * 4,
+			Func:         potential(dAtoms, dPot),
+		}, aUp)
+		outs := make([]*device.Handle, 0, feeds)
+		for c := 0; c < feeds; c++ {
+			nc := per
+			if c == feeds-1 {
+				nc = ctas - per*(feeds-1)
+			}
+			base := c * per * block
+			h := pk.Feed(nc)
+			outs = append(outs, device.MemcpyRangeAsync(s, pot, base, dPot, base, nc*block, h))
+		}
+		pk.Close()
+		s.Wait(pk.Done())
+		for _, h := range outs {
+			s.Wait(h)
+		}
+	} else {
+		dAtoms, _ := device.ToDevice(s, atoms)
+		dPot, _ := device.ToDevice(s, pot)
+		s.Drain()
+
+		s.Launch(device.KernelSpec{
+			Name: "cutcp_potential", Grid: points / block, Block: block,
+			ScratchBytes: 9 * atomsPerCell * 3 * 4,
+			Func:         potential(dAtoms, dPot),
+		})
+		s.Wait(device.FromDevice(s, pot, dPot))
+	}
 	s.EndROI()
 	s.AddResult(device.ChecksumF32(pot.V))
 }

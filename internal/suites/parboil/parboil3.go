@@ -131,6 +131,7 @@ func (MRIQ) Info() bench.Info {
 		Suite: "parboil", Name: "mri-q",
 		Desc:   "MRI Q-matrix: per-voxel sum over k-space samples",
 		PCComm: true, PipeParal: true, Regular: true,
+		ExtraModes: []bench.Mode{bench.ModeAsyncStreams},
 	}
 }
 
@@ -150,37 +151,71 @@ func (MRIQ) Run(s *device.System, mode bench.Mode, size bench.Size) {
 	copy(phi.V, workload.Points(K, 1, 27))
 	copy(x.V, workload.Points(voxels, 1, 28))
 
-	s.BeginROI()
-	dKx, _ := device.ToDevice(s, kx)
-	dPhi, _ := device.ToDevice(s, phi)
-	dX, _ := device.ToDevice(s, x)
-	dRe, _ := device.ToDevice(s, qRe)
-	dIm, _ := device.ToDevice(s, qIm)
-	s.Drain()
-
-	s.Launch(device.KernelSpec{
-		Name: "mriq_computeQ", Grid: voxels / block, Block: block,
-		Func: func(t *device.Thread) {
-			v := t.Global()
-			xv := device.Ld(t, dX, v)
-			var re, im float32
-			for k0 := 0; k0 < K; k0 += batch {
-				ks := device.LdN(t, dKx, k0, batch)
-				ph := device.LdN(t, dPhi, k0, batch)
-				for k := 0; k < batch; k++ {
-					// cos/sin stand-in: two multiply-adds per sample.
-					arg := ks[k] * xv
-					re += ph[k] * (1 - arg*arg/2)
-					im += ph[k] * arg
+	// computeQ builds the Q kernel over voxels [base, base+count).
+	computeQ := func(dKx, dPhi, dX, dRe, dIm *device.Buf[float32], base, count int) device.KernelSpec {
+		return device.KernelSpec{
+			Name: "mriq_computeQ", Grid: count / block, Block: block,
+			Func: func(t *device.Thread) {
+				v := base + t.Global()
+				xv := device.Ld(t, dX, v)
+				var re, im float32
+				for k0 := 0; k0 < K; k0 += batch {
+					ks := device.LdN(t, dKx, k0, batch)
+					ph := device.LdN(t, dPhi, k0, batch)
+					for k := 0; k < batch; k++ {
+						// cos/sin stand-in: two multiply-adds per sample.
+						arg := ks[k] * xv
+						re += ph[k] * (1 - arg*arg/2)
+						im += ph[k] * arg
+					}
+					t.FLOP(6 * batch)
 				}
-				t.FLOP(6 * batch)
-			}
-			device.St(t, dRe, v, re)
-			device.St(t, dIm, v, im)
-		},
-	})
-	s.Wait(device.FromDevice(s, qRe, dRe))
-	s.Wait(device.FromDevice(s, qIm, dIm))
+				device.St(t, dRe, v, re)
+				device.St(t, dIm, v, im)
+			},
+		}
+	}
+
+	s.BeginROI()
+	if mode == bench.ModeAsyncStreams {
+		const chunks = 4
+		per := voxels / chunks
+		dKx := device.AllocBuf[float32](s, K, "d_kspace_x", device.Device)
+		dPhi := device.AllocBuf[float32](s, K, "d_phi_mag", device.Device)
+		dX := device.AllocBuf[float32](s, voxels, "d_voxel_x", device.Device)
+		dRe := device.AllocBuf[float32](s, voxels, "d_q_real", device.Device)
+		dIm := device.AllocBuf[float32](s, voxels, "d_q_imag", device.Device)
+		// The k-space tables upload once; voxel chunks then stream through
+		// a two-slot staging pipeline (chunk c's upload waits for the
+		// kernel that freed slot c-2), overlapping x uploads, Q kernels,
+		// and the two result downloads.
+		kUp := device.MemcpyAsync(s, dKx, kx)
+		pUp := device.MemcpyAsync(s, dPhi, phi)
+		s.Wait(s.DoubleBuffer(device.PipelineSpec{
+			Name: "mriq", Chunks: chunks,
+			H2D: func(c int, deps ...*device.Handle) *device.Handle {
+				return device.MemcpyRangeAsync(s, dX, c*per, x, c*per, per, deps...)
+			},
+			Kernel: func(c int, deps ...*device.Handle) *device.Handle {
+				return s.LaunchAsync(computeQ(dKx, dPhi, dX, dRe, dIm, c*per, per), append(deps, kUp, pUp)...)
+			},
+			D2H: func(c int, deps ...*device.Handle) *device.Handle {
+				h := device.MemcpyRangeAsync(s, qRe, c*per, dRe, c*per, per, deps...)
+				return device.MemcpyRangeAsync(s, qIm, c*per, dIm, c*per, per, h)
+			},
+		}))
+	} else {
+		dKx, _ := device.ToDevice(s, kx)
+		dPhi, _ := device.ToDevice(s, phi)
+		dX, _ := device.ToDevice(s, x)
+		dRe, _ := device.ToDevice(s, qRe)
+		dIm, _ := device.ToDevice(s, qIm)
+		s.Drain()
+
+		s.Launch(computeQ(dKx, dPhi, dX, dRe, dIm, 0, voxels))
+		s.Wait(device.FromDevice(s, qRe, dRe))
+		s.Wait(device.FromDevice(s, qIm, dIm))
+	}
 	s.EndROI()
 	s.AddResult(device.ChecksumF32(qRe.V), device.ChecksumF32(qIm.V))
 }

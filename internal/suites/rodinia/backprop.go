@@ -161,24 +161,35 @@ func (Backprop) Run(s *device.System, mode bench.Mode, size bench.Size) {
 		dW := device.AllocBuf[float32](s, d.n*d.hid, "d_weights", device.Device)
 		dDelta := device.AllocBuf[float32](s, d.hid, "d_delta", device.Device)
 		hPart := device.AllocBuf[float32](s, ctas*d.hid, "h_partials", device.Host)
-		var fwd []*device.Handle
-		for c := 0; c < chunks; c++ {
-			hi := device.MemcpyRangeAsync(s, dIn, c*per, d.input, c*per, per)
-			hw := device.MemcpyRangeAsync(s, dW, c*per*d.hid, d.weights, c*per*d.hid, per*d.hid, hi)
-			k := s.LaunchAsync(d.forwardKernel(dIn, dW, d.partial, c*per, per, c*per/d.block), hw)
-			cp := device.MemcpyRangeAsync(s, hPart, c*per/d.block*d.hid, d.partial, c*per/d.block*d.hid, per/d.block*d.hid, k)
-			fwd = append(fwd, cp)
-		}
-		red := d.cpuReduce(s, hPart, ctas, fwd...)
+		// Forward pass: input+weight chunks stream in against the other
+		// chunks' kernels and partial copies.
+		fwd := s.Pipeline(device.PipelineSpec{
+			Name: "bp_forward", Chunks: chunks,
+			H2D: func(c int, deps ...*device.Handle) *device.Handle {
+				hi := device.MemcpyRangeAsync(s, dIn, c*per, d.input, c*per, per, deps...)
+				return device.MemcpyRangeAsync(s, dW, c*per*d.hid, d.weights, c*per*d.hid, per*d.hid, hi)
+			},
+			Kernel: func(c int, deps ...*device.Handle) *device.Handle {
+				return s.LaunchAsync(d.forwardKernel(dIn, dW, d.partial, c*per, per, c*per/d.block), deps...)
+			},
+			D2H: func(c int, deps ...*device.Handle) *device.Handle {
+				return device.MemcpyRangeAsync(s, hPart, c*per/d.block*d.hid, d.partial, c*per/d.block*d.hid, per/d.block*d.hid, deps...)
+			},
+		})
+		red := d.cpuReduce(s, hPart, ctas, fwd)
 		dc := device.MemcpyAsync(s, dDelta, d.delta, red)
-		var adj []*device.Handle
-		for c := 0; c < chunks; c++ {
-			k := s.LaunchAsync(d.adjustKernel(dIn, dW, dDelta, c*per, per), dc)
-			adj = append(adj, device.MemcpyRangeAsync(s, d.weights, c*per*d.hid, dW, c*per*d.hid, per*d.hid, k))
-		}
-		for _, h := range adj {
-			s.Wait(h)
-		}
+		// Adjust pass: chunks are already resident, so only the kernels and
+		// the weight writeback pipeline.
+		adj := s.Pipeline(device.PipelineSpec{
+			Name: "bp_adjust", Chunks: chunks,
+			Kernel: func(c int, deps ...*device.Handle) *device.Handle {
+				return s.LaunchAsync(d.adjustKernel(dIn, dW, dDelta, c*per, per), append(deps, dc)...)
+			},
+			D2H: func(c int, deps ...*device.Handle) *device.Handle {
+				return device.MemcpyRangeAsync(s, d.weights, c*per*d.hid, dW, c*per*d.hid, per*d.hid, deps...)
+			},
+		})
+		s.Wait(adj)
 
 	case bench.ModeParallelChunked:
 		const chunks = 4

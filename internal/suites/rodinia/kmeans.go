@@ -230,14 +230,20 @@ func (kd *kmeansData) runAsyncStreams(s *device.System) {
 			deps = append(deps, iterDone)
 		}
 		cenCopy := device.MemcpyAsync(s, dCen, kd.centers, deps...)
-		var cpuDone []*device.Handle
-		for c := 0; c < chunks; c++ {
-			h2d := device.MemcpyRangeAsync(s, dFeat, c*per*kd.d, featCM, c*per*kd.d, per*kd.d, cenCopy)
-			k := s.LaunchAsync(chunkKernel(c), h2d)
-			d2h := device.MemcpyRangeAsync(s, kd.assign, c*per, dAssign, c*per, per, k)
-			cpuDone = append(cpuDone, d2h)
-		}
-		iterDone = kd.cpuUpdate(s, cpuDone...)
+		pipe := s.Pipeline(device.PipelineSpec{
+			Name: "kmeans", Chunks: chunks,
+			H2D: func(c int, deps ...*device.Handle) *device.Handle {
+				return device.MemcpyRangeAsync(s, dFeat, c*per*kd.d, featCM, c*per*kd.d, per*kd.d,
+					append(deps, cenCopy)...)
+			},
+			Kernel: func(c int, deps ...*device.Handle) *device.Handle {
+				return s.LaunchAsync(chunkKernel(c), deps...)
+			},
+			D2H: func(c int, deps ...*device.Handle) *device.Handle {
+				return device.MemcpyRangeAsync(s, kd.assign, c*per, dAssign, c*per, per, deps...)
+			},
+		})
+		iterDone = kd.cpuUpdate(s, pipe)
 	}
 	s.Wait(iterDone)
 }

@@ -122,18 +122,25 @@ func (Streamcluster) Run(s *device.System, mode bench.Mode, size bench.Size) {
 		ptsUp := device.MemcpyAsync(s, dPts, d.pts)
 		var prev *device.Handle
 		for r := 0; r < d.rounds; r++ {
-			var deps []*device.Handle
-			deps = append(deps, ptsUp)
+			roundDeps := []*device.Handle{ptsUp}
 			if prev != nil {
-				deps = append(deps, prev)
+				roundDeps = append(roundDeps, prev)
 			}
-			var back []*device.Handle
-			for c := 0; c < chunks; c++ {
-				up := device.MemcpyRangeAsync(s, dCur, c*per, d.curDst, c*per, per, deps...)
-				k := s.LaunchAsync(d.gainKernel(dPts, dCur, dGain, r*37%d.n, c*per, per), up)
-				back = append(back, device.MemcpyRangeAsync(s, d.gain, c*per, dGain, c*per, per, k))
-			}
-			prev = d.cpuDecide(s, d.gain, d.curDst, back...)
+			rr := r
+			pipe := s.Pipeline(device.PipelineSpec{
+				Name: "sc_round", Chunks: chunks,
+				H2D: func(c int, deps ...*device.Handle) *device.Handle {
+					return device.MemcpyRangeAsync(s, dCur, c*per, d.curDst, c*per, per,
+						append(deps, roundDeps...)...)
+				},
+				Kernel: func(c int, deps ...*device.Handle) *device.Handle {
+					return s.LaunchAsync(d.gainKernel(dPts, dCur, dGain, rr*37%d.n, c*per, per), deps...)
+				},
+				D2H: func(c int, deps ...*device.Handle) *device.Handle {
+					return device.MemcpyRangeAsync(s, d.gain, c*per, dGain, c*per, per, deps...)
+				},
+			})
+			prev = d.cpuDecide(s, d.gain, d.curDst, pipe)
 		}
 		s.Wait(prev)
 
