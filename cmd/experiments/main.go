@@ -6,7 +6,7 @@
 //	            [-size small|medium] [-only NAME[,NAME...]] [-jobs N]
 //	            [-timeout 60s] [-max-events N] [-stall 30s]
 //	            [-state DIR] [-resume]
-//	            [-inject PLAN] [-csv DIR] [-json FILE] [-q]
+//	            [-inject PLAN] [-csv DIR] [-json FILE] [-q] [-metrics]
 //	            [-trace FILE] [-flame] [-progress]
 //	            [-cpuprofile FILE] [-memprofile FILE] [-pprof ADDR]
 //
@@ -60,6 +60,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/experiments"
 	"repro/internal/harness"
+	"repro/internal/metrics"
 	"repro/internal/sweep"
 	"repro/internal/trace"
 
@@ -89,6 +90,7 @@ func run() int {
 	resume := flag.Bool("resume", false, "replay DIR/sweep.journal (requires -state) and run only the missing runs")
 	inject := flag.String("inject", "", "hardware fault plan for every run, e.g. pcie=0.25,fault=8,dram=0:100:600")
 	quiet := flag.Bool("q", false, "suppress progress output")
+	metricsDump := flag.Bool("metrics", false, "print run-lifecycle metrics (Prometheus text format) to stderr at exit")
 	tracePath := flag.String("trace", "", "record the shared sweep as a Chrome trace-event / Perfetto JSON trace to this file")
 	flame := flag.Bool("flame", false, "print a text flame summary of the sweep trace to stderr (implies tracing)")
 	progress := flag.Bool("progress", false, "emit live per-run progress lines on stderr")
@@ -97,6 +99,11 @@ func run() int {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
+	if *metricsDump {
+		// Deferred first so it runs after the profile flushes; stdout
+		// (figures) stays byte-identical with the flag on or off.
+		defer metrics.Default.WriteText(os.Stderr)
+	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {

@@ -6,6 +6,13 @@
 // cache; interrupted sweeps checkpoint into journals under -state and
 // resume on resubmission, across restarts.
 //
+// GET /metrics exposes operational counters, gauges, and latency
+// histograms in Prometheus text format; every request is logged as one
+// structured line (-log-format text|json, -log-level) carrying the
+// request's correlation ID (the X-Request-Id header, echoed if the
+// client sent one, generated otherwise), which also appears in sweep
+// progress events, journal filenames, and harness trace spans.
+//
 // Shutdown mirrors the CLI sweeps' two-stage signal discipline: the first
 // SIGINT/SIGTERM stops admitting requests and stops dispatching new runs
 // inside in-flight sweeps (what completed is checkpointed and clients are
@@ -19,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -46,6 +54,8 @@ func run() int {
 		retryAfter   = flag.Duration("retry-after", 2*time.Second, "Retry-After hint on 429/503 responses")
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "max time to wait for in-flight requests after the first signal")
 		quiet        = flag.Bool("q", false, "suppress operational logging")
+		logLevel     = flag.String("log-level", "info", "structured access-log level: debug, info, warn, or error")
+		logFormat    = flag.String("log-format", "text", "structured access-log format: text or json")
 	)
 	flag.Parse()
 	if *state == "" {
@@ -53,6 +63,33 @@ func run() int {
 		flag.Usage()
 		return 2
 	}
+
+	var level slog.Level
+	switch *logLevel {
+	case "debug":
+		level = slog.LevelDebug
+	case "info":
+		level = slog.LevelInfo
+	case "warn":
+		level = slog.LevelWarn
+	case "error":
+		level = slog.LevelError
+	default:
+		fmt.Fprintf(os.Stderr, "hetsimd: -log-level: unknown level %q\n", *logLevel)
+		return 2
+	}
+	hopts := &slog.HandlerOptions{Level: level}
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, hopts)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, hopts)
+	default:
+		fmt.Fprintf(os.Stderr, "hetsimd: -log-format: unknown format %q\n", *logFormat)
+		return 2
+	}
+	accessLog := slog.New(handler)
 
 	logw := io.Writer(os.Stderr)
 	if *quiet {
@@ -73,6 +110,7 @@ func run() int {
 		Drain:      drainCtx,
 		Hard:       hardCtx,
 		Logf:       logf,
+		Log:        accessLog,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hetsimd: %v\n", err)

@@ -1,0 +1,55 @@
+// Command metricscheck validates Prometheus text-format (v0.0.4)
+// exposition files such as GET /metrics scrapes from hetsimd: every
+// sample must parse, HELP/TYPE comments must precede their family's
+// samples and not repeat, families must not interleave, and histograms
+// must have strictly increasing le bounds, monotone cumulative bucket
+// counts, and an le="+Inf" bucket equal to _count. CI runs it on the
+// smoke job's scrapes so a malformed exposition fails the build instead
+// of failing the first Prometheus server pointed at the daemon.
+//
+// Usage:
+//
+//	metricscheck FILE...
+//
+// Prints one summary line per file; exits 1 if any file is invalid.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/metrics"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: metricscheck FILE...")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	bad := false
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metricscheck: %v\n", err)
+			bad = true
+			continue
+		}
+		st, err := metrics.Lint(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metricscheck: %s: INVALID: %v\n", path, err)
+			bad = true
+			continue
+		}
+		fmt.Printf("%s: ok: %d samples across %d families (%d histograms)\n",
+			path, st.Samples, st.Families, st.Histograms)
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

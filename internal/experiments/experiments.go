@@ -131,6 +131,12 @@ type SweepOpts struct {
 	// stops advancing for this long while events churn is killed as
 	// KindStalled instead of spinning forever. Zero disables it.
 	Stall time.Duration
+	// RequestID is the correlation ID of the request this sweep serves
+	// (hetsimd threads the sanitized X-Request-Id here). It rides into
+	// each run's harness spec, where it lands as a request_id arg on the
+	// lifecycle trace instants. Never part of the fingerprint: it does
+	// not affect results.
+	RequestID string
 }
 
 // Run executes the full sweep with default options. Failed runs come back
@@ -197,7 +203,7 @@ func RunSweep(size bench.Size, opts SweepOpts) (*Results, []harness.RunError) {
 		opts.Progress.Start(runName)
 		spec := harness.Spec{
 			Bench: s.b, Mode: s.mode, Size: size, Budget: opts.Budget, Fault: opts.Fault,
-			Ctx: opts.RunCtx, Stall: opts.Stall,
+			Ctx: opts.RunCtx, Stall: opts.Stall, RequestID: opts.RequestID,
 		}
 		if opts.Trace {
 			spec.Trace = recs[i]

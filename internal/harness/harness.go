@@ -168,6 +168,21 @@ type Spec struct {
 	// and the degraded size the next attempt will run at. Used for live
 	// sweep progress.
 	OnRetry func(next bench.Size, err *RunError)
+	// RequestID, when non-empty, is the correlation ID of the request this
+	// run serves. It is stamped as a request_id arg on the harness's
+	// lifecycle trace instants (attempt start, retry, failure), so a
+	// Perfetto trace can be tied back to the access log line and journal
+	// that produced it. It never affects results.
+	RequestID string
+}
+
+// lifecycleArgs builds the trace args for a harness lifecycle instant:
+// just the correlation ID when one is set, nil (no allocation) otherwise.
+func (s *Spec) lifecycleArgs() []trace.Arg {
+	if s.RequestID == "" {
+		return nil
+	}
+	return []trace.Arg{{Key: "request_id", Val: s.RequestID}}
 }
 
 // tailLen is how many trailing trace events a RunError carries, and the
@@ -202,6 +217,25 @@ type Outcome struct {
 // Run executes one benchmark run fault-tolerantly. It never panics and
 // never hangs (given a budget): every abort comes back as Outcome.Err.
 func Run(spec Spec) *Outcome {
+	mRunsStarted.Inc()
+	out := run(spec)
+	mRunEvents.Add(out.Events)
+	if out.Wall > 0 && out.Events > 0 {
+		mEventsPerSec.Observe(float64(out.Events) / out.Wall.Seconds())
+	}
+	if out.Attempts > 1 {
+		mRunsRetried.Add(uint64(out.Attempts - 1))
+	}
+	if out.Err == nil {
+		mRunsCompleted.Inc()
+	} else {
+		failedCounter(out.Err.Kind).Inc()
+	}
+	return out
+}
+
+// run is Run without the lifecycle metrics.
+func run(spec Spec) *Outcome {
 	maxAttempts := spec.MaxAttempts
 	if maxAttempts <= 0 {
 		maxAttempts = defaultMaxAttempts
@@ -240,7 +274,8 @@ func Run(spec Spec) *Outcome {
 			return out
 		}
 		spec.Trace.Instant(stats.CPU, "harness", "harness",
-			fmt.Sprintf("retry at %s after %s", smaller, out.Err.Kind), out.Err.SimTime)
+			fmt.Sprintf("retry at %s after %s", smaller, out.Err.Kind), out.Err.SimTime,
+			spec.lifecycleArgs()...)
 		if spec.OnRetry != nil {
 			spec.OnRetry(smaller, out.Err)
 		}
@@ -286,7 +321,8 @@ func runOnce(spec Spec, size bench.Size, attempt int) (out *Outcome) {
 		if out.Sys != nil {
 			simT, ev = out.Sys.Eng.Now(), out.Sys.Eng.EventsRun()
 		}
-		rec.Instant(stats.CPU, "harness", "harness", "run failed: "+kind.String(), simT)
+		rec.Instant(stats.CPU, "harness", "harness", "run failed: "+kind.String(), simT,
+			spec.lifecycleArgs()...)
 		out.Err = &RunError{
 			Benchmark: info.FullName(), Mode: spec.Mode, Size: size,
 			Kind: kind, Msg: msg, SimTime: simT, Events: ev,
@@ -344,7 +380,8 @@ func runOnce(spec Spec, size bench.Size, attempt int) (out *Outcome) {
 	}
 	out.Sys = s
 	rec.Instant(stats.CPU, "harness", "harness",
-		fmt.Sprintf("attempt %d start (%s)", attempt, size), s.Eng.Now())
+		fmt.Sprintf("attempt %d start (%s)", attempt, size), s.Eng.Now(),
+		spec.lifecycleArgs()...)
 	s.Eng.SetBudget(sim.Budget{MaxEvents: spec.Budget.MaxEvents, WallClock: spec.Budget.Timeout, Ctx: spec.Ctx})
 	if spec.Stall > 0 {
 		stop := watchStall(s.Eng, spec.Stall)

@@ -64,6 +64,10 @@ func OpenRunLog(path, kind, fingerprint string, slots []string) (*RunLog, error)
 		// can repeat when an earlier resume re-ran it).
 		l.replayed[rec.Slot] = r.Outcome()
 	}
+	if len(l.replayed) > 0 {
+		mJournalResumes.Inc()
+		mJournalReplayedRuns.Add(uint64(len(l.replayed)))
+	}
 	return l, nil
 }
 

@@ -55,6 +55,7 @@ func watchStall(eng *sim.Engine, window time.Duration) (stop func()) {
 			}
 			lastEvents = events
 			if stalled := time.Since(frozen); stalled >= window {
+				mStallTrips.Inc()
 				eng.Interrupt(sim.ReasonStalled, fmt.Sprintf(
 					"sim time frozen at %.3f ms for %s while events advanced",
 					now.Millis(), stalled.Round(time.Millisecond)))

@@ -1,0 +1,101 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/device"
+	"repro/internal/trace"
+)
+
+// lifecycleInstants extracts the harness's lifecycle trace instants
+// (attempt start, retry, failure) from a recorder.
+func lifecycleInstants(rec *trace.Recorder) []trace.Event {
+	var out []trace.Event
+	for _, e := range rec.Events() {
+		if e.Cat == "harness" && e.Kind == trace.Instant {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// requestIDArg returns the request_id arg value on an event ("" if absent).
+func requestIDArg(e trace.Event) string {
+	for _, a := range e.Args {
+		if a.Key == "request_id" {
+			if s, ok := a.Val.(string); ok {
+				return s
+			}
+		}
+	}
+	return ""
+}
+
+// TestRunRequestIDInTraceArgs: a Spec carrying a correlation ID stamps it
+// on every harness lifecycle instant, success and failure paths alike, so
+// a Perfetto trace ties back to the request that produced it.
+func TestRunRequestIDInTraceArgs(t *testing.T) {
+	rec := trace.New()
+	out := Run(Spec{
+		Bench: fakeBench{name: "traced-ok", run: okRun(50)},
+		Mode:  bench.ModeLimitedCopy, Size: bench.SizeSmall,
+		Trace: rec, RequestID: "req-42",
+	})
+	if out.Err != nil {
+		t.Fatalf("unexpected error: %v", out.Err)
+	}
+	instants := lifecycleInstants(rec)
+	if len(instants) == 0 {
+		t.Fatal("run emitted no harness lifecycle instants")
+	}
+	for _, e := range instants {
+		if got := requestIDArg(e); got != "req-42" {
+			t.Fatalf("instant %q request_id = %q, want req-42", e.Name, got)
+		}
+	}
+
+	// Failure path: the "run failed" instant carries the ID too.
+	rec = trace.New()
+	out = Run(Spec{
+		Bench: fakeBench{name: "traced-boom", run: func(s *device.System, _ bench.Mode, _ bench.Size) {
+			panic("deliberate")
+		}},
+		Mode: bench.ModeLimitedCopy, Size: bench.SizeSmall,
+		Trace: rec, RequestID: "req-43",
+	})
+	if out.Err == nil {
+		t.Fatal("panicking run reported success")
+	}
+	failed := false
+	for _, e := range lifecycleInstants(rec) {
+		if got := requestIDArg(e); got != "req-43" {
+			t.Fatalf("instant %q request_id = %q, want req-43", e.Name, got)
+		}
+		if e.Name == "run failed: panic" {
+			failed = true
+		}
+	}
+	if !failed {
+		t.Fatal("trace misses the run-failed instant")
+	}
+}
+
+// TestRunNoRequestIDNoArgs: without a correlation ID the lifecycle
+// instants carry no args at all — CLI traces stay exactly as before.
+func TestRunNoRequestIDNoArgs(t *testing.T) {
+	rec := trace.New()
+	out := Run(Spec{
+		Bench: fakeBench{name: "untagged", run: okRun(50)},
+		Mode:  bench.ModeLimitedCopy, Size: bench.SizeSmall,
+		Trace: rec,
+	})
+	if out.Err != nil {
+		t.Fatalf("unexpected error: %v", out.Err)
+	}
+	for _, e := range lifecycleInstants(rec) {
+		if len(e.Args) != 0 {
+			t.Fatalf("instant %q carries args %v without a request ID", e.Name, e.Args)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Content-Type a /metrics endpoint serving WriteText
+// output should declare.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText renders the registry in Prometheus text exposition format
+// v0.0.4: families sorted by name, each with its # HELP and # TYPE
+// comment, series sorted by label values, histograms as cumulative
+// _bucket/_sum/_count samples with an explicit le="+Inf" bucket. The
+// output is deterministic for a given registry state and always passes
+// Lint — the pairing cmd/metricscheck enforces in CI.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	fams := make(map[string]*family, len(r.families))
+	for n, f := range r.families {
+		names = append(names, n)
+		fams[n] = f
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, n := range names {
+		writeFamily(&b, fams[n])
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Snapshot renders every series to a flat map keyed the way the
+// exposition format spells it (`name{label="value"}`); histograms
+// contribute their cumulative _bucket, _sum, and _count samples. Tests
+// assert on these keys so they never drift from what a scraper sees.
+func (r *Registry) Snapshot() map[string]float64 {
+	out := map[string]float64{}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	for _, f := range fams {
+		for _, row := range f.render() {
+			out[row.key] = row.val
+		}
+	}
+	return out
+}
+
+// sample is one rendered exposition line: key is the full series name
+// with its label set, val the sample value.
+type sample struct {
+	key string
+	val float64
+}
+
+// render flattens a family's series into exposition samples, sorted by
+// label values so output order is deterministic.
+func (f *family) render() []sample {
+	f.mu.Lock()
+	series := append([]*series(nil), f.series...)
+	f.mu.Unlock()
+	sort.Slice(series, func(i, j int) bool {
+		return strings.Join(series[i].vals, "\x00") < strings.Join(series[j].vals, "\x00")
+	})
+
+	var out []sample
+	for _, s := range series {
+		base := labelSet(f.labels, s.vals, "", "")
+		switch f.typ {
+		case TypeCounter:
+			out = append(out, sample{f.name + base, float64(s.count.Load())})
+		case TypeGauge:
+			out = append(out, sample{f.name + base, float64(s.gauge.Load())})
+		case TypeHistogram:
+			var cum uint64
+			for i, upper := range f.buckets {
+				cum += s.buckets[i].Load()
+				le := labelSet(f.labels, s.vals, "le", formatFloat(upper))
+				out = append(out, sample{f.name + "_bucket" + le, float64(cum)})
+			}
+			count := s.count.Load()
+			inf := labelSet(f.labels, s.vals, "le", "+Inf")
+			out = append(out, sample{f.name + "_bucket" + inf, float64(count)})
+			out = append(out, sample{f.name + "_sum" + base, math.Float64frombits(s.sumBits.Load())})
+			out = append(out, sample{f.name + "_count" + base, float64(count)})
+		}
+	}
+	return out
+}
+
+func writeFamily(b *strings.Builder, f *family) {
+	fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.typ)
+	for _, row := range f.render() {
+		b.WriteString(row.key)
+		b.WriteByte(' ')
+		b.WriteString(formatFloat(row.val))
+		b.WriteByte('\n')
+	}
+}
+
+// labelSet renders `{a="x",b="y"}` (empty string for no labels), with an
+// optional extra pair appended — the histogram "le" label.
+func labelSet(labels, vals []string, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(vals[i]))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraVal))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatFloat renders a sample value: integral values (the common case —
+// counters, gauges, bucket counts) print without an exponent or decimal
+// point, everything else in Go's shortest round-trip form.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var (
+	helpEscaper  = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+)
+
+func escapeHelp(s string) string  { return helpEscaper.Replace(s) }
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }

@@ -1,0 +1,353 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintStats summarizes a validated exposition document.
+type LintStats struct {
+	Samples    int // sample lines
+	Families   int // distinct metric families sampled
+	Histograms int // families declared histogram
+}
+
+// Lint validates a Prometheus text-format v0.0.4 exposition document the
+// way cmd/tracecheck validates traces: structural rules a scraper relies
+// on, checked before anything scrapes it.
+//
+//   - Lines are samples, # HELP / # TYPE comments, or blank; the document
+//     ends with a newline.
+//   - Metric and label names match the exposition grammar; label values
+//     are correctly quoted and escaped; no duplicate label names.
+//   - HELP and TYPE appear at most once per family, TYPE with a known
+//     type, and before any of the family's samples; one family's samples
+//     are contiguous (not interleaved with another family's).
+//   - Sample values parse as floats (+Inf/-Inf/NaN included), optional
+//     timestamps as integers.
+//   - Histogram families are internally consistent per label set:
+//     le bounds parse and strictly increase, bucket counts are
+//     monotonically non-decreasing, an le="+Inf" bucket exists and equals
+//     _count, and _sum/_count are present.
+func Lint(data []byte) (LintStats, error) {
+	var st LintStats
+	if len(data) == 0 {
+		return st, fmt.Errorf("empty document")
+	}
+	if data[len(data)-1] != '\n' {
+		return st, fmt.Errorf("document does not end with a newline")
+	}
+
+	type histSeries struct {
+		les     []float64
+		counts  []float64
+		infSeen bool
+		inf     float64
+		count   float64
+		hasCnt  bool
+		hasSum  bool
+	}
+	helpSeen := map[string]bool{}
+	typeOf := map[string]string{}
+	sampled := map[string]bool{} // families with at least one sample
+	closed := map[string]bool{}  // families whose sample block has ended
+	hists := map[string]map[string]*histSeries{}
+	var lastFam string
+
+	// famOf maps a sample name to its family: histogram component samples
+	// (_bucket/_sum/_count) collapse onto their declared base family.
+	famOf := func(name string) string {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if base, ok := strings.CutSuffix(name, suf); ok && typeOf[base] == "histogram" {
+				return base
+			}
+		}
+		return name
+	}
+
+	lines := strings.Split(string(data), "\n")
+	for ln, line := range lines[:len(lines)-1] { // trailing "" after final \n
+		lineno := ln + 1
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			name := fields[2]
+			if !nameRe.MatchString(name) {
+				return st, fmt.Errorf("line %d: invalid metric name %q in %s comment", lineno, name, fields[1])
+			}
+			if sampled[name] {
+				return st, fmt.Errorf("line %d: %s for %q after its samples", lineno, fields[1], name)
+			}
+			switch fields[1] {
+			case "HELP":
+				if helpSeen[name] {
+					return st, fmt.Errorf("line %d: duplicate HELP for %q", lineno, name)
+				}
+				helpSeen[name] = true
+			case "TYPE":
+				if _, dup := typeOf[name]; dup {
+					return st, fmt.Errorf("line %d: duplicate TYPE for %q", lineno, name)
+				}
+				typ := ""
+				if len(fields) >= 4 {
+					typ = strings.TrimSpace(fields[3])
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return st, fmt.Errorf("line %d: unknown type %q for %q", lineno, typ, name)
+				}
+				typeOf[name] = typ
+				if typ == "histogram" {
+					st.Histograms++
+				}
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return st, fmt.Errorf("line %d: %v", lineno, err)
+		}
+		st.Samples++
+		fam := famOf(name)
+		if !sampled[fam] {
+			if closed[fam] {
+				return st, fmt.Errorf("line %d: samples for %q interleaved with another family", lineno, fam)
+			}
+			sampled[fam] = true
+			st.Families++
+		}
+		if lastFam != "" && lastFam != fam {
+			closed[lastFam] = true
+			if closed[fam] {
+				return st, fmt.Errorf("line %d: samples for %q interleaved with another family", lineno, fam)
+			}
+		}
+		lastFam = fam
+
+		if typeOf[fam] == "histogram" {
+			sig := histSig(labels)
+			if hists[fam] == nil {
+				hists[fam] = map[string]*histSeries{}
+			}
+			hs := hists[fam][sig]
+			if hs == nil {
+				hs = &histSeries{}
+				hists[fam][sig] = hs
+			}
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				le, ok := labels["le"]
+				if !ok {
+					return st, fmt.Errorf("line %d: %s sample without an le label", lineno, name)
+				}
+				if le == "+Inf" {
+					if hs.infSeen {
+						return st, fmt.Errorf("line %d: duplicate le=\"+Inf\" bucket on %s", lineno, name)
+					}
+					hs.infSeen, hs.inf = true, value
+					break
+				}
+				bound, err := strconv.ParseFloat(le, 64)
+				if err != nil || math.IsNaN(bound) {
+					return st, fmt.Errorf("line %d: unparsable le bound %q on %s", lineno, le, name)
+				}
+				hs.les = append(hs.les, bound)
+				hs.counts = append(hs.counts, value)
+			case strings.HasSuffix(name, "_sum"):
+				hs.hasSum = true
+			case strings.HasSuffix(name, "_count"):
+				hs.hasCnt, hs.count = true, value
+			default:
+				return st, fmt.Errorf("line %d: histogram %q has a bare sample %q (want _bucket/_sum/_count)", lineno, fam, name)
+			}
+		}
+	}
+
+	for fam, bysig := range hists {
+		for sig, hs := range bysig {
+			where := fam
+			if sig != "" {
+				where = fam + "{" + sig + "}"
+			}
+			if !hs.infSeen {
+				return st, fmt.Errorf("histogram %s: missing le=\"+Inf\" bucket", where)
+			}
+			if !hs.hasSum || !hs.hasCnt {
+				return st, fmt.Errorf("histogram %s: missing _sum or _count", where)
+			}
+			if hs.count != hs.inf {
+				return st, fmt.Errorf("histogram %s: _count (%g) != le=\"+Inf\" bucket (%g)", where, hs.count, hs.inf)
+			}
+			if !sort.Float64sAreSorted(hs.les) {
+				return st, fmt.Errorf("histogram %s: le bounds out of order", where)
+			}
+			prev := math.Inf(-1)
+			last := 0.0
+			for i, le := range hs.les {
+				if le <= prev {
+					return st, fmt.Errorf("histogram %s: duplicate le bound %g", where, le)
+				}
+				if hs.counts[i] < last {
+					return st, fmt.Errorf("histogram %s: bucket counts not monotone at le=%g (%g < %g)",
+						where, le, hs.counts[i], last)
+				}
+				prev, last = le, hs.counts[i]
+			}
+			if hs.inf < last {
+				return st, fmt.Errorf("histogram %s: le=\"+Inf\" bucket (%g) below last bound's count (%g)", where, hs.inf, last)
+			}
+		}
+	}
+	return st, nil
+}
+
+// histSig canonicalizes a bucket sample's label set minus le, so all
+// samples of one histogram series group together.
+func histSig(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != "le" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[k]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// parseSample parses one exposition sample line:
+//
+//	name [{label="value",...}] value [timestamp]
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	i := 0
+	for i < len(line) && isNameChar(line[i], i == 0) {
+		i++
+	}
+	name = line[:i]
+	if !nameRe.MatchString(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name at %q", line)
+	}
+	rest := line[i:]
+	labels = map[string]string{}
+	if strings.HasPrefix(rest, "{") {
+		rest = rest[1:]
+		for {
+			rest = strings.TrimLeft(rest, " \t")
+			if strings.HasPrefix(rest, "}") {
+				rest = rest[1:]
+				break
+			}
+			j := 0
+			for j < len(rest) && isLabelChar(rest[j], j == 0) {
+				j++
+			}
+			lname := rest[:j]
+			if !labelRe.MatchString(lname) {
+				return "", nil, 0, fmt.Errorf("invalid label name at %q", rest)
+			}
+			if _, dup := labels[lname]; dup {
+				return "", nil, 0, fmt.Errorf("duplicate label %q", lname)
+			}
+			rest = rest[j:]
+			if !strings.HasPrefix(rest, `="`) {
+				return "", nil, 0, fmt.Errorf("label %q not followed by =\"...\"", lname)
+			}
+			val, remainder, verr := parseQuoted(rest[1:])
+			if verr != nil {
+				return "", nil, 0, fmt.Errorf("label %q: %v", lname, verr)
+			}
+			labels[lname] = val
+			rest = remainder
+			if strings.HasPrefix(rest, ",") {
+				rest = rest[1:]
+				continue
+			}
+			rest = strings.TrimLeft(rest, " \t")
+			if !strings.HasPrefix(rest, "}") {
+				return "", nil, 0, fmt.Errorf("malformed label set at %q", rest)
+			}
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("want value [timestamp] after %q, got %q", name, rest)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("unparsable sample value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		if _, terr := strconv.ParseInt(fields[1], 10, 64); terr != nil {
+			return "", nil, 0, fmt.Errorf("unparsable timestamp %q", fields[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+// parseQuoted consumes a double-quoted exposition string (after the
+// opening quote's preceding text), validating its escapes (\\, \", \n),
+// and returns the decoded value plus the remainder after the closing
+// quote.
+func parseQuoted(s string) (string, string, error) {
+	if !strings.HasPrefix(s, `"`) {
+		return "", "", fmt.Errorf("missing opening quote at %q", s)
+	}
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return b.String(), s[i+1:], nil
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", "", fmt.Errorf("dangling backslash")
+			}
+			switch s[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("invalid escape \\%c", s[i])
+			}
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted string")
+}
+
+func isNameChar(c byte, first bool) bool {
+	if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' {
+		return true
+	}
+	return !first && c >= '0' && c <= '9'
+}
+
+func isLabelChar(c byte, first bool) bool {
+	if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' {
+		return true
+	}
+	return !first && c >= '0' && c <= '9'
+}

@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+const validDoc = `# HELP http_requests_total Requests served.
+# TYPE http_requests_total counter
+http_requests_total{route="/v1/sweep",code="200"} 12
+http_requests_total{route="/v1/sweep",code="429"} 3
+# HELP lat_seconds Latency.
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.1"} 4
+lat_seconds_bucket{le="1"} 9
+lat_seconds_bucket{le="+Inf"} 10
+lat_seconds_sum 6.5
+lat_seconds_count 10
+# TYPE inflight gauge
+inflight 2
+`
+
+func TestLintValid(t *testing.T) {
+	st, err := Lint([]byte(validDoc))
+	if err != nil {
+		t.Fatalf("valid doc rejected: %v", err)
+	}
+	if st.Samples != 8 || st.Families != 3 || st.Histograms != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLintAcceptsEdgeValues(t *testing.T) {
+	doc := "odd_values{a=\"esc\\\\aped \\\"quote\\\" and\\nnewline\"} +Inf\n" +
+		"odd_values{a=\"two\"} NaN 1712000000\n" +
+		"odd_values 1e-9\n"
+	if _, err := Lint([]byte(doc)); err != nil {
+		t.Fatalf("edge values rejected: %v", err)
+	}
+}
+
+func TestLintRejects(t *testing.T) {
+	cases := map[string]struct{ doc, wantErr string }{
+		"empty":              {"", "empty"},
+		"no final newline":   {"a 1", "newline"},
+		"bad metric name":    {"1abc 1\n", "invalid metric name"},
+		"bad label name":     {`a{9x="y"} 1` + "\n", "invalid label name"},
+		"bad escape":         {`a{x="\t"} 1` + "\n", `invalid escape`},
+		"unterminated":       {`a{x="y} 1` + "\n", "unterminated"},
+		"dup label":          {`a{x="1",x="2"} 1` + "\n", "duplicate label"},
+		"bad value":          {"a one\n", "unparsable sample value"},
+		"bad timestamp":      {"a 1 12.5\n", "unparsable timestamp"},
+		"unknown type":       {"# TYPE a widget\na 1\n", "unknown type"},
+		"dup type":           {"# TYPE a counter\n# TYPE a counter\na 1\n", "duplicate TYPE"},
+		"dup help":           {"# HELP a x\n# HELP a y\na 1\n", "duplicate HELP"},
+		"type after samples": {"a 1\n# TYPE a counter\n", "after its samples"},
+		"interleaved":        {"a 1\nb 1\na{x=\"2\"} 1\n", "interleaved"},
+		"hist non-monotone": {
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+			"not monotone",
+		},
+		"hist bounds out of order": {
+			"# TYPE h histogram\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+			"out of order",
+		},
+		"hist missing inf": {
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n",
+			`missing le="+Inf"`,
+		},
+		"hist count mismatch": {
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 4\n",
+			"_count",
+		},
+		"hist missing sum": {
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_count 5\n",
+			"missing _sum",
+		},
+		"hist bad le": {
+			"# TYPE h histogram\nh_bucket{le=\"wide\"} 5\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+			"unparsable le",
+		},
+		"hist bare sample": {
+			"# TYPE h histogram\nh 5\n",
+			"bare sample",
+		},
+	}
+	for name, tc := range cases {
+		_, err := Lint([]byte(tc.doc))
+		if err == nil {
+			t.Errorf("%s: accepted invalid doc", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestLintHistogramPerLabelSet(t *testing.T) {
+	// Two series of one histogram; one is broken — the error must name it.
+	doc := "# TYPE h histogram\n" +
+		`h_bucket{route="/a",le="1"} 2` + "\n" +
+		`h_bucket{route="/a",le="+Inf"} 2` + "\n" +
+		`h_sum{route="/a"} 1` + "\n" +
+		`h_count{route="/a"} 2` + "\n" +
+		`h_bucket{route="/b",le="1"} 9` + "\n" +
+		`h_bucket{route="/b",le="+Inf"} 4` + "\n" +
+		`h_sum{route="/b"} 1` + "\n" +
+		`h_count{route="/b"} 4` + "\n"
+	_, err := Lint([]byte(doc))
+	if err == nil {
+		t.Fatal("accepted histogram whose +Inf bucket is below a bound's count")
+	}
+	if !strings.Contains(err.Error(), "/b") {
+		t.Fatalf("error %q does not identify the broken series", err)
+	}
+}

@@ -1,0 +1,217 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("inflight", "in flight")
+	g.Set(7)
+	g.Add(-2)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	snap := r.Snapshot()
+	if snap["reqs_total"] != 5 || snap["inflight"] != 5 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if got, want := h.Sum(), 5.555; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	snap := r.Snapshot()
+	checks := map[string]float64{
+		`lat_seconds_bucket{le="0.01"}`: 1,
+		`lat_seconds_bucket{le="0.1"}`:  2,
+		`lat_seconds_bucket{le="1"}`:    3,
+		`lat_seconds_bucket{le="+Inf"}`: 4,
+		`lat_seconds_count`:             4,
+	}
+	for k, want := range checks {
+		if snap[k] != want {
+			t.Errorf("%s = %g, want %g (snapshot %v)", k, snap[k], want, snap)
+		}
+	}
+}
+
+func TestHistogramBoundaryInclusive(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("b", "boundary", []float64{1, 2})
+	h.Observe(1) // le="1" is inclusive
+	if snap := r.Snapshot(); snap[`b_bucket{le="1"}`] != 1 {
+		t.Fatalf(`observe(1) not in le="1" bucket: %v`, snap)
+	}
+}
+
+func TestVecLabels(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("http_requests_total", "by route/code", "route", "code")
+	v.With("/v1/sweep", "200").Add(3)
+	v.With("/v1/sweep", "429").Inc()
+	// Repeated With on the same values resolves the same series.
+	v.With("/v1/sweep", "200").Inc()
+	snap := r.Snapshot()
+	if snap[`http_requests_total{route="/v1/sweep",code="200"}`] != 4 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	if snap[`http_requests_total{route="/v1/sweep",code="429"}`] != 1 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+func TestRegisterIdempotentAndMismatch(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c_total", "help")
+	b := r.Counter("c_total", "help")
+	a.Inc()
+	b.Inc()
+	if a.Value() != 2 {
+		t.Fatalf("re-registration did not share the series: %d", a.Value())
+	}
+	mustPanic(t, "type mismatch", func() { r.Gauge("c_total", "help") })
+	mustPanic(t, "help mismatch", func() { r.Counter("c_total", "other") })
+	mustPanic(t, "bad name", func() { r.Counter("1bad", "x") })
+	mustPanic(t, "reserved le label", func() { r.CounterVec("v_total", "x", "le") })
+	mustPanic(t, "unsorted buckets", func() { r.Histogram("h", "x", []float64{2, 1}) })
+	mustPanic(t, "label arity", func() {
+		r.CounterVec("arity_total", "x", "a").With("1", "2")
+	})
+}
+
+func TestWriteTextLintsAndIsDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_total", "last by name").Add(2)
+	v := r.HistogramVec("wait_seconds", "queue wait", LogBuckets(0.001, 10, 2), "route")
+	v.With("/v1/run").Observe(0.02)
+	v.With("/v1/sweep").Observe(3)
+	g := r.GaugeVec("depth", `odd "label" with \ and`+"\n", "kind")
+	g.With(`quo"te\`).Set(-4)
+
+	var a, b bytes.Buffer
+	if err := r.WriteText(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("WriteText not deterministic:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	st, err := Lint(a.Bytes())
+	if err != nil {
+		t.Fatalf("WriteText output fails Lint: %v\n%s", err, a.String())
+	}
+	if st.Histograms != 1 || st.Families != 3 {
+		t.Fatalf("lint stats = %+v, want 1 histogram / 3 families", st)
+	}
+	out := a.String()
+	for _, want := range []string{
+		"# TYPE zz_total counter\n",
+		"# TYPE wait_seconds histogram\n",
+		`depth{kind="quo\"te\\"} -4` + "\n",
+		`wait_seconds_bucket{route="/v1/run",le="+Inf"} 1` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLogBuckets(t *testing.T) {
+	b := LogBuckets(0.001, 10, 3)
+	if b[0] != 0.001 {
+		t.Fatalf("first bound = %g", b[0])
+	}
+	if last := b[len(b)-1]; last < 10 {
+		t.Fatalf("last bound %g < max", last)
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not increasing at %d: %v", i, b)
+		}
+	}
+	// Independent computation: no cumulative drift, so the same call is
+	// bit-identical and decade points are exact powers of ten.
+	if b2 := LogBuckets(0.001, 10, 3); !equalFloats(b, b2) {
+		t.Fatal("LogBuckets not reproducible")
+	}
+	mustPanic(t, "bad args", func() { LogBuckets(0, 1, 3) })
+}
+
+// TestMetricIncZeroAlloc is the allocation ratchet the package doc
+// promises: instrumented hot paths must stay benchdiff-clean.
+func TestMetricIncZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("alloc_c_total", "x")
+	g := r.Gauge("alloc_g", "x")
+	h := r.Histogram("alloc_h", "x", LogBuckets(0.001, 10, 3))
+	cases := map[string]func(){
+		"Counter.Inc":       func() { c.Inc() },
+		"Counter.Add":       func() { c.Add(3) },
+		"Gauge.Set":         func() { g.Set(9) },
+		"Gauge.Add":         func() { g.Add(-1) },
+		"Histogram.Observe": func() { h.Observe(0.42) },
+	}
+	for name, fn := range cases {
+		if allocs := testing.AllocsPerRun(1000, fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", name, allocs)
+		}
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "x")
+	h := r.Histogram("conc_h", "x", []float64{1, 10})
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(0.5)
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if c.Value() != 8000 || h.Count() != 8000 {
+		t.Fatalf("count=%d hist=%d, want 8000/8000", c.Value(), h.Count())
+	}
+	if h.Sum() != 4000 {
+		t.Fatalf("sum = %g, want 4000 (CAS loop lost updates)", h.Sum())
+	}
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"sync"
+
+	"repro/internal/metrics"
 )
 
 // ErrBusy reports an admission rejection: every execution slot is taken
@@ -32,6 +34,30 @@ type Gate struct {
 	queue   int // capacity: max requests waiting for slots
 	held    int // weight currently admitted
 	waiting int // requests currently in the waiting line
+
+	// Optional live gauges, attached by Instrument and kept current under
+	// mu so a scrape mid-churn still sees a consistent pair.
+	instrumented bool
+	heldGauge    metrics.Gauge
+	waitingGauge metrics.Gauge
+}
+
+// Instrument attaches gauges the gate updates as admission state changes:
+// heldGauge tracks the admitted weight (concurrent simulations), and
+// waitingGauge the depth of the bounded waiting line.
+func (g *Gate) Instrument(heldGauge, waitingGauge metrics.Gauge) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.heldGauge, g.waitingGauge, g.instrumented = heldGauge, waitingGauge, true
+	g.sync()
+}
+
+// sync publishes the gate's state to the attached gauges; callers hold mu.
+func (g *Gate) sync() {
+	if g.instrumented {
+		g.heldGauge.Set(int64(g.held))
+		g.waitingGauge.Set(int64(g.waiting))
+	}
 }
 
 // NewGate builds a gate with the given slot and queue capacities
@@ -69,6 +95,7 @@ func (g *Gate) Admit(ctx context.Context, weight int) (release func(), err error
 			return nil, ErrBusy
 		}
 		g.waiting++
+		g.sync()
 		// Wake this waiter when the caller gives up, not only when a
 		// slot frees: a queued request whose deadline fired must leave
 		// the line promptly so it cannot clog it.
@@ -77,6 +104,7 @@ func (g *Gate) Admit(ctx context.Context, weight int) (release func(), err error
 			g.wake.Wait()
 		}
 		g.waiting--
+		g.sync()
 		stop()
 		if ctx.Err() != nil {
 			// Leaving the line may unblock nothing, but a broadcast is
@@ -87,6 +115,7 @@ func (g *Gate) Admit(ctx context.Context, weight int) (release func(), err error
 		}
 	}
 	g.held += weight
+	g.sync()
 	g.mu.Unlock()
 
 	var once sync.Once
@@ -94,6 +123,7 @@ func (g *Gate) Admit(ctx context.Context, weight int) (release func(), err error
 		once.Do(func() {
 			g.mu.Lock()
 			g.held -= weight
+			g.sync()
 			g.wake.Broadcast()
 			g.mu.Unlock()
 		})

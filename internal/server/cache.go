@@ -33,6 +33,9 @@ type Cache struct {
 	dir  string
 	logf func(format string, args ...any)
 	mu   sync.Mutex // serializes quarantine renames for the same key
+	// onQuarantine, when set, observes each corrupt-entry quarantine (the
+	// server wires a metrics counter here).
+	onQuarantine func()
 }
 
 // cacheMagic stamps entry headers; a version bump invalidates old entries
@@ -110,6 +113,9 @@ func parseEntry(data []byte) ([]byte, error) {
 func (c *Cache) quarantine(path string, cause error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.onQuarantine != nil {
+		c.onQuarantine()
+	}
 	q := path + ".corrupt"
 	if err := os.Rename(path, q); err != nil {
 		c.logf("cache: quarantine %s: %v (entry was corrupt: %v)", path, err, cause)

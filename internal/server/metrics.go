@@ -1,0 +1,76 @@
+package server
+
+import (
+	"repro/internal/metrics"
+)
+
+// serverMetrics is the daemon's instrument panel: every handle is resolved
+// once at construction, so the request path touches only atomic slots. The
+// families live in the registry GET /metrics serves (metrics.Default unless
+// Config.Metrics overrides it), alongside the run-lifecycle families the
+// harness layer registers — one scrape describes the whole serving path,
+// from HTTP status codes down to engine events.
+type serverMetrics struct {
+	// requests/latency are labeled by route (a fixed set — unknown paths
+	// collapse to "other", so label cardinality is bounded) and, for
+	// requests, the final HTTP status code.
+	requests *metrics.CounterVec
+	latency  *metrics.HistogramVec
+
+	// Admission: rejections by reason, the wait every admitted or rejected
+	// request spent queued, and the gate's live state.
+	rejectedBusy          metrics.Counter // 429: slots and waiting line full
+	rejectedQueueDeadline metrics.Counter // 504: deadline expired while queued
+	rejectedDraining      metrics.Counter // 503: drain had begun
+	rejectedCanceled      metrics.Counter // client vanished while queued
+	queueWait             metrics.Histogram
+	inFlight              metrics.Gauge // admitted weight = concurrent sims
+	waiting               metrics.Gauge
+
+	// Result cache and checkpoint journals.
+	cacheHits          metrics.Counter
+	cacheMisses        metrics.Counter
+	cacheQuarantined   metrics.Counter
+	journalQuarantined metrics.Counter
+	sweepsResumed      metrics.Counter // requests that picked up a journal
+	resumedRuns        metrics.Counter // runs replayed instead of executed
+	coalesced          metrics.Counter // requests served by another's result
+}
+
+func newServerMetrics(r *metrics.Registry) *serverMetrics {
+	rejected := r.CounterVec("hetsimd_rejected_total",
+		"Requests rejected before execution, by reason (busy=429, queue_deadline=504, draining=503, canceled=client gone).",
+		"reason")
+	return &serverMetrics{
+		requests: r.CounterVec("hetsimd_http_requests_total",
+			"HTTP requests served, by route and final status code.", "route", "code"),
+		latency: r.HistogramVec("hetsimd_http_request_seconds",
+			"HTTP request wall time in seconds, by route.",
+			metrics.LogBuckets(0.001, 600, 3), "route"),
+		rejectedBusy:          rejected.With("busy"),
+		rejectedQueueDeadline: rejected.With("queue_deadline"),
+		rejectedDraining:      rejected.With("draining"),
+		rejectedCanceled:      rejected.With("canceled"),
+		queueWait: r.Histogram("hetsimd_gate_queue_wait_seconds",
+			"Time a request spent waiting for admission (near-zero when slots were free).",
+			metrics.LogBuckets(1e-6, 600, 2)),
+		inFlight: r.Gauge("hetsimd_gate_in_flight_weight",
+			"Admitted weight: the number of simulations allowed to execute concurrently right now."),
+		waiting: r.Gauge("hetsimd_gate_waiting",
+			"Requests currently queued in the bounded admission line."),
+		cacheHits: r.Counter("hetsimd_cache_hits_total",
+			"Requests served from the verified result cache."),
+		cacheMisses: r.Counter("hetsimd_cache_misses_total",
+			"Requests that executed because no valid cache entry existed."),
+		cacheQuarantined: r.Counter("hetsimd_cache_quarantined_total",
+			"Corrupt cache entries renamed aside and recomputed."),
+		journalQuarantined: r.Counter("hetsimd_journal_quarantined_total",
+			"Corrupt or mismatched checkpoint journals renamed aside."),
+		sweepsResumed: r.Counter("hetsimd_sweeps_resumed_total",
+			"Sweep requests that resumed a checkpoint journal from an earlier interrupted request."),
+		resumedRuns: r.Counter("hetsimd_resumed_runs_total",
+			"Runs replayed from checkpoint journals instead of executed."),
+		coalesced: r.Counter("hetsimd_coalesced_total",
+			"Requests that waited on an identical in-flight request and were served its result."),
+	}
+}

@@ -31,11 +31,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -44,6 +47,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/harness"
 	"repro/internal/journal"
+	"repro/internal/metrics"
 	"repro/internal/sweep"
 )
 
@@ -89,6 +93,14 @@ type Config struct {
 	Hard context.Context
 	// Logf receives operational diagnostics (nil discards).
 	Logf func(format string, args ...any)
+	// Log receives the structured access log: one record per request, with
+	// the correlation ID, route, status, and duration. Nil discards them.
+	Log *slog.Logger
+	// Metrics is the registry the server's families register in and the
+	// one GET /metrics serves. Nil means metrics.Default — the registry
+	// the harness and journal layers already feed, so one scrape covers
+	// HTTP, admission, cache, and run-lifecycle counters together.
+	Metrics *metrics.Registry
 }
 
 // Server is the sweep-as-a-service request layer. Build with New, mount
@@ -99,6 +111,7 @@ type Server struct {
 	cache      *Cache
 	journalDir string
 	locks      sync.Map // fingerprint -> *sync.Mutex (sweep singleflight)
+	m          *serverMetrics
 
 	// Execution seams, overridden by tests to substitute deterministic
 	// stand-ins for the simulator.
@@ -129,6 +142,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	if cfg.Log == nil {
+		cfg.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.Default
+	}
 	journalDir := filepath.Join(cfg.StateDir, "journals")
 	if err := os.MkdirAll(journalDir, 0o755); err != nil {
 		return nil, fmt.Errorf("server: state dir: %w", err)
@@ -137,11 +156,16 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
+	m := newServerMetrics(cfg.Metrics)
+	cache.onQuarantine = m.cacheQuarantined.Inc
+	gate := NewGate(cfg.Pool, cfg.Queue)
+	gate.Instrument(m.inFlight, m.waiting)
 	return &Server{
 		cfg:        cfg,
-		gate:       NewGate(cfg.Pool, cfg.Queue),
+		gate:       gate,
 		cache:      cache,
 		journalDir: journalDir,
+		m:          m,
 		runSweep:   experiments.RunSweep,
 		runOne:     harness.Run,
 	}, nil
@@ -152,23 +176,30 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /version", s.handleVersion)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("POST /v1/run", s.handleRun)
-	return s.recoverMiddleware(mux)
+	return s.middleware(mux)
 }
 
 // draining reports whether the first shutdown stage has begun.
 func (s *Server) draining() bool { return s.cfg.Drain.Err() != nil }
 
-// statusWriter tracks whether a handler already committed a status, so
-// the panic recovery layer knows whether a 500 can still be sent.
+// statusWriter tracks whether a handler already committed a status (so
+// the panic recovery layer knows whether a 500 can still be sent) and
+// which one, for the request metrics and access log.
 type statusWriter struct {
 	http.ResponseWriter
 	wrote bool
+	code  int
 }
 
 func (sw *statusWriter) WriteHeader(code int) {
+	if !sw.wrote {
+		sw.code = code
+	}
 	sw.wrote = true
 	sw.ResponseWriter.WriteHeader(code)
 }
@@ -178,6 +209,14 @@ func (sw *statusWriter) Write(b []byte) (int, error) {
 	return sw.ResponseWriter.Write(b)
 }
 
+// status reports the committed response code (200 for an implicit commit).
+func (sw *statusWriter) status() int {
+	if sw.code == 0 {
+		return http.StatusOK
+	}
+	return sw.code
+}
+
 // Flush keeps the wrapped writer usable for streaming responses.
 func (sw *statusWriter) Flush() {
 	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
@@ -185,13 +224,43 @@ func (sw *statusWriter) Flush() {
 	}
 }
 
-// recoverMiddleware is the request-isolation backstop: a panic out of any
-// handler (a server-layer bug — simulation panics are already recovered
-// by the harness) fails that request with a 500 and a logged stack, never
-// the process.
-func (s *Server) recoverMiddleware(next http.Handler) http.Handler {
+// routeLabel maps a request path to its metrics label. The set is fixed —
+// unknown paths collapse to "other" — so a scanner probing random URLs
+// cannot inflate label cardinality.
+func routeLabel(path string) string {
+	switch path {
+	case "/healthz", "/readyz", "/version", "/metrics", "/v1/benchmarks", "/v1/sweep", "/v1/run":
+		return path
+	}
+	return "other"
+}
+
+// probeRoute reports whether a route is an operational probe, whose access
+// log records go out at debug level so a scraper polling every few seconds
+// does not drown the request log.
+func probeRoute(route string) bool {
+	switch route {
+	case "/healthz", "/readyz", "/version", "/metrics":
+		return true
+	}
+	return false
+}
+
+// middleware wraps every handler with the per-request cross-cutting
+// layers, outermost first: correlation ID (accept/echo X-Request-Id,
+// generate otherwise, thread through the context), panic recovery (a
+// server-layer bug fails that request with a 500 and a logged stack,
+// never the process — simulation panics are already recovered by the
+// harness), and, on the way out, the request counter, latency histogram,
+// and structured access log record.
+func (s *Server) middleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		id := ensureRequestID(r)
+		w.Header().Set(HeaderRequestID, id)
+		r = r.WithContext(withRequestID(r.Context(), id))
 		sw := &statusWriter{ResponseWriter: w}
+		route := routeLabel(r.URL.Path)
 		defer func() {
 			if v := recover(); v != nil {
 				s.cfg.Logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
@@ -199,6 +268,21 @@ func (s *Server) recoverMiddleware(next http.Handler) http.Handler {
 					writeJSONError(sw, http.StatusInternalServerError, "internal", "internal server error")
 				}
 			}
+			elapsed := time.Since(t0)
+			code := sw.status()
+			s.m.requests.With(route, strconv.Itoa(code)).Inc()
+			s.m.latency.With(route).Observe(elapsed.Seconds())
+			level := slog.LevelInfo
+			if probeRoute(route) {
+				level = slog.LevelDebug
+			}
+			s.cfg.Log.LogAttrs(r.Context(), level, "request",
+				slog.String("request_id", id),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", code),
+				slog.Int64("dur_ms", elapsed.Milliseconds()),
+				slog.String("remote", r.RemoteAddr))
 		}()
 		next.ServeHTTP(sw, r)
 	})
@@ -252,11 +336,47 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.draining() {
-		writeJSONError(w, http.StatusServiceUnavailable, "draining", "server is draining; not accepting work")
+		// A draining server is distinguishable from a crashed or
+		// overloaded one by the literal body: load balancers and scripts
+		// match the word, not a JSON shape.
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]string{"status": "ready"})
+}
+
+// handleVersion reports what binary is serving: module path and version,
+// Go toolchain, and the VCS stamp when the build carried one.
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	doc := map[string]string{"go": runtime.Version()}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		doc["path"] = bi.Path
+		doc["module"] = bi.Main.Path
+		doc["version"] = bi.Main.Version
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				doc["revision"] = kv.Value
+			case "vcs.time":
+				doc["build_time"] = kv.Value
+			case "vcs.modified":
+				doc["dirty"] = kv.Value
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(doc)
+}
+
+// handleMetrics serves the registry in Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", metrics.ContentType)
+	if err := s.cfg.Metrics.WriteText(w); err != nil {
+		s.cfg.Logf("metrics: %v", err)
+	}
 }
 
 // benchmarkInfo is one row of GET /v1/benchmarks. Modes lists every
@@ -294,6 +414,7 @@ func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
 // written.
 func (s *Server) admit(w http.ResponseWriter, r *http.Request, deadline time.Duration, weight int) (context.Context, context.CancelFunc, func(), bool) {
 	if s.draining() {
+		s.m.rejectedDraining.Inc()
 		s.retryAfter(w)
 		writeJSONError(w, http.StatusServiceUnavailable, "draining", "server is draining; retry against another instance or after restart")
 		return nil, nil, nil, false
@@ -303,18 +424,26 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, deadline time.Dur
 	if deadline > 0 {
 		reqCtx, cancel = context.WithTimeout(reqCtx, deadline)
 	}
+	wait0 := time.Now()
 	release, err := s.gate.Admit(reqCtx, weight)
+	s.m.queueWait.Observe(time.Since(wait0).Seconds())
 	if err != nil {
 		cancel()
 		switch {
 		case errors.Is(err, ErrBusy):
+			s.m.rejectedBusy.Inc()
 			s.retryAfter(w)
 			writeJSONError(w, http.StatusTooManyRequests, "busy",
 				fmt.Sprintf("all %d simulation slots busy and the waiting line (%d) is full", s.cfg.Pool, s.cfg.Queue))
 		case errors.Is(err, context.DeadlineExceeded):
+			// The deadline was the client's, but the wait was this server's
+			// congestion: hint when to retry, as the 429 path does.
+			s.m.rejectedQueueDeadline.Inc()
+			s.retryAfter(w)
 			writeJSONError(w, http.StatusGatewayTimeout, "deadline", "request deadline expired while queued for admission")
 		default:
 			// Client went away while queued; nothing useful to write.
+			s.m.rejectedCanceled.Inc()
 		}
 		return nil, nil, nil, false
 	}
@@ -322,8 +451,15 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, deadline time.Dur
 }
 
 // serveDoc writes a completed JSON document with the daemon's telemetry
-// headers, through the stream when one is active.
+// headers, through the stream when one is active. It is the one place
+// every completed request exits through, so the cache hit/miss counters
+// live here and each request counts exactly once.
 func (s *Server) serveDoc(w http.ResponseWriter, st *streamer, body []byte, cache string, wall time.Duration) {
+	if cache == "hit" {
+		s.m.cacheHits.Inc()
+	} else {
+		s.m.cacheMisses.Inc()
+	}
 	if st != nil {
 		if !st.started {
 			w.Header().Set(HeaderCache, cache)
@@ -346,6 +482,26 @@ func (s *Server) fpLock(fp string) *sync.Mutex {
 	return v.(*sync.Mutex)
 }
 
+// journalPath resolves a sweep's checkpoint journal file. A journal left
+// by an earlier interrupted request for the same fingerprint wins — the
+// glob matches any request's ID suffix (and the legacy bare name), and a
+// fingerprint is a fixed-length hash so one fingerprint's pattern can
+// never match another's files. A fresh journal is named with the creating
+// request's correlation ID, so `ls STATE/journals` answers which request
+// left which checkpoint. Callers hold the fingerprint's singleflight
+// lock, so at most one journal per fingerprint exists at a time.
+func (s *Server) journalPath(fp, requestID string) string {
+	if matches, _ := filepath.Glob(filepath.Join(s.journalDir, fp+"*.journal")); len(matches) > 0 {
+		sort.Strings(matches)
+		return matches[0]
+	}
+	name := fp + ".journal"
+	if requestID != "" {
+		name = fp + "-" + requestID + ".journal"
+	}
+	return filepath.Join(s.journalDir, name)
+}
+
 // openJournal opens (resume semantics) the fingerprint-keyed checkpoint
 // journal for a sweep request. A corrupt or mismatched journal is
 // quarantined — renamed aside and logged, like a corrupt cache entry —
@@ -357,6 +513,7 @@ func (s *Server) openJournal(path string, p *sweepParams) (*harness.RunLog, erro
 		return state, nil
 	}
 	if errors.Is(err, journal.ErrCorrupt) || errors.Is(err, journal.ErrFingerprint) {
+		s.m.journalQuarantined.Inc()
 		q := path + ".corrupt"
 		if rerr := os.Rename(path, q); rerr != nil {
 			return nil, fmt.Errorf("quarantine %s: %w (journal was bad: %v)", path, rerr, err)
@@ -430,6 +587,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 
 	t0 := time.Now()
+	requestID := RequestIDFrom(r.Context())
 	reqCtx, cancel, release, ok := s.admit(w, r, p.deadline, p.jobs)
 	if !ok {
 		return
@@ -444,16 +602,18 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// One executor per fingerprint: a concurrent identical request waits
-	// here, then usually leaves through the cache re-check.
+	// here, then usually leaves through the cache re-check — the
+	// singleflight coalesce the counter below records.
 	lock := s.fpLock(p.fingerprint)
 	lock.Lock()
 	defer lock.Unlock()
 	if body, ok := s.cache.Get(p.fingerprint); ok {
+		s.m.coalesced.Inc()
 		s.serveDoc(w, st, body, "hit", time.Since(t0))
 		return
 	}
 
-	jpath := filepath.Join(s.journalDir, p.fingerprint+".journal")
+	jpath := s.journalPath(p.fingerprint, requestID)
 	state, err := s.openJournal(jpath, p)
 	if err != nil {
 		s.fail(w, st, http.StatusInternalServerError, "internal", "checkpoint journal: "+err.Error())
@@ -461,6 +621,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	resumed := state.ReplayedCount()
 	if resumed > 0 {
+		s.m.sweepsResumed.Inc()
+		s.m.resumedRuns.Add(uint64(resumed))
 		s.cfg.Logf("sweep %s: resuming, %d runs already journaled", short(p.fingerprint), resumed)
 	}
 
@@ -475,8 +637,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	opts := p.opts
 	opts.State = state
 	opts.Ctx, opts.RunCtx = dispatchCtx, runCtx
+	// The correlation ID rides along into the harness's trace spans; it is
+	// not part of the fingerprint (two requests for the same experiment
+	// share one cache entry regardless of who asked).
+	opts.RequestID = requestID
 	if st != nil {
-		opts.Progress = sweep.NewEventTracker(st.progress)
+		tracker := sweep.NewEventTracker(st.progress)
+		tracker.SetRequestID(requestID)
+		opts.Progress = tracker
 		// Headers must beat the first progress frame out the door.
 		w.Header().Set(HeaderCache, "miss")
 		w.Header().Set(HeaderResumed, strconv.Itoa(resumed))
@@ -566,6 +734,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	defer stopRun()
 	spec := p.spec
 	spec.Ctx = runCtx
+	spec.RequestID = RequestIDFrom(r.Context())
 	out := s.runOne(spec)
 
 	doc := out.JSON()

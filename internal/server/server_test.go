@@ -138,6 +138,9 @@ func TestSweepDeadlineWhileQueued(t *testing.T) {
 	if resp.StatusCode != http.StatusGatewayTimeout {
 		t.Fatalf("queued+expired status = %d, want 504; body: %s", resp.StatusCode, body)
 	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("504 response missing Retry-After: the wait was this server's congestion")
+	}
 	var e map[string]string
 	if err := json.Unmarshal(body, &e); err != nil || e["error"] != "deadline" {
 		t.Fatalf("504 body = %s, want error=deadline", body)

@@ -23,6 +23,9 @@ type Event struct {
 	// Finished and Total are the [k/n] progress counters at emit time.
 	Finished int `json:"finished"`
 	Total    int `json:"total"`
+	// RequestID is the correlation ID of the request this sweep serves,
+	// stamped on every event (SetRequestID). Empty for CLI sweeps.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // Tracker emits live per-run progress while a sweep executes on the
@@ -35,16 +38,17 @@ type Event struct {
 // writing to a network stream needs no locking of its own but must not
 // call back into the Tracker.
 type Tracker struct {
-	mu       sync.Mutex
-	w        io.Writer
-	sink     func(Event)
-	total    int
-	started  int
-	finished int
-	failed   int
-	retried  int
-	replayed int
-	t0       time.Time
+	mu        sync.Mutex
+	w         io.Writer
+	sink      func(Event)
+	total     int
+	started   int
+	finished  int
+	failed    int
+	retried   int
+	replayed  int
+	requestID string
+	t0        time.Time
 }
 
 // NewTracker builds a tracker writing lines to w. total may be zero if
@@ -69,6 +73,18 @@ func (p *Tracker) SetTotal(n int) {
 	p.mu.Unlock()
 }
 
+// SetRequestID stamps every subsequent Event with the correlation ID of
+// the request the sweep serves, so a client tailing an SSE stream can tie
+// the events back to its own X-Request-Id.
+func (p *Tracker) SetRequestID(id string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.requestID = id
+	p.mu.Unlock()
+}
+
 func (p *Tracker) line(format string, args ...any) {
 	if p.w == nil {
 		return
@@ -81,7 +97,7 @@ func (p *Tracker) emit(kind, name, detail string) {
 	if p.sink == nil {
 		return
 	}
-	p.sink(Event{Kind: kind, Name: name, Detail: detail, Finished: p.finished, Total: p.total})
+	p.sink(Event{Kind: kind, Name: name, Detail: detail, Finished: p.finished, Total: p.total, RequestID: p.requestID})
 }
 
 // Start logs a run beginning.
