@@ -58,6 +58,33 @@ func BenchmarkSweepSmall(b *testing.B) {
 	}
 }
 
+// BenchmarkRunMedium measures one medium kmeans run end to end — the
+// intra-run parallel engine's target workload — serial and with the
+// run's trace generation pipelined on 4 workers. The speedup comes from
+// overlapping functional execution with the timing model, so it needs
+// spare cores: on a multi-core machine par=4 approaches the serial
+// timing-model cost alone, while on one core both cases cost about the
+// same (the pipeline degrades to interleaving, never to divergence).
+func BenchmarkRunMedium(b *testing.B) {
+	km, ok := bench.Get("rodinia/kmeans")
+	if !ok {
+		b.Fatal("rodinia/kmeans not registered")
+	}
+	for _, par := range []int{1, 4} {
+		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out := harness.Run(harness.Spec{
+					Bench: km, Mode: bench.ModeCopy, Size: bench.SizeMedium,
+					Parallel: par,
+				})
+				if out.Err != nil {
+					b.Fatal(out.Err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkTable1 regenerates the Table I system parameter listing.
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -13,9 +13,12 @@
 //	go run ./cmd/benchdiff -baseline BENCH_small.json bench.txt
 //	go run ./cmd/benchdiff -baseline BENCH_small.json -update bench.txt
 //
-// With -update the baseline file is rewritten from the observed results
+// With -update the baseline file is refreshed from the observed results
 // instead of being compared (run this after an intentional change, on the
-// reference machine, and commit the diff).
+// reference machine, and commit the diff). The update merges: rows the
+// input does not mention keep their committed values, so a partial bench
+// run refreshes only its own rows; -prune drops the unmentioned rows
+// instead. The note field is preserved unless -note replaces it.
 package main
 
 import (
@@ -121,6 +124,7 @@ func main() {
 	baselinePath := flag.String("baseline", "BENCH_small.json", "baseline JSON file")
 	update := flag.Bool("update", false, "rewrite the baseline from the observed results")
 	note := flag.String("note", "", "with -update: provenance note stored in the baseline")
+	prune := flag.Bool("prune", false, "with -update: drop baseline rows absent from the input instead of keeping them")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -144,15 +148,30 @@ func main() {
 	}
 
 	if *update {
+		// Merge, don't replace: rows absent from this bench run keep
+		// their committed values, so a partial run (one new benchmark,
+		// one package) can refresh its rows without dropping the rest of
+		// the ratchet. -prune rewrites from the observed set alone.
+		observed := len(got)
 		b := &Baseline{Note: *note, Benchmarks: got}
-		if old, err := loadBaseline(*baselinePath); err == nil && *note == "" {
-			b.Note = old.Note
+		if old, err := loadBaseline(*baselinePath); err == nil {
+			if *note == "" {
+				b.Note = old.Note
+			}
+			if !*prune {
+				for name, res := range old.Benchmarks {
+					if _, ok := got[name]; !ok {
+						b.Benchmarks[name] = res
+					}
+				}
+			}
 		}
 		if err := writeBaseline(*baselinePath, b); err != nil {
 			fmt.Fprintln(os.Stderr, "benchdiff:", err)
 			os.Exit(2)
 		}
-		fmt.Printf("benchdiff: wrote %d benchmarks to %s\n", len(got), *baselinePath)
+		fmt.Printf("benchdiff: wrote %d benchmarks to %s (%d from this run)\n",
+			len(b.Benchmarks), *baselinePath, observed)
 		return
 	}
 

@@ -3,7 +3,7 @@
 // Usage:
 //
 //	experiments [-exp all|table1|table2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|ablation|faults]
-//	            [-size small|medium] [-only NAME[,NAME...]] [-jobs N]
+//	            [-size small|medium] [-only NAME[,NAME...]] [-jobs N] [-par N]
 //	            [-timeout 60s] [-max-events N] [-stall 30s]
 //	            [-state DIR] [-resume]
 //	            [-inject PLAN] [-csv DIR] [-json FILE] [-q] [-metrics]
@@ -14,8 +14,10 @@
 // limited-copy mode (plus each benchmark's restructured organizations);
 // Figure 3 additionally runs the kmeans restructured organizations, and
 // Figure 10 compares every measured overlapped organization against the
-// Eq. 1 Rco bound from its baseline run. The sweep's runs execute on -jobs workers (default
-// GOMAXPROCS) and produce byte-identical output for every worker count.
+// Eq. 1 Rco bound from its baseline run. The sweep's runs execute on
+// -jobs workers (default GOMAXPROCS), and -par additionally parallelizes
+// each run internally (trace generation pipelined against the timing
+// model); output is byte-identical for every -jobs and -par value.
 // Sweeps are fault-tolerant: a run that panics, deadlocks, or exceeds its
 // -timeout/-max-events budget is recorded and footnoted in the figures
 // instead of aborting the sweep. -inject degrades the simulated hardware
@@ -82,6 +84,7 @@ func run() int {
 	csvDir := flag.String("csv", "", "also export the sweep as CSV files into this directory")
 	jsonPath := flag.String("json", "", "also export the sweep's rows and summaries as JSON to this file")
 	jobs := flag.Int("jobs", 0, "worker-pool size for sweep runs (0 = GOMAXPROCS, 1 = serial)")
+	par := flag.Int("par", 0, "intra-run simulation workers per run (0/1 = serial; results byte-identical for every value)")
 	only := flag.String("only", "", "restrict the shared sweep to these full benchmark names (comma-separated)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget per run (0 = unlimited)")
 	maxEvents := flag.Uint64("max-events", 0, "simulation event budget per run (0 = unlimited)")
@@ -205,11 +208,12 @@ func run() int {
 		return 0
 	}
 	opts := experiments.SweepOpts{
-		Budget: budget,
-		Fault:  fault,
-		Jobs:   *jobs,
-		Stall:  *stall,
-		Trace:  *tracePath != "" || *flame,
+		Budget:   budget,
+		Fault:    fault,
+		Jobs:     *jobs,
+		Parallel: *par,
+		Stall:    *stall,
+		Trace:    *tracePath != "" || *flame,
 		OnProgress: func(name, mode string) {
 			if !*quiet {
 				fmt.Fprintf(os.Stderr, "running %s (%s)...\n", name, mode)

@@ -5,14 +5,16 @@
 // Usage:
 //
 //	hetsim -bench rodinia/kmeans[,parboil/spmv,...] [-mode copy|limited-copy|async-streams|parallel-chunked]
-//	       [-size small|medium] [-jobs N] [-timeout 60s] [-max-events N] [-stall 30s]
+//	       [-size small|medium] [-jobs N] [-par N] [-timeout 60s] [-max-events N] [-stall 30s]
 //	       [-state DIR] [-resume]
 //	       [-inject PLAN] [-json FILE] [-counters]
 //	       [-trace FILE] [-flame] [-progress]
 //	hetsim -list
 //
 // -bench takes a comma-separated list; the runs execute on -jobs workers
-// (default GOMAXPROCS) and the reports print in the order listed. Runs
+// (default GOMAXPROCS), -par additionally parallelizes each run internally
+// (byte-identical output for every value), and the reports print in the
+// order listed. Runs
 // execute under the fault-tolerant harness: a panic, deadlock, or exceeded
 // -timeout/-max-events budget terminates with a diagnostic instead of
 // crashing or hanging, and a budget-exceeded medium run is retried once at
@@ -65,6 +67,7 @@ func main() {
 	modeFlag := flag.String("mode", "copy", "copy, limited-copy, async-streams, or parallel-chunked")
 	sizeFlag := flag.String("size", "small", "small or medium")
 	jobs := flag.Int("jobs", 0, "worker-pool size when running several benchmarks (0 = GOMAXPROCS)")
+	par := flag.Int("par", 0, "intra-run simulation workers per run (0/1 = serial; results byte-identical for every value)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget per run (0 = unlimited)")
 	maxEvents := flag.Uint64("max-events", 0, "simulation event budget per run (0 = unlimited)")
 	stall := flag.Duration("stall", 0, "kill a run whose simulated time stops advancing for this long (0 = disabled)")
@@ -195,10 +198,11 @@ func main() {
 		prog.Start(runName)
 		spec := harness.Spec{
 			Bench: benches[i], Mode: mode, Size: size,
-			Budget: harness.Budget{MaxEvents: *maxEvents, Timeout: time.Duration(*timeout)},
-			Fault:  fault,
-			Ctx:    runCtx,
-			Stall:  *stall,
+			Budget:   harness.Budget{MaxEvents: *maxEvents, Timeout: time.Duration(*timeout)},
+			Fault:    fault,
+			Ctx:      runCtx,
+			Stall:    *stall,
+			Parallel: *par,
 		}
 		if tracing {
 			spec.Trace = recs[i]
@@ -314,7 +318,8 @@ func main() {
 // results — the simulated system configurations, size, mode, benchmark
 // list, fault plan, budgets, stall window, and tracing — so a journal is
 // only resumed under the identical configuration. The worker count is
-// excluded: results are identical for every -jobs value.
+// excluded, as is the intra-run worker count: results are identical for
+// every -jobs and -par value.
 func fingerprint(benches []bench.Benchmark, mode bench.Mode, size bench.Size,
 	fault *harness.FaultPlan, budget harness.Budget, stall time.Duration, tracing bool) string {
 	var fp journal.Fingerprint

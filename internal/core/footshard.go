@@ -1,0 +1,52 @@
+package core
+
+import (
+	"repro/internal/memory"
+	"repro/internal/stats"
+)
+
+// FootprintShard is a private, single-goroutine footprint accumulator for
+// the parallel engine's off-thread workers. Footprint membership is a pure
+// set union — which lines a component touched, not when — so workers can
+// Touch into shards with no ordering relationship to the timing clock and
+// the run merges them into the Collector before reporting. The merge is a
+// commutative per-line OR of component bitmasks, so the merged map is
+// identical for every worker count and schedule.
+type FootprintShard struct {
+	lineBytes int
+	foot      map[memory.Addr]stats.ComponentSet
+	memo      [footMemoSize]footMemoEntry
+}
+
+// NewFootprintShard builds an empty shard at the given line granularity.
+func NewFootprintShard(lineBytes int) *FootprintShard {
+	return &FootprintShard{lineBytes: lineBytes, foot: map[memory.Addr]stats.ComponentSet{}}
+}
+
+// Touch records that comp accessed [addr, addr+size), at line granularity.
+// Identical logic to Collector.Touch, against the shard's private map.
+func (s *FootprintShard) Touch(comp stats.Component, addr memory.Addr, size int) {
+	n := memory.LinesSpanned(addr, size, s.lineBytes)
+	base := memory.LineAddr(addr, s.lineBytes)
+	for i := 0; i < n; i++ {
+		l := base + memory.Addr(i*s.lineBytes)
+		slot := &s.memo[(l/memory.Addr(s.lineBytes))%footMemoSize]
+		if slot.ok && slot.line == l && slot.set.Has(comp) {
+			continue
+		}
+		set := s.foot[l].Set(comp)
+		s.foot[l] = set
+		*slot = footMemoEntry{line: l, set: set, ok: true}
+	}
+}
+
+// MergeFootprint folds a worker shard into the collector's footprint map.
+// Call only after the shard's owning worker has quiesced. The collector's
+// memo entries for merged lines may go stale (missing the shard's bits),
+// which is safe: a stale memo only fails its short-circuit check and falls
+// through to the map, which holds the merged truth.
+func (c *Collector) MergeFootprint(sh *FootprintShard) {
+	for l, set := range sh.foot {
+		c.foot[l] = c.foot[l] | set
+	}
+}

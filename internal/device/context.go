@@ -156,7 +156,7 @@ func (s *System) LaunchAsync(k KernelSpec, deps ...*Handle) *Handle {
 		launchStart := s.hostMux.Claim(ready, launchDur)
 		start := launchStart + launchDur
 		s.Col.AddActivityNamed(stats.CPU, "launch "+k.Name, launchStart, start)
-		s.Eng.At(start, func() { s.launchOnGPU(k, launchStart, launchDur, h) })
+		s.Eng.AtD(sim.DomainHost, start, func() { s.launchOnGPU(k, launchStart, launchDur, h) })
 	})
 	return h
 }
@@ -171,26 +171,30 @@ func (s *System) launchOnGPU(k KernelSpec, launchStart, launchDur sim.Tick, h *H
 	start := s.Eng.Now()
 	st := s.Col.StageBegin(core.StageKernel, k.Name, stats.GPU, launchStart, launchDur, start)
 	var children []KernelSpec
-	s.gpu.Launch(start, &gpucore.Kernel{
+	// gen produces one CTA's lane traces through t. One Thread per CTA,
+	// re-pointed per lane: kernels only use the Thread inside Func, so the
+	// struct need not outlive the call. Each lane's trace is retained for
+	// replay and stays per-lane.
+	gen := func(cta int, t *Thread) []isa.Trace {
+		out := make([]isa.Trace, k.Block)
+		t.cta = cta
+		t.block = k.Block
+		t.children = &children
+		for i := 0; i < k.Block; i++ {
+			t.lane = i
+			t.global = cta*k.Block + i
+			t.tr = make(isa.Trace, 0, 64)
+			k.Func(t)
+			out[i] = t.tr
+		}
+		return out
+	}
+	kern := &gpucore.Kernel{
 		Name:         k.Name,
 		CTAs:         k.Grid,
 		ThreadsPerTA: k.Block,
 		ScratchBytes: k.ScratchBytes,
-		Gen: func(cta int) []isa.Trace {
-			out := make([]isa.Trace, k.Block)
-			// One Thread per CTA, re-pointed per lane: kernels only use the
-			// Thread inside Func, so the struct need not outlive the call.
-			// Each lane's trace is retained for replay and stays per-lane.
-			t := &Thread{s: s, cta: cta, block: k.Block, children: &children}
-			for i := 0; i < k.Block; i++ {
-				t.lane = i
-				t.global = cta*k.Block + i
-				t.tr = make(isa.Trace, 0, 64)
-				k.Func(t)
-				out[i] = t.tr
-			}
-			return out
-		},
+		Gen:          func(cta int) []isa.Trace { return gen(cta, &Thread{s: s}) },
 		Done: func(end sim.Tick, flops uint64) {
 			s.flushGPUL1s(end)
 			s.Col.StageEnd(st, end, flops, 0)
@@ -207,7 +211,7 @@ func (s *System) launchOnGPU(k KernelSpec, launchStart, launchDur sim.Tick, h *H
 				ch := s.newHandle("child kernel " + ck.Name)
 				ckStart := end + sim.Tick(i+1)*deviceLaunchOverhead
 				ckCopy := ck
-				s.Eng.At(ckStart, func() { s.launchOnGPU(ckCopy, ckStart, 0, ch) })
+				s.Eng.AtD(sim.DomainHost, ckStart, func() { s.launchOnGPU(ckCopy, ckStart, 0, ch) })
 				ch.whenDone(func(e sim.Tick) {
 					if e > lastEnd {
 						lastEnd = e
@@ -219,7 +223,33 @@ func (s *System) launchOnGPU(k KernelSpec, launchStart, launchDur sim.Tick, h *H
 				})
 			}
 		},
-	})
+	}
+	if s.par != nil {
+		// Off-thread generation. The generation worker's buffer reads and
+		// writes are ordered against the timing thread by the pipeline's
+		// result hand-off; footprint touches can't go to the collector from
+		// off-thread, so they go to a shard (par=2) or are skipped and
+		// replayed from the traces by a pre worker (par>=3) — the trace op
+		// stream carries exactly the touched ranges.
+		if s.par.PreWorkers() > 0 {
+			kern.GenPar = func(cta int) []isa.Trace { return gen(cta, &Thread{s: s, quiet: true}) }
+			kern.PreTouch = func(worker int, traces []isa.Trace) {
+				sh := s.genShards[worker]
+				for _, tr := range traces {
+					for _, op := range tr {
+						switch op.Kind {
+						case isa.OpLoad, isa.OpLoadDep, isa.OpStore, isa.OpAtomic:
+							sh.Touch(stats.GPU, op.Addr, int(op.N))
+						}
+					}
+				}
+			}
+		} else {
+			shard := s.genShards[0]
+			kern.GenPar = func(cta int) []isa.Trace { return gen(cta, &Thread{s: s, shard: shard}) }
+		}
+	}
+	s.gpu.Launch(start, kern)
 }
 
 // Launch runs a kernel synchronously.
@@ -255,7 +285,7 @@ func (s *System) copyAsync(dst, src *Alloc, n int, funcCopy func(), deps []*Hand
 		s.Col.Touch(stats.Copy, src.Base, n)
 		s.Col.Touch(stats.Copy, dst.Base, n)
 
-		s.Eng.At(start, func() {
+		s.Eng.AtD(sim.DomainHost, start, func() {
 			st := s.Col.StageBegin(core.StageCopy, fmt.Sprintf("copy %s->%s", src.Name, dst.Name),
 				stats.Copy, launchStart, launchDur, start)
 			s.dma.Transfer(start, src.Base, dst.Base, n, s.dramFor(src), s.dramFor(dst),
@@ -340,7 +370,7 @@ func (s *System) CPUTaskAsync(spec CPUTaskSpec, deps ...*Handle) *Handle {
 	}
 	h := s.newHandle("cpu task " + spec.Name)
 	s.when(deps, func(ready sim.Tick) {
-		s.Eng.At(ready+signalLat, func() {
+		s.Eng.AtD(sim.DomainHost, ready+signalLat, func() {
 			now := s.Eng.Now()
 			st := s.Col.StageBegin(core.StageCPU, spec.Name, stats.CPU, now, 0, now)
 			remaining := spec.Threads
@@ -382,7 +412,7 @@ func (s *System) runOnCore(w *cpuWork) {
 
 func (s *System) startOnCore(id int, w *cpuWork) {
 	s.cores[id].RunTrace(s.Eng.Now(), stats.CPU, w.tr, func(end sim.Tick, flops uint64) {
-		s.Eng.At(end, func() { s.releaseCore(id) })
+		s.Eng.AtD(sim.DomainCPU, end, func() { s.releaseCore(id) })
 		w.done(end, flops)
 	})
 }

@@ -62,6 +62,14 @@ type System struct {
 
 	roiOpen bool
 
+	// Intra-run parallel engine state. parReq is the requested worker count
+	// (WithParallel); par is nil for serial runs (including parallel
+	// requests that fell back); genShards are the per-worker footprint
+	// accumulators merged into Col at Report time.
+	parReq    int
+	par       *sim.ParEngine
+	genShards []*core.FootprintShard
+
 	// Result holds functional output digests the benchmark publishes with
 	// AddResult. Correctness tests compare digests across run modes (every
 	// organization of a benchmark must compute the same answer) and against
@@ -98,6 +106,16 @@ type Option func(*System)
 // system emits its events into tr.
 func WithTrace(tr *trace.Recorder) Option {
 	return func(s *System) { s.Tr = tr }
+}
+
+// WithParallel requests par total workers of intra-run parallelism
+// (timing thread included): 0 or 1 is the serial engine, 2 adds a trace
+// generation worker, 3+ adds pre-processing workers. Results, counters,
+// traces, and journals are byte-identical for every value — par is a
+// scheduling knob, like a sweep's -jobs. A config with zero lookahead
+// falls back to serial and records the fallback.
+func WithParallel(par int) Option {
+	return func(s *System) { s.parReq = par }
 }
 
 // NewSystem builds and wires a machine from a validated configuration. An
@@ -239,6 +257,36 @@ func NewSystemErr(cfg config.System, opts ...Option) (*System, error) {
 	s.gpu = gpucore.New(s.Eng, cfg.GPU, s.gpuL1s, s.vmm, line, s.Ctr)
 	s.gpu.Tr = s.Tr
 
+	// Intra-run parallelism: derive the lookahead window from the config's
+	// minimum cross-domain latency; a zero window means no amount of
+	// pipelining is provably safe, so the run stays serial.
+	if s.parReq >= 2 {
+		if la := sim.Tick(cfg.LookaheadNs() * float64(sim.Nanosecond)); la <= 0 {
+			sim.RecordSerialFallback(sim.FallbackZeroLookahead)
+		} else {
+			// The window (jobs the pipeline may run ahead) is sized to the
+			// device's resident-CTA capacity: generation further ahead than
+			// the SMs could possibly consume buys nothing and holds traces
+			// live.
+			window := cfg.GPU.MaxCTAsPerSM * cfg.GPU.SMs * 2
+			if window < 8 {
+				window = 8
+			}
+			if window > 512 {
+				window = 512
+			}
+			s.par = sim.NewParEngine(s.parReq, window, la)
+			s.gpu.UsePar(s.par)
+			n := s.par.PreWorkers()
+			if n < 1 {
+				n = 1
+			}
+			for i := 0; i < n; i++ {
+				s.genShards = append(s.genShards, core.NewFootprintShard(line))
+			}
+		}
+	}
+
 	// Copy engine: PCIe DMA in the discrete system. The heterogeneous
 	// processor keeps an in-memory copy path for the few residual memcpys of
 	// limited-copy benchmarks; a memory-to-memory DMA is bound by the shared
@@ -290,8 +338,27 @@ func hetSwitchServ(cfg config.System) sim.Tick {
 	return sim.Tick(float64(cfg.LineBytes) / 500e9 * float64(sim.Second))
 }
 
-// Report builds the analysis report for the finished run.
+// Release shuts down the parallel engine's workers, if any. Nil-safe and
+// idempotent; the harness defers it so panicking runs (budget trips,
+// interrupts) cannot leak worker goroutines.
+func (s *System) Release() {
+	if s != nil && s.par != nil {
+		s.par.Release()
+	}
+}
+
+// Report builds the analysis report for the finished run. For parallel
+// runs it first quiesces the workers and merges their footprint shards
+// into the collector — a commutative per-line set union, so the merged
+// footprint is identical for every worker count.
 func (s *System) Report(bench, mode string) *core.Report {
+	if s.par != nil {
+		s.par.Release()
+		for _, sh := range s.genShards {
+			s.Col.MergeFootprint(sh)
+		}
+		s.genShards = nil
+	}
 	return core.BuildReport(s.Col, bench, s.Cfg.Kind.String(), mode,
 		s.Cfg.CPU.PeakFLOPs(), s.Cfg.GPU.PeakFLOPs())
 }

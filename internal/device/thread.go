@@ -1,6 +1,7 @@
 package device
 
 import (
+	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/memory"
 	"repro/internal/stats"
@@ -11,7 +12,12 @@ import (
 // performing the functional data access directly on the buffer slice.
 type Rec interface {
 	rec(op isa.Op)
-	comp() stats.Component
+	// touch records [addr, addr+size) in the run's footprint. GPU threads
+	// running off the timing thread route this to a private shard (or skip
+	// it entirely when a pre worker will replay it from the trace); the
+	// trace already carries the same addresses, so footprint routing never
+	// changes what the timing model sees.
+	touch(addr memory.Addr, size int)
 	sys() *System
 }
 
@@ -25,6 +31,12 @@ type Thread struct {
 	global int
 	// children collects device-side launches (dynamic parallelism).
 	children *[]KernelSpec
+
+	// shard, when non-nil, receives footprint touches instead of the
+	// collector — the off-thread generation path. quiet skips touches
+	// entirely: a pre worker will replay them from the recorded trace.
+	shard *core.FootprintShard
+	quiet bool
 }
 
 // LaunchChild enqueues a child kernel from device code — CUDA 5.0 dynamic
@@ -74,9 +86,18 @@ func (t *Thread) ScratchOp(n int) {
 	}
 }
 
-func (t *Thread) rec(op isa.Op)         { t.tr = append(t.tr, op) }
-func (t *Thread) comp() stats.Component { return stats.GPU }
-func (t *Thread) sys() *System          { return t.s }
+func (t *Thread) rec(op isa.Op) { t.tr = append(t.tr, op) }
+func (t *Thread) sys() *System  { return t.s }
+
+func (t *Thread) touch(addr memory.Addr, size int) {
+	switch {
+	case t.quiet:
+	case t.shard != nil:
+		t.shard.Touch(stats.GPU, addr, size)
+	default:
+		t.s.Col.Touch(stats.GPU, addr, size)
+	}
+}
 
 // CPUThread is one CPU software thread's execution context.
 type CPUThread struct {
@@ -99,16 +120,19 @@ func (c *CPUThread) FLOP(n int) {
 	}
 }
 
-func (c *CPUThread) rec(op isa.Op)         { c.tr = append(c.tr, op) }
-func (c *CPUThread) comp() stats.Component { return stats.CPU }
-func (c *CPUThread) sys() *System          { return c.s }
+func (c *CPUThread) rec(op isa.Op) { c.tr = append(c.tr, op) }
+func (c *CPUThread) sys() *System  { return c.s }
+
+func (c *CPUThread) touch(addr memory.Addr, size int) {
+	c.s.Col.Touch(stats.CPU, addr, size)
+}
 
 // record is the common instrumentation path for typed accesses.
 func record[T any](q Rec, b *Buf[T], i int, kind isa.OpKind) {
 	es := b.ElemSize()
 	addr := b.A.Base + memory.Addr(i*es)
 	q.rec(isa.Op{Kind: kind, Addr: addr, N: uint32(es)})
-	q.sys().Col.Touch(q.comp(), addr, es)
+	q.touch(addr, es)
 }
 
 // LdN reads count consecutive elements of b starting at i as one access
@@ -120,7 +144,7 @@ func LdN[T any](q Rec, b *Buf[T], i, count int) []T {
 	es := b.ElemSize()
 	addr := b.A.Base + memory.Addr(i*es)
 	q.rec(isa.Op{Kind: isa.OpLoad, Addr: addr, N: uint32(count * es)})
-	q.sys().Col.Touch(q.comp(), addr, count*es)
+	q.touch(addr, count*es)
 	return b.V[i : i+count]
 }
 
@@ -133,7 +157,7 @@ func StN[T any](q Rec, b *Buf[T], i int, src []T) {
 	es := b.ElemSize()
 	addr := b.A.Base + memory.Addr(i*es)
 	q.rec(isa.Op{Kind: isa.OpStore, Addr: addr, N: uint32(len(src) * es)})
-	q.sys().Col.Touch(q.comp(), addr, len(src)*es)
+	q.touch(addr, len(src)*es)
 	copy(b.V[i:], src)
 }
 

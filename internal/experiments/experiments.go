@@ -97,6 +97,12 @@ type SweepOpts struct {
 	// Jobs is the worker-pool size runs dispatch to: 0 means GOMAXPROCS,
 	// 1 runs the sweep serially. Results are identical for every value.
 	Jobs int
+	// Parallel is each run's intra-run worker count (harness.Spec.
+	// Parallel): 0 or 1 simulate serially; higher values pipeline trace
+	// generation inside every run. Like Jobs it is a scheduling knob —
+	// results are byte-identical for every value — so it is excluded from
+	// the resume fingerprint.
+	Parallel int
 	// OnProgress is called before each run. The sweep serializes the
 	// calls, so the callback needs no locking of its own, but when
 	// Jobs > 1 the call order across benchmarks is scheduling-dependent.
@@ -204,6 +210,7 @@ func RunSweep(size bench.Size, opts SweepOpts) (*Results, []harness.RunError) {
 		spec := harness.Spec{
 			Bench: s.b, Mode: s.mode, Size: size, Budget: opts.Budget, Fault: opts.Fault,
 			Ctx: opts.RunCtx, Stall: opts.Stall, RequestID: opts.RequestID,
+			Parallel: opts.Parallel,
 		}
 		if opts.Trace {
 			spec.Trace = recs[i]

@@ -163,6 +163,19 @@ func TestSweepFingerprintIgnoresJobs(t *testing.T) {
 	}
 }
 
+// TestFingerprintExcludesParallel: the intra-run worker count is the same
+// kind of scheduling knob as Jobs — byte-identical results for every value
+// — so a journal written serially must resume under -par and vice versa.
+func TestFingerprintExcludesParallel(t *testing.T) {
+	a := resumeOpts()
+	a.Parallel = 0
+	b := resumeOpts()
+	b.Parallel = 8
+	if SweepFingerprint(bench.SizeSmall, a) != SweepFingerprint(bench.SizeSmall, b) {
+		t.Fatal("fingerprint must not depend on the intra-run worker count")
+	}
+}
+
 // modeSetBench is a registry stub whose organization list can change
 // between fingerprint computations, modeling a benchmark gaining or
 // losing an extra mode across code versions. It is never swept (every

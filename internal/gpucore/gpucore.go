@@ -33,9 +33,22 @@ type Kernel struct {
 	ScratchBytes int // scratch per CTA
 	// Gen lazily produces the lane traces for CTA cta (ThreadsPerTA traces).
 	Gen func(cta int) []isa.Trace
+	// GenPar, when set and the GPU has a parallel engine, generates CTA
+	// traces on the engine's generation worker instead of Gen on the timing
+	// thread. It must be safe to run off-thread (it may not touch the
+	// engine or collector) and must produce exactly what Gen would.
+	GenPar func(cta int) []isa.Trace
+	// PreTouch, when set, replays a generated CTA's footprint touches into
+	// the run's per-worker footprint shard on a pre-processing worker.
+	PreTouch func(worker int, traces []isa.Trace)
 	// Done fires when the last CTA completes. flops is the total FLOPs the
 	// kernel executed.
 	Done func(end sim.Tick, flops uint64)
+
+	// stream delivers pipelined CTA generation results in CTA order when
+	// the kernel was launched with a parallel engine active; nil runs Gen
+	// synchronously in startCTA (the serial path).
+	stream *sim.Stream
 
 	remaining int // CTAs not yet dispatched
 	live      int // CTAs resident on SMs
@@ -92,6 +105,15 @@ type GPU struct {
 	queue  []*Kernel // FIFO of kernels with undispatched CTAs
 	warpsz int
 
+	// Par, when non-nil, pipelines CTA trace generation (and, with pre
+	// workers, footprint replay + coalescing plans) ahead of the timing
+	// clock. parOK drops to false — permanently, for the rest of the run —
+	// at the first persistent-kernel launch, whose batch-by-batch dispatch
+	// order is timing-dependent and would break the generation-order
+	// guarantee for kernels launched after it.
+	Par   *sim.ParEngine
+	parOK bool
+
 	// Interned counter handles, resolved once in New — warp replay is the
 	// simulator's hottest loop and must not hash counter names.
 	cCTAs, cFLOPs, cScratchOps         stats.Counter
@@ -123,6 +145,9 @@ func (s *sm) takeWarp(cs *ctaState, now sim.Tick) *warp {
 		wp.t = now
 		wp.ended = false
 		wp.lanes = wp.lanes[:0]
+		wp.plan = nil
+		wp.planInst = 0
+		wp.planOff = 0
 		return wp
 	}
 	wp := &warp{sm: s, cta: cs, t: now}
@@ -160,6 +185,13 @@ func New(eng *sim.Engine, cfg config.GPUConfig, l1s []*memory.Cache, vmgr *vm.Ma
 	return g
 }
 
+// UsePar attaches a parallel engine: kernels launched from now on pipeline
+// their CTA trace generation through it. Call before any launches.
+func (g *GPU) UsePar(p *sim.ParEngine) {
+	g.Par = p
+	g.parOK = p != nil
+}
+
 // Launch enqueues a kernel to start at time at. Multiple in-flight kernels
 // share the CTA dispatch queue FIFO, so a later kernel's CTAs backfill SMs
 // as an earlier kernel drains.
@@ -169,11 +201,44 @@ func (g *GPU) Launch(at sim.Tick, k *Kernel) {
 	}
 	k.remaining = k.CTAs
 	k.nextCTA = 0
-	g.Eng.At(at, func() {
+	g.Eng.AtD(sim.DomainGPU, at, func() {
 		g.Tr.Instant(stats.GPU, "GPU dispatch", "kernel", "kernel queued: "+k.Name, g.Eng.Now(),
 			trace.Arg{Key: "ctas", Val: k.CTAs}, trace.Arg{Key: "block", Val: k.ThreadsPerTA})
+		if g.parOK {
+			g.pipeline(k)
+		}
 		g.queue = append(g.queue, k)
 		g.dispatch()
+	})
+}
+
+// pipeline submits kernel k's CTA generation to the parallel engine at its
+// launch event. Launch events execute in engine order and the generation
+// worker drains submissions FIFO, so across every kernel the off-thread
+// generation order equals the order serial dispatch would have called Gen
+// in (dispatch drains the queue head first: all of an earlier kernel's
+// CTAs, in increasing index order, generate before a later kernel's
+// first). With pre workers, each generated CTA is then pre-processed —
+// footprint replay into a worker shard plus a coalescing plan — before the
+// timing thread consumes it in startCTA.
+func (g *GPU) pipeline(k *Kernel) {
+	gen := k.GenPar
+	if gen == nil {
+		gen = k.Gen
+	}
+	genFn := func(i int) any { return gen(i) }
+	if g.Par.PreWorkers() == 0 {
+		k.stream = g.Par.Pipeline(k.CTAs, genFn, nil)
+		return
+	}
+	touch := k.PreTouch
+	warpsz, lineBytes := g.warpsz, g.LineBytes
+	k.stream = g.Par.Pipeline(k.CTAs, genFn, func(worker, i int, v any) any {
+		traces := v.([]isa.Trace)
+		if touch != nil {
+			touch(worker, traces)
+		}
+		return &ctaOut{traces: traces, plan: buildCTAPlan(traces, warpsz, lineBytes)}
 	})
 }
 
@@ -191,7 +256,15 @@ func (g *GPU) LaunchPersistent(at sim.Tick, k *Kernel) {
 	k.CTAs = 0
 	k.remaining = 0
 	k.nextCTA = 0
-	g.Eng.At(at, func() {
+	g.Eng.AtD(sim.DomainGPU, at, func() {
+		if g.parOK {
+			// A persistent kernel's CTAs generate at Feed-driven dispatch
+			// times, so generation order past this point is timing-dependent:
+			// stop pipelining new launches. Kernels already pipelined keep
+			// their streams — their generation was ordered before this event.
+			g.parOK = false
+			sim.RecordSerialFallback(sim.FallbackPersistentKernel)
+		}
 		g.Tr.Instant(stats.GPU, "GPU dispatch", "kernel", "persistent kernel opened: "+k.Name, g.Eng.Now(),
 			trace.Arg{Key: "block", Val: k.ThreadsPerTA})
 		g.queue = append(g.queue, k)
@@ -205,7 +278,7 @@ func (g *GPU) Feed(at sim.Tick, k *Kernel, ctas int, done func(end sim.Tick, flo
 	if ctas <= 0 {
 		panic("gpucore: feed needs at least one CTA")
 	}
-	g.Eng.At(at, func() {
+	g.Eng.AtD(sim.DomainGPU, at, func() {
 		if !k.open {
 			panic("gpucore: Feed on closed kernel " + k.Name)
 		}
@@ -224,7 +297,7 @@ func (g *GPU) Feed(at sim.Tick, k *Kernel, ctas int, done func(end sim.Tick, flo
 // the resident kernel exits when it observes the stop flag); otherwise it
 // fires when the last CTA completes.
 func (g *GPU) ClosePersistent(at sim.Tick, k *Kernel) {
-	g.Eng.At(at, func() {
+	g.Eng.AtD(sim.DomainGPU, at, func() {
 		if !k.open {
 			return
 		}
@@ -306,7 +379,21 @@ type ctaState struct {
 
 func (s *sm) startCTA(k *Kernel, ctaIdx int) {
 	now := s.g.Eng.Now()
-	traces := k.Gen(ctaIdx)
+	var traces []isa.Trace
+	var plan *ctaPlan
+	if k.stream != nil {
+		// Pipelined kernel: CTAs dispatch in increasing index order (the
+		// order the pump generated them in), so the stream's next result is
+		// exactly this CTA's.
+		switch v := k.stream.Next().(type) {
+		case *ctaOut:
+			traces, plan = v.traces, v.plan
+		case []isa.Trace:
+			traces = v
+		}
+	} else {
+		traces = k.Gen(ctaIdx)
+	}
 	if len(traces) != k.ThreadsPerTA {
 		panic("gpucore: Gen returned wrong lane count for kernel " + k.Name)
 	}
@@ -332,10 +419,13 @@ func (s *sm) startCTA(k *Kernel, ctaIdx int) {
 			hi = len(traces)
 		}
 		wp := s.takeWarp(cs, now)
+		if plan != nil {
+			wp.plan = &plan.warps[wi]
+		}
 		for _, tr := range traces[lo:hi] {
 			wp.lanes = append(wp.lanes, laneCursor{tr: tr})
 		}
-		s.g.Eng.At(now, wp.stepFn)
+		s.g.Eng.AtD(sim.DomainGPU, now, wp.stepFn)
 	}
 }
 
@@ -414,6 +504,12 @@ type warp struct {
 	// op's unique lines into it instead of allocating a fresh slice per
 	// memory instruction.
 	lineBuf []memory.Addr
+	// plan, when non-nil, is this warp's precomputed coalesced line lists
+	// (built off-thread by a pre worker); planInst/planOff cursor through
+	// it in memory-op issue order.
+	plan     *warpPlan
+	planInst int
+	planOff  int
 }
 
 // step replays warp instructions until it blocks on memory, hits a barrier,
@@ -495,7 +591,118 @@ func (w *warp) step() {
 			}
 		}
 	}
-	g.Eng.At(w.t, w.stepFn)
+	g.Eng.AtD(sim.DomainGPU, w.t, w.stepFn)
+}
+
+// ctaOut is a pre worker's product for one CTA: its lane traces plus the
+// precomputed coalescing plan for its warps.
+type ctaOut struct {
+	traces []isa.Trace
+	plan   *ctaPlan
+}
+
+// ctaPlan holds per-warp coalescing plans for one CTA.
+type ctaPlan struct {
+	warps []warpPlan
+}
+
+// warpPlan is one warp's memory ops flattened in issue order: counts[j]
+// lines for the j-th memory op, stored contiguously in lines.
+type warpPlan struct {
+	lines  []memory.Addr
+	counts []int32
+}
+
+// buildCTAPlan precomputes each warp's coalesced line lists by replaying
+// step()'s SIMT sequencing over the traces. Which ops issue, in what
+// per-warp order, with which participant lanes is a pure function of the
+// trace contents — timing decides only when — so a plan built off-thread
+// matches the live replay exactly. Sync, compute, and scratch ops advance
+// lanes without producing lines; memory ops run the same coalesce body
+// memoryOp would.
+func buildCTAPlan(traces []isa.Trace, warpsz, lineBytes int) *ctaPlan {
+	nw := (len(traces) + warpsz - 1) / warpsz
+	plan := &ctaPlan{warps: make([]warpPlan, nw)}
+	var lanes []laneCursor
+	for wi := 0; wi < nw; wi++ {
+		lo := wi * warpsz
+		hi := lo + warpsz
+		if hi > len(traces) {
+			hi = len(traces)
+		}
+		lanes = lanes[:0]
+		for _, tr := range traces[lo:hi] {
+			lanes = append(lanes, laneCursor{tr: tr})
+		}
+		wp := &plan.warps[wi]
+		for {
+			lead := -1
+			for i := range lanes {
+				if !lanes[i].done() {
+					lead = i
+					break
+				}
+			}
+			if lead < 0 {
+				break
+			}
+			kind := lanes[lead].tr[lanes[lead].idx].Kind
+			switch kind {
+			case isa.OpSync, isa.OpCompute, isa.OpScratch:
+				advanceLanes(lanes, kind)
+			default:
+				base := len(wp.lines)
+				wp.lines = coalesce(wp.lines, lanes, kind, lineBytes)
+				wp.counts = append(wp.counts, int32(len(wp.lines)-base))
+			}
+		}
+	}
+	return plan
+}
+
+// coalesce advances every lane whose next op matches kind and appends that
+// op's unique line addresses to buf (deduplicated against buf's tail from
+// base on, i.e. within this op only), returning the extended buffer. It is
+// the single implementation of address coalescing, shared by the live
+// memoryOp path and the off-thread plan builder — one body, so the two can
+// never disagree on which transactions an op produces.
+func coalesce(buf []memory.Addr, lanes []laneCursor, kind isa.OpKind, lineBytes int) []memory.Addr {
+	base := len(buf)
+	for i := range lanes {
+		lc := &lanes[i]
+		if lc.done() || lc.tr[lc.idx].Kind != kind {
+			continue
+		}
+		op := lc.tr[lc.idx]
+		lc.idx++
+		n := memory.LinesSpanned(op.Addr, int(op.N), lineBytes)
+		for j := 0; j < n; j++ {
+			a := memory.LineAddr(op.Addr, lineBytes) + memory.Addr(j*lineBytes)
+			dup := false
+			for _, l := range buf[base:] {
+				if l == a {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				buf = append(buf, a)
+			}
+		}
+	}
+	return buf
+}
+
+// advanceLanes advances every lane whose next op matches kind, without
+// collecting addresses — the lane bookkeeping half of coalesce, used when a
+// precomputed plan already holds the op's line list.
+func advanceLanes(lanes []laneCursor, kind isa.OpKind) {
+	for i := range lanes {
+		lc := &lanes[i]
+		if !lc.done() && lc.tr[lc.idx].Kind == kind {
+			lc.idx++
+		}
+	}
 }
 
 // memoryOp issues a coalesced memory instruction. Loads and atomics block
@@ -506,32 +713,24 @@ func (w *warp) memoryOp(kind isa.OpKind) bool {
 	g := w.sm.g
 	write := kind == isa.OpStore || kind == isa.OpAtomic
 
-	// Gather participant addresses and coalesce into unique lines, reusing
-	// the warp's scratch buffer.
-	lines := w.lineBuf[:0]
-	for i := range w.lanes {
-		lc := &w.lanes[i]
-		if lc.done() || lc.tr[lc.idx].Kind != kind {
-			continue
+	var lines []memory.Addr
+	if pl := w.plan; pl != nil {
+		// Precomputed path: the pre worker already coalesced this op's
+		// lines; just advance the lanes and take the next plan entry.
+		if w.planInst >= len(pl.counts) {
+			panic("gpucore: coalescing plan diverged from replay for kernel " + w.cta.k.Name)
 		}
-		op := lc.tr[lc.idx]
-		lc.idx++
-		n := memory.LinesSpanned(op.Addr, int(op.N), g.LineBytes)
-		for j := 0; j < n; j++ {
-			a := memory.LineAddr(op.Addr, g.LineBytes) + memory.Addr(j*g.LineBytes)
-			dup := false
-			for _, l := range lines {
-				if l == a {
-					dup = true
-					break
-				}
-			}
-			if !dup {
-				lines = append(lines, a)
-			}
-		}
+		advanceLanes(w.lanes, kind)
+		n := int(pl.counts[w.planInst])
+		lines = pl.lines[w.planOff : w.planOff+n]
+		w.planInst++
+		w.planOff += n
+	} else {
+		// Gather participant addresses and coalesce into unique lines,
+		// reusing the warp's scratch buffer.
+		lines = coalesce(w.lineBuf[:0], w.lanes, kind, g.LineBytes)
+		w.lineBuf = lines
 	}
-	w.lineBuf = lines
 	g.cMemTransactions.Add(uint64(len(lines)))
 	if kind == isa.OpAtomic {
 		g.cAtomics.Inc()
@@ -560,7 +759,7 @@ func (w *warp) memoryOp(kind isa.OpKind) bool {
 		return false
 	}
 	w.t = worst
-	g.Eng.At(worst, w.stepFn)
+	g.Eng.AtD(sim.DomainGPU, worst, w.stepFn)
 	return true
 }
 
@@ -583,7 +782,7 @@ func (w *warp) barrier() bool {
 	cs.waiting = cs.waiting[:0] // re-arrivals happen in later events; reuse capacity
 	for _, ww := range waiters {
 		ww.t = releaseT
-		w.sm.g.Eng.At(releaseT, ww.stepFn)
+		w.sm.g.Eng.AtD(sim.DomainGPU, releaseT, ww.stepFn)
 	}
 	w.t = releaseT
 	return false
@@ -601,7 +800,7 @@ func (cs *ctaState) tryRelease() {
 	cs.waiting = cs.waiting[:0]
 	for _, ww := range waiters {
 		ww.t = releaseT
-		cs.sm.g.Eng.At(releaseT, ww.stepFn)
+		cs.sm.g.Eng.AtD(sim.DomainGPU, releaseT, ww.stepFn)
 	}
 }
 

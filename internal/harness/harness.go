@@ -174,6 +174,13 @@ type Spec struct {
 	// Perfetto trace can be tied back to the access log line and journal
 	// that produced it. It never affects results.
 	RequestID string
+	// Parallel is the intra-run worker count (timing thread included):
+	// 0 or 1 runs the serial engine, 2+ pipelines trace generation and
+	// pre-processing through device.WithParallel. Like a sweep's jobs
+	// count it is a scheduling knob, excluded from journal fingerprints:
+	// results, counters, traces, and journals are byte-identical for
+	// every value.
+	Parallel int
 }
 
 // lifecycleArgs builds the trace args for a harness lifecycle instant:
@@ -373,12 +380,16 @@ func runOnce(spec Spec, size bench.Size, attempt int) (out *Outcome) {
 	if spec.Fault != nil {
 		spec.Fault.Apply(&cfg)
 	}
-	s, err := device.NewSystemErr(cfg, device.WithTrace(rec))
+	s, err := device.NewSystemErr(cfg, device.WithTrace(rec), device.WithParallel(spec.Parallel))
 	if err != nil {
 		fail(KindUsage, err.Error(), nil)
 		return out
 	}
 	out.Sys = s
+	// Quiesce the parallel engine's workers however the attempt ends —
+	// budget trip, interrupt, panic — so aborted runs cannot leak
+	// goroutines or leave workers blocked on hand-offs.
+	defer s.Release()
 	rec.Instant(stats.CPU, "harness", "harness",
 		fmt.Sprintf("attempt %d start (%s)", attempt, size), s.Eng.Now(),
 		spec.lifecycleArgs()...)

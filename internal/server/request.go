@@ -46,6 +46,12 @@ type SweepRequest struct {
 	// (its admission weight). 0 and 1 mean serial; values above the
 	// server's pool size are clamped to it.
 	Jobs int `json:"jobs,omitempty"`
+	// Parallel is each run's intra-run simulation worker count
+	// (harness.Spec.Parallel). 0 and 1 simulate serially; higher values
+	// pipeline trace generation inside every run. Results are
+	// byte-identical for every value, so — like jobs — it is excluded
+	// from the fingerprint.
+	Parallel int `json:"parallel,omitempty"`
 	// BackoffMs and Jitter space retry attempts (see harness.Spec);
 	// timing-only, so they are excluded from the fingerprint.
 	BackoffMs int64   `json:"backoff_ms,omitempty"`
@@ -66,6 +72,7 @@ type RunRequest struct {
 	StallMs    int64   `json:"stall_ms,omitempty"`
 	Fault      string  `json:"fault,omitempty"`
 	DeadlineMs int64   `json:"deadline_ms,omitempty"`
+	Parallel   int     `json:"parallel,omitempty"`
 	BackoffMs  int64   `json:"backoff_ms,omitempty"`
 	Jitter     float64 `json:"jitter,omitempty"`
 }
@@ -197,6 +204,9 @@ func resolveSweep(req *SweepRequest, maxJobs int) (*sweepParams, error) {
 	if req.Jobs < 0 {
 		return nil, badRequest("jobs must be >= 0, got %d", req.Jobs)
 	}
+	if req.Parallel < 0 {
+		return nil, badRequest("parallel must be >= 0, got %d", req.Parallel)
+	}
 	p.jobs = req.Jobs
 	if p.jobs < 1 {
 		p.jobs = 1
@@ -205,10 +215,11 @@ func resolveSweep(req *SweepRequest, maxJobs int) (*sweepParams, error) {
 		p.jobs = maxJobs
 	}
 	p.opts = experiments.SweepOpts{
-		Budget: harness.Budget{MaxEvents: req.MaxEvents, Timeout: timeout},
-		Fault:  fault,
-		Jobs:   p.jobs,
-		Stall:  stall,
+		Budget:   harness.Budget{MaxEvents: req.MaxEvents, Timeout: timeout},
+		Fault:    fault,
+		Jobs:     p.jobs,
+		Parallel: req.Parallel,
+		Stall:    stall,
 	}
 	// An explicitly empty benchmark list means the same as an omitted
 	// one: sweep everything. (A non-nil empty Only would match nothing.)
@@ -279,14 +290,18 @@ func resolveRun(req *RunRequest) (*runParams, error) {
 	if req.Jitter < 0 || req.Jitter > 1 {
 		return nil, badRequest("jitter must be in [0,1], got %v", req.Jitter)
 	}
+	if req.Parallel < 0 {
+		return nil, badRequest("parallel must be >= 0, got %d", req.Parallel)
+	}
 	p := &runParams{
 		spec: harness.Spec{
 			Bench: b, Mode: mode, Size: size,
-			Budget:  harness.Budget{MaxEvents: req.MaxEvents, Timeout: timeout},
-			Fault:   fault,
-			Stall:   stall,
-			Backoff: backoff,
-			Jitter:  req.Jitter,
+			Budget:   harness.Budget{MaxEvents: req.MaxEvents, Timeout: timeout},
+			Fault:    fault,
+			Stall:    stall,
+			Parallel: req.Parallel,
+			Backoff:  backoff,
+			Jitter:   req.Jitter,
 		},
 		deadline: deadline,
 	}

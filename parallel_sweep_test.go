@@ -1,0 +1,117 @@
+// Sweep-level determinism gate for the intra-run parallel engine: the
+// small sweep must export byte-identical documents and traces at -par 1
+// and -par 8. CI runs this under -race in the parallel-engine job.
+package repro
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+// parSweepBenches is the default determinism subset: every suite, the
+// extra-mode benchmark (kmeans: async-streams + parallel-chunked), and
+// the persistent-kernel benchmark (cutcp: the serial-fallback path).
+// Set HETSIM_SWEEP_FULL=1 to diff the full registry instead — the CI
+// parallel-engine job does; the default keeps `go test ./...` fast.
+var parSweepBenches = []string{
+	"rodinia/kmeans", "parboil/cutcp", "pannotia/pr_spmv", "lonestar/bh",
+}
+
+// parSweepDocs runs the sweep at one -par value and returns its JSON
+// document and Perfetto trace export, both validated.
+func parSweepDocs(t *testing.T, par int) (doc, traceJSON []byte) {
+	t.Helper()
+	opts := experiments.SweepOpts{Parallel: par, Trace: true}
+	if os.Getenv("HETSIM_SWEEP_FULL") == "" {
+		opts.Only = parSweepBenches
+	}
+	res, errs := experiments.RunSweep(bench.SizeSmall, opts)
+	if len(errs) != 0 {
+		t.Fatalf("par=%d: sweep failed: %v", par, errs[0])
+	}
+	sd := res.JSON()
+	for i := range sd.Runs {
+		// Wall-clock time is telemetry, not a result; everything else in
+		// the document is covered by the byte-identity contract.
+		sd.Runs[i].WallMs = 0
+	}
+	var err error
+	if doc, err = json.MarshalIndent(sd, "", "  "); err != nil {
+		t.Fatalf("par=%d: marshal sweep doc: %v", par, err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteJSON(&buf, res.Traces); err != nil {
+		t.Fatalf("par=%d: export traces: %v", par, err)
+	}
+	traceJSON = buf.Bytes()
+	// The same validation cmd/tracecheck runs on sweep artifacts.
+	if _, err := trace.Validate(traceJSON); err != nil {
+		t.Fatalf("par=%d: trace export invalid: %v", par, err)
+	}
+	return doc, traceJSON
+}
+
+// saveDivergence writes both sides of a mismatch for CI to upload as
+// artifacts (HETSIM_DIVERGENCE_DIR, set by the parallel-engine job).
+func saveDivergence(t *testing.T, kind string, serial, par []byte) {
+	dir := os.Getenv("HETSIM_DIVERGENCE_DIR")
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("divergence dir: %v", err)
+		return
+	}
+	for name, data := range map[string][]byte{
+		kind + "-par1.json": serial,
+		kind + "-par8.json": par,
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Logf("divergence artifact %s: %v", name, err)
+		}
+	}
+	t.Logf("divergent %s documents written to %s", kind, dir)
+}
+
+// firstDiff renders the first byte where two documents diverge, with
+// context, so the failure message pinpoints the drifting field.
+func firstDiff(a, b []byte) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			lo := i - 80
+			if lo < 0 {
+				lo = 0
+			}
+			return fmt.Sprintf("byte %d:\npar=1: ...%s\npar=8: ...%s", i, a[lo:i+80], b[lo:i+80])
+		}
+	}
+	return fmt.Sprintf("lengths differ: %d vs %d bytes", len(a), len(b))
+}
+
+// TestParallelByteIdenticalSweep is the sweep-level gate from the issue:
+// the small sweep — figures, run documents, and the full Perfetto trace
+// export — is byte-identical between -par 1 (serial) and -par 8.
+func TestParallelByteIdenticalSweep(t *testing.T) {
+	doc1, tr1 := parSweepDocs(t, 1)
+	doc8, tr8 := parSweepDocs(t, 8)
+	if !bytes.Equal(doc1, doc8) {
+		saveDivergence(t, "sweep", doc1, doc8)
+		t.Errorf("sweep document diverged at %s", firstDiff(doc1, doc8))
+	}
+	if !bytes.Equal(tr1, tr8) {
+		saveDivergence(t, "trace", tr1, tr8)
+		t.Errorf("trace export diverged at %s", firstDiff(tr1, tr8))
+	}
+}
