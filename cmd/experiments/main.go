@@ -259,6 +259,7 @@ func run() int {
 	}
 	if err := opts.State.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "warning: checkpoint journaling failed mid-sweep: %v\n", err)
+		fmt.Fprintln(os.Stderr, "warning: the sweep continued without persistence (degraded); results below are complete but an interrupted re-run cannot resume past this point")
 	}
 	if interrupted {
 		fmt.Fprintf(os.Stderr, "sweep interrupted: %d of %d runs completed; output below is a partial report\n",

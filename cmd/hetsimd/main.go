@@ -30,6 +30,8 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/server"
@@ -45,10 +47,43 @@ func main() {
 	os.Exit(run())
 }
 
+// parseBytes parses a human-friendly byte size: a plain integer, or one
+// with a K/M/G/T suffix (binary multiples, case-insensitive, optional
+// trailing B or iB). Empty means no limit (0).
+func parseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	upper := strings.ToUpper(s)
+	upper = strings.TrimSuffix(upper, "IB")
+	upper = strings.TrimSuffix(upper, "B")
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(upper, "K"):
+		mult, upper = 1<<10, strings.TrimSuffix(upper, "K")
+	case strings.HasSuffix(upper, "M"):
+		mult, upper = 1<<20, strings.TrimSuffix(upper, "M")
+	case strings.HasSuffix(upper, "G"):
+		mult, upper = 1<<30, strings.TrimSuffix(upper, "G")
+	case strings.HasSuffix(upper, "T"):
+		mult, upper = 1<<40, strings.TrimSuffix(upper, "T")
+	}
+	n, err := strconv.ParseInt(upper, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad size %q (want e.g. 1048576, 512M, 2G)", s)
+	}
+	return n * mult, nil
+}
+
 func run() int {
 	var (
 		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
 		state        = flag.String("state", "", "state directory for journals and the result cache (required)")
+		stateQuota   = flag.String("state-quota", "", "byte budget for the state dir, e.g. 512M or 2G (LRU cache entries evicted when over; empty = unlimited)")
+		gcInterval   = flag.Duration("gc-interval", time.Minute, "period of the state-dir GC (orphaned temps, aged quarantines, subsumed journals, quota); <0 disables")
+		corruptAge   = flag.Duration("gc-corrupt-age", 24*time.Hour, "how long quarantined *.corrupt files are kept before GC reclaims them")
+		streamWrite  = flag.Duration("stream-write-timeout", time.Minute, "per-write deadline on streamed (?stream=) responses; a reader stalled longer is dropped; <0 disables")
 		pool         = flag.Int("pool", 0, "max concurrently executing simulations across all requests (0 = GOMAXPROCS)")
 		queue        = flag.Int("queue", 16, "max requests waiting for pool slots before 429s")
 		retryAfter   = flag.Duration("retry-after", 2*time.Second, "Retry-After hint on 429/503 responses")
@@ -61,6 +96,11 @@ func run() int {
 	if *state == "" {
 		fmt.Fprintln(os.Stderr, "hetsimd: -state is required")
 		flag.Usage()
+		return 2
+	}
+	quota, err := parseBytes(*stateQuota)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hetsimd: -state-quota: %v\n", err)
 		return 2
 	}
 
@@ -103,14 +143,18 @@ func run() int {
 	defer stopSignals()
 
 	srv, err := server.New(server.Config{
-		StateDir:   *state,
-		Pool:       *pool,
-		Queue:      *queue,
-		RetryAfter: *retryAfter,
-		Drain:      drainCtx,
-		Hard:       hardCtx,
-		Logf:       logf,
-		Log:        accessLog,
+		StateDir:           *state,
+		StateQuota:         quota,
+		GCInterval:         *gcInterval,
+		CorruptAge:         *corruptAge,
+		StreamWriteTimeout: *streamWrite,
+		Pool:               *pool,
+		Queue:              *queue,
+		RetryAfter:         *retryAfter,
+		Drain:              drainCtx,
+		Hard:               hardCtx,
+		Logf:               logf,
+		Log:                accessLog,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hetsimd: %v\n", err)

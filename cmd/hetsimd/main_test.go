@@ -209,3 +209,33 @@ func TestDrainResumeAndCache(t *testing.T) {
 		t.Fatalf("final drain exit = %d, want 0; stderr:\n%s", code, d2.stderr)
 	}
 }
+
+// TestParseBytes covers the -state-quota size grammar: bare integers,
+// binary-multiple suffixes in either case with optional B/iB, and the
+// empty string meaning unlimited.
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"", 0, true},
+		{"0", 0, true},
+		{"1048576", 1 << 20, true},
+		{"8K", 8 << 10, true},
+		{"512M", 512 << 20, true},
+		{"512MB", 512 << 20, true},
+		{"512MiB", 512 << 20, true},
+		{"2g", 2 << 30, true},
+		{"1T", 1 << 40, true},
+		{"-1", 0, false},
+		{"12Q", 0, false},
+		{"M", 0, false},
+	}
+	for _, c := range cases {
+		got, err := parseBytes(c.in)
+		if c.ok != (err == nil) || got != c.want {
+			t.Errorf("parseBytes(%q) = (%d, %v), want (%d, ok=%v)", c.in, got, err, c.want, c.ok)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/config"
+	"repro/internal/fsx"
 	"repro/internal/harness"
 	"repro/internal/journal"
 )
@@ -124,6 +125,13 @@ func OpenState(dir string, resume bool, size bench.Size, opts SweepOpts) (*harne
 // OpenState's one-fixed-file-per-dir layout would make concurrent
 // requests fight over a single journal. The parent directory must exist.
 func OpenStateAt(path, kind string, resume bool, size bench.Size, opts SweepOpts) (*harness.RunLog, error) {
+	return OpenStateAtFS(fsx.OS, path, kind, resume, size, opts)
+}
+
+// OpenStateAtFS is OpenStateAt over an injectable filesystem: the daemon
+// routes its checkpoint journals through its fsx seam so the chaos suite
+// can fail any persistence op underneath a live sweep.
+func OpenStateAtFS(fsys fsx.FS, path, kind string, resume bool, size bench.Size, opts SweepOpts) (*harness.RunLog, error) {
 	fingerprint := SweepFingerprint(size, opts)
 	slots := sweepSlots(onlySet(opts.Only))
 	names := make([]string, len(slots))
@@ -131,7 +139,7 @@ func OpenStateAt(path, kind string, resume bool, size bench.Size, opts SweepOpts
 		names[i] = s.key()
 	}
 	if resume {
-		return harness.OpenRunLog(path, kind, fingerprint, names)
+		return harness.OpenRunLogOn(fsys, path, kind, fingerprint, names)
 	}
-	return harness.CreateRunLog(path, kind, fingerprint, names)
+	return harness.CreateRunLogOn(fsys, path, kind, fingerprint, names)
 }

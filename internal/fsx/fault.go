@@ -1,0 +1,287 @@
+package fsx
+
+import (
+	"errors"
+	"io/fs"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Canonical injected errors: the two disk failures a long-running service
+// actually meets. They wrap the real errno values so errors.Is works both
+// on the sentinel and on syscall.ENOSPC/EIO.
+var (
+	// ErrNoSpace is the injected disk-full error.
+	ErrNoSpace = &injectedError{msg: "fsx: injected disk full", errno: syscall.ENOSPC}
+	// ErrIO is the injected I/O error (a dying device or a lying disk).
+	ErrIO = &injectedError{msg: "fsx: injected I/O error", errno: syscall.EIO}
+)
+
+type injectedError struct {
+	msg   string
+	errno syscall.Errno
+}
+
+func (e *injectedError) Error() string { return e.msg }
+func (e *injectedError) Unwrap() error { return e.errno }
+
+// Op names one class of filesystem operation for fault matching. OpAny
+// matches every class.
+type Op string
+
+const (
+	OpAny     Op = "any"
+	OpOpen    Op = "open"    // OpenFile and CreateTemp
+	OpRead    Op = "read"    // ReadFile and File.Read
+	OpWrite   Op = "write"   // File.Write
+	OpSync    Op = "sync"    // File.Sync
+	OpSyncDir Op = "syncdir" // FS.SyncDir
+	OpRename  Op = "rename"
+	OpRemove  Op = "remove"
+	OpMkdir   Op = "mkdir"
+	OpReadDir Op = "readdir"
+	OpStat    Op = "stat" // FS.Stat and File.Stat
+	OpTrunc   Op = "truncate"
+)
+
+// Rule is one injection directive, the persistence analogue of one entry
+// in config.FaultConfig: which op class to fail, when, with what, and
+// whether the failure persists.
+type Rule struct {
+	// Op selects the operation class (OpAny matches all).
+	Op Op
+	// Nth fails only the Nth matching op (1-based) after the rule is
+	// armed; 0 fails every matching op.
+	Nth int
+	// Err is the injected error (nil means ErrIO).
+	Err error
+	// Trip, when set, latches the rule once it first fires: every later
+	// matching op fails too, regardless of Nth — the disk stays broken
+	// until Clear. Models a full disk rather than a transient hiccup.
+	Trip bool
+	// ShortWrite applies to OpWrite rules: the failing write first
+	// delivers half its payload to the underlying file, producing
+	// exactly the torn-line tail a real ENOSPC mid-append leaves.
+	ShortWrite bool
+}
+
+// Fault wraps an FS and fails scripted operations. Arm rules with
+// Inject, heal the disk with Clear, observe traffic with Count. Safe for
+// concurrent use.
+type Fault struct {
+	inner FS
+
+	mu      sync.Mutex
+	rules   []*armedRule
+	counts  map[Op]uint64
+	tripped *armedRule // non-nil once a Trip rule fired
+}
+
+type armedRule struct {
+	Rule
+	seen  uint64 // matching ops observed since arming
+	fired bool
+}
+
+// NewFault wraps inner (OS when nil) with an initially-clear injector.
+func NewFault(inner FS) *Fault {
+	if inner == nil {
+		inner = OS
+	}
+	return &Fault{inner: inner, counts: map[Op]uint64{}}
+}
+
+// Inject arms one rule. Rules are independent; the first one that
+// matches an op decides its fate.
+func (f *Fault) Inject(r Rule) {
+	if r.Err == nil {
+		r.Err = ErrIO
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = append(f.rules, &armedRule{Rule: r})
+}
+
+// FailOp arms a rule failing every op of class op with err.
+func (f *Fault) FailOp(op Op, err error) { f.Inject(Rule{Op: op, Err: err}) }
+
+// FailNth arms a rule failing the nth op of class op with err.
+func (f *Fault) FailNth(op Op, nth int, err error) { f.Inject(Rule{Op: op, Nth: nth, Err: err}) }
+
+// Clear disarms every rule and resets the trip latch: the disk is healthy
+// again. Counters survive (they describe traffic, not faults).
+func (f *Fault) Clear() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = nil
+	f.tripped = nil
+}
+
+// Count reports how many ops of class op have passed through (failed or
+// not) since construction.
+func (f *Fault) Count(op Op) uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.counts[op]
+}
+
+// check records one op and decides whether it fails. The bool reports a
+// short write (OpWrite only).
+func (f *Fault) check(op Op) (error, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.counts[op]++
+	if t := f.tripped; t != nil && (t.Op == OpAny || t.Op == op) {
+		return t.Err, t.ShortWrite
+	}
+	for _, r := range f.rules {
+		if r.Op != OpAny && r.Op != op {
+			continue
+		}
+		r.seen++
+		if r.Nth != 0 && r.seen != uint64(r.Nth) && !(r.Trip && r.fired) {
+			continue
+		}
+		r.fired = true
+		if r.Trip {
+			f.tripped = r
+		}
+		return r.Err, r.ShortWrite
+	}
+	return nil, false
+}
+
+func (f *Fault) OpenFile(path string, flag int, perm fs.FileMode) (File, error) {
+	if err, _ := f.check(OpOpen); err != nil {
+		return nil, &fs.PathError{Op: "open", Path: path, Err: err}
+	}
+	file, err := f.inner.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, f: f}, nil
+}
+
+func (f *Fault) ReadFile(path string) ([]byte, error) {
+	if err, _ := f.check(OpRead); err != nil {
+		return nil, &fs.PathError{Op: "read", Path: path, Err: err}
+	}
+	return f.inner.ReadFile(path)
+}
+
+func (f *Fault) CreateTemp(dir, pattern string) (File, error) {
+	if err, _ := f.check(OpOpen); err != nil {
+		return nil, &fs.PathError{Op: "createtemp", Path: dir, Err: err}
+	}
+	file, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, f: f}, nil
+}
+
+func (f *Fault) Rename(oldpath, newpath string) error {
+	if err, _ := f.check(OpRename); err != nil {
+		return &fs.PathError{Op: "rename", Path: oldpath, Err: err}
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *Fault) Remove(path string) error {
+	if err, _ := f.check(OpRemove); err != nil {
+		return &fs.PathError{Op: "remove", Path: path, Err: err}
+	}
+	return f.inner.Remove(path)
+}
+
+func (f *Fault) MkdirAll(path string, perm fs.FileMode) error {
+	if err, _ := f.check(OpMkdir); err != nil {
+		return &fs.PathError{Op: "mkdir", Path: path, Err: err}
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *Fault) ReadDir(path string) ([]fs.DirEntry, error) {
+	if err, _ := f.check(OpReadDir); err != nil {
+		return nil, &fs.PathError{Op: "readdir", Path: path, Err: err}
+	}
+	return f.inner.ReadDir(path)
+}
+
+func (f *Fault) Stat(path string) (fs.FileInfo, error) {
+	if err, _ := f.check(OpStat); err != nil {
+		return nil, &fs.PathError{Op: "stat", Path: path, Err: err}
+	}
+	return f.inner.Stat(path)
+}
+
+func (f *Fault) SyncDir(dir string) error {
+	if err, _ := f.check(OpSyncDir); err != nil {
+		return &fs.PathError{Op: "syncdir", Path: dir, Err: err}
+	}
+	return f.inner.SyncDir(dir)
+}
+
+func (f *Fault) Chtimes(path string, atime, mtime time.Time) error {
+	return f.inner.Chtimes(path, atime, mtime)
+}
+
+// faultFile threads per-file ops back through the injector, so a rule
+// armed after a file was opened still governs its writes and syncs —
+// that is how "ENOSPC mid-append" scripts are written.
+type faultFile struct {
+	File
+	f *Fault
+}
+
+func (ff *faultFile) Read(p []byte) (int, error) {
+	if err, _ := ff.f.check(OpRead); err != nil {
+		return 0, err
+	}
+	return ff.File.Read(p)
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	err, short := ff.f.check(OpWrite)
+	if err != nil {
+		if short && len(p) > 1 {
+			// Deliver half the payload first: the torn line a real
+			// disk-full append leaves behind.
+			n, werr := ff.File.Write(p[:len(p)/2])
+			if werr != nil {
+				return n, werr
+			}
+			return n, err
+		}
+		return 0, err
+	}
+	return ff.File.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	if err, _ := ff.f.check(OpSync); err != nil {
+		return err
+	}
+	return ff.File.Sync()
+}
+
+func (ff *faultFile) Truncate(size int64) error {
+	if err, _ := ff.f.check(OpTrunc); err != nil {
+		return err
+	}
+	return ff.File.Truncate(size)
+}
+
+func (ff *faultFile) Stat() (fs.FileInfo, error) {
+	if err, _ := ff.f.check(OpStat); err != nil {
+		return nil, err
+	}
+	return ff.File.Stat()
+}
+
+// IsInjected reports whether err carries one of the injector's canonical
+// errors (tests distinguish scripted failures from real ones).
+func IsInjected(err error) bool {
+	return errors.Is(err, ErrNoSpace) || errors.Is(err, ErrIO)
+}

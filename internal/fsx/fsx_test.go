@@ -1,0 +1,172 @@
+package fsx
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// TestOSRoundTrip: the passthrough implementation behaves like the os
+// package for the full op surface the persistence layer uses.
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	f, err := OS.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := OS.ReadFile(path)
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	if err := OS.Rename(path, path+".2"); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := OS.ReadDir(dir)
+	if err != nil || len(ents) != 1 || ents[0].Name() != "f.2" {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+	if err := OS.Remove(path + ".2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFaultFailNth: only the scripted op fails; traffic before and after
+// passes.
+func TestFaultFailNth(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFault(OS)
+	ff.FailNth(OpWrite, 2, ErrNoSpace)
+
+	f, err := ff.OpenFile(filepath.Join(dir, "f"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("one")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if _, err := f.Write([]byte("two")); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("write 2 err = %v, want ErrNoSpace", err)
+	}
+	if _, err := f.Write([]byte("three")); err != nil {
+		t.Fatalf("write 3: %v (a non-trip rule must not latch)", err)
+	}
+}
+
+// TestFaultTripAndClear: a Trip rule latches — every later matching op
+// fails — until Clear heals the disk.
+func TestFaultTripAndClear(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFault(OS)
+	ff.Inject(Rule{Op: OpSync, Nth: 1, Err: ErrIO, Trip: true})
+
+	f, err := ff.OpenFile(filepath.Join(dir, "f"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for i := 0; i < 3; i++ {
+		if err := f.Sync(); !errors.Is(err, ErrIO) {
+			t.Fatalf("sync %d err = %v, want latched ErrIO", i, err)
+		}
+	}
+	ff.Clear()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync after Clear: %v", err)
+	}
+}
+
+// TestFaultShortWrite: a ShortWrite rule delivers half the payload before
+// failing — the torn tail a real mid-append ENOSPC leaves.
+func TestFaultShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFault(OS)
+	ff.Inject(Rule{Op: OpWrite, Nth: 2, Err: ErrNoSpace, ShortWrite: true})
+
+	path := filepath.Join(dir, "f")
+	f, err := ff.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("intact")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("TORNLINE"))
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("torn write err = %v, want ErrNoSpace", err)
+	}
+	if n != 4 {
+		t.Fatalf("torn write delivered %d bytes, want 4", n)
+	}
+	f.Close()
+	data, _ := os.ReadFile(path)
+	if string(data) != "intactTORN" {
+		t.Fatalf("file = %q, want torn half-line", data)
+	}
+}
+
+// TestFaultErrnoCompat: injected errors satisfy errors.Is against the
+// real errno values, so code checking for ENOSPC sees ENOSPC.
+func TestFaultErrnoCompat(t *testing.T) {
+	if !errors.Is(ErrNoSpace, syscall.ENOSPC) {
+		t.Fatal("ErrNoSpace does not unwrap to syscall.ENOSPC")
+	}
+	if !errors.Is(ErrIO, syscall.EIO) {
+		t.Fatal("ErrIO does not unwrap to syscall.EIO")
+	}
+	if !IsInjected(ErrNoSpace) || !IsInjected(ErrIO) || IsInjected(errors.New("x")) {
+		t.Fatal("IsInjected misclassifies")
+	}
+}
+
+// TestFaultOpClasses: each FS-level op routes through its own class, so a
+// rule on one class never fails another.
+func TestFaultOpClasses(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFault(OS)
+	ff.FailOp(OpRename, ErrIO)
+
+	// Everything except rename works.
+	if err := ff.MkdirAll(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ff.CreateTemp(dir, "t-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("x"))
+	f.Close()
+	if err := ff.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ff.Stat(f.Name()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ff.ReadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := ff.Rename(f.Name(), filepath.Join(dir, "renamed")); !errors.Is(err, ErrIO) {
+		t.Fatalf("rename err = %v, want ErrIO", err)
+	}
+	if err := ff.Remove(f.Name()); err != nil {
+		t.Fatal(err)
+	}
+	if ff.Count(OpRename) != 1 || ff.Count(OpOpen) != 1 {
+		t.Fatalf("counts: rename=%d open=%d", ff.Count(OpRename), ff.Count(OpOpen))
+	}
+}

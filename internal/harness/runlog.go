@@ -6,6 +6,7 @@ import (
 	"os"
 	"sync"
 
+	"repro/internal/fsx"
 	"repro/internal/journal"
 )
 
@@ -33,7 +34,12 @@ type RunLog struct {
 // file), stamped with the producing command's kind and the sweep's config
 // fingerprint.
 func CreateRunLog(path, kind, fingerprint string, slots []string) (*RunLog, error) {
-	j, err := journal.Create(path, kind, fingerprint, slots)
+	return CreateRunLogOn(fsx.OS, path, kind, fingerprint, slots)
+}
+
+// CreateRunLogOn is CreateRunLog over an injectable filesystem.
+func CreateRunLogOn(fsys fsx.FS, path, kind, fingerprint string, slots []string) (*RunLog, error) {
+	j, err := journal.CreateOn(fsys, path, kind, fingerprint, slots)
 	if err != nil {
 		return nil, err
 	}
@@ -46,10 +52,15 @@ func CreateRunLog(path, kind, fingerprint string, slots []string) (*RunLog, erro
 // start, so the log is created instead. A journal for a different
 // configuration (fingerprint mismatch) or a corrupt one fails loudly.
 func OpenRunLog(path, kind, fingerprint string, slots []string) (*RunLog, error) {
-	if _, err := os.Stat(path); os.IsNotExist(err) {
-		return CreateRunLog(path, kind, fingerprint, slots)
+	return OpenRunLogOn(fsx.OS, path, kind, fingerprint, slots)
+}
+
+// OpenRunLogOn is OpenRunLog over an injectable filesystem.
+func OpenRunLogOn(fsys fsx.FS, path, kind, fingerprint string, slots []string) (*RunLog, error) {
+	if _, err := fsys.Stat(path); err != nil && os.IsNotExist(err) {
+		return CreateRunLogOn(fsys, path, kind, fingerprint, slots)
 	}
-	j, recs, err := journal.Open(path, kind, fingerprint)
+	j, recs, err := journal.OpenOn(fsys, path, kind, fingerprint)
 	if err != nil {
 		return nil, err
 	}

@@ -44,6 +44,8 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+
+	"repro/internal/fsx"
 )
 
 // Version is the journal format version. A version bump invalidates old
@@ -94,7 +96,7 @@ type Record struct {
 // Journal is an open journal file in append mode. Not safe for
 // concurrent use; the sweep serializes appends through its own lock.
 type Journal struct {
-	f    *os.File
+	f    fsx.File
 	path string
 	seq  int // last sequence number written or replayed
 }
@@ -131,20 +133,18 @@ func parseLine(ln string) ([]byte, error) {
 // and a crash before the directory reaches stable storage can lose the
 // file wholesale. Callers creating, renaming, or removing durable files
 // follow up with SyncDir on the parent.
-func SyncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("sync dir: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
+func SyncDir(dir string) error { return SyncDirOn(fsx.OS, dir) }
+
+// SyncDirOn is SyncDir over an injectable filesystem.
+func SyncDirOn(fsys fsx.FS, dir string) error {
+	if err := fsys.SyncDir(dir); err != nil {
 		return fmt.Errorf("sync dir %s: %w", dir, err)
 	}
 	return nil
 }
 
 // writeHeader writes and syncs the header line into f.
-func writeHeader(f *os.File, kind, fingerprint string, slots []string) error {
+func writeHeader(f fsx.File, kind, fingerprint string, slots []string) error {
 	hdr, err := json.Marshal(Header{V: Version, Kind: kind, Fingerprint: fingerprint, Slots: slots})
 	if err != nil {
 		return fmt.Errorf("journal: marshal header: %w", err)
@@ -163,7 +163,13 @@ func writeHeader(f *os.File, kind, fingerprint string, slots []string) error {
 // is truncated: the caller decides create-vs-resume, the journal just
 // obeys.
 func Create(path, kind, fingerprint string, slots []string) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	return CreateOn(fsx.OS, path, kind, fingerprint, slots)
+}
+
+// CreateOn is Create over an injectable filesystem, so tests (and the
+// daemon's chaos suite) can script the disk failing underneath it.
+func CreateOn(fsys fsx.FS, path, kind, fingerprint string, slots []string) (*Journal, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("journal: create: %w", err)
 	}
@@ -174,7 +180,7 @@ func Create(path, kind, fingerprint string, slots []string) (*Journal, error) {
 	// The header is durable in the file, but the file's own directory
 	// entry is not until the directory is synced: a crash here could
 	// otherwise lose the just-created journal entirely.
-	if err := SyncDir(filepath.Dir(path)); err != nil {
+	if err := SyncDirOn(fsys, filepath.Dir(path)); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("journal: create: %w", err)
 	}
@@ -188,7 +194,12 @@ func Create(path, kind, fingerprint string, slots []string) (*Journal, error) {
 // order (later records for the same slot supersede earlier ones; the
 // caller applies that policy).
 func Open(path, kind, fingerprint string) (*Journal, []Record, error) {
-	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	return OpenOn(fsx.OS, path, kind, fingerprint)
+}
+
+// OpenOn is Open over an injectable filesystem.
+func OpenOn(fsys fsx.FS, path, kind, fingerprint string) (*Journal, []Record, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
 		return nil, nil, fmt.Errorf("journal: open: %w", err)
 	}
@@ -225,7 +236,7 @@ func Open(path, kind, fingerprint string) (*Journal, []Record, error) {
 // replay validates the whole file: header first, then records. It
 // returns the good records and the byte offset of the end of the last
 // good line (the truncation point when the tail is torn).
-func replay(f *os.File, kind, fingerprint string) (recs []Record, keep int64, err error) {
+func replay(f fsx.File, kind, fingerprint string) (recs []Record, keep int64, err error) {
 	type badLine struct {
 		n   int // 1-based line number
 		err error

@@ -1,0 +1,186 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/journal"
+)
+
+// tmpOrphanAge guards the periodic tmp sweep: a temp file this old with
+// no registered in-flight writer is an orphan from a crashed Put, not a
+// write in progress. The startup sweep needs no age guard — nothing can
+// be in flight before the server exists.
+const tmpOrphanAge = 30 * time.Second
+
+// gcLoop runs the periodic state-dir garbage collection until drain
+// begins (a draining server's remaining work is finishing requests, not
+// housekeeping).
+func (s *Server) gcLoop() {
+	t := time.NewTicker(s.cfg.GCInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.runGC(false)
+		case <-s.cfg.Drain.Done():
+			return
+		}
+	}
+}
+
+// runGC is one garbage-collection pass over the state dir: remove
+// orphaned temp files, quarantines old enough to have been inspected,
+// and journals whose fingerprint's result is already cached; then
+// re-measure usage and evict LRU cache entries down to the byte quota.
+// GC is strictly advisory — every failure is counted and logged, none
+// flips degraded mode or fails a request.
+func (s *Server) runGC(startup bool) {
+	s.m.gcRuns.Inc()
+	s.gcDir(s.cache.dir, startup, false)
+	s.gcDir(s.journalDir, startup, true)
+	s.enforceQuota()
+}
+
+// gcDir sweeps one state-dir subdirectory. journals selects the extra
+// subsumed-journal rule.
+func (s *Server) gcDir(dir string, startup, journals bool) {
+	ents, err := s.fs.ReadDir(dir)
+	if err != nil {
+		s.cfg.Logf("gc: scan %s: %v", dir, err)
+		s.m.gcFailures.Inc()
+		return
+	}
+	now := time.Now()
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		path := filepath.Join(dir, name)
+		switch {
+		case strings.Contains(name, ".tmp-"):
+			// A crashed Put's half-written temp file. At startup every one
+			// is an orphan; while serving, skip registered in-flight writes
+			// and anything too young to judge.
+			if !startup {
+				if s.cache.TmpInFlight(name) {
+					continue
+				}
+				info, err := e.Info()
+				if err != nil || now.Sub(info.ModTime()) < tmpOrphanAge {
+					continue
+				}
+			}
+			s.gcRemove(path, s.m.gcRemovedTmp, "orphaned temp file")
+		case strings.Contains(name, ".corrupt"):
+			// Quarantines are evidence; keep them long enough for a
+			// post-mortem, then reclaim the space.
+			info, err := e.Info()
+			if err != nil || now.Sub(info.ModTime()) < s.cfg.CorruptAge {
+				continue
+			}
+			s.gcRemove(path, s.m.gcRemovedCorrupt, "aged quarantine")
+		case journals && strings.HasSuffix(name, ".journal"):
+			// A journal whose fingerprint already has a cached result is
+			// fully subsumed: a repeat request hits the cache and never
+			// opens it (normally the handler removes it after a successful
+			// cache write; a crash between the two leaves this orphan).
+			fp := journalFingerprint(name)
+			if fp == "" || !s.cache.Has(fp) {
+				continue
+			}
+			s.gcRemove(path, s.m.gcRemovedJournal, "journal subsumed by cache entry")
+		}
+	}
+}
+
+// journalFingerprint extracts the fingerprint prefix from a journal file
+// name (<fp>.journal or <fp>-<requestid>.journal). Fingerprints are
+// sha256 hex, so the first 64 bytes are the whole key; anything shorter
+// is not ours and is left alone.
+func journalFingerprint(name string) string {
+	base := strings.TrimSuffix(name, ".journal")
+	if len(base) < 64 {
+		return ""
+	}
+	fp := base[:64]
+	if len(base) > 64 && base[64] != '-' {
+		return ""
+	}
+	return fp
+}
+
+// gcRemove removes one file, counting the outcome. A vanished file is
+// success — someone else (a handler, a concurrent pass) got there first.
+func (s *Server) gcRemove(path string, counter interface{ Inc() }, why string) {
+	if err := s.fs.Remove(path); err != nil {
+		if os.IsNotExist(err) {
+			return
+		}
+		s.cfg.Logf("gc: remove %s: %v", path, err)
+		s.m.gcFailures.Inc()
+		return
+	}
+	counter.Inc()
+	s.cfg.Logf("gc: removed %s (%s)", path, why)
+}
+
+// stateUsage sums the state dir's file sizes (journals + cache, one
+// level deep — the layout has no nesting).
+func (s *Server) stateUsage() int64 {
+	var total int64
+	for _, dir := range []string{s.journalDir, s.cache.dir} {
+		ents, err := s.fs.ReadDir(dir)
+		if err != nil {
+			continue
+		}
+		for _, e := range ents {
+			if e.IsDir() {
+				continue
+			}
+			if info, err := e.Info(); err == nil {
+				total += info.Size()
+			}
+		}
+	}
+	return total
+}
+
+// enforceQuota publishes the state dir's size and, when a quota is set
+// and exceeded, evicts least-recently-used cache entries until the dir
+// fits. Only cache entries are evicted: a journal is checkpoint state
+// for an in-flight or interrupted sweep, and deleting one trades
+// durability for space — the wrong trade for a budget mechanism. An
+// evicted fingerprint simply recomputes (and re-caches) on next request.
+func (s *Server) enforceQuota() {
+	total := s.stateUsage()
+	s.m.stateBytes.Set(total)
+	if s.cfg.StateQuota <= 0 || total <= s.cfg.StateQuota {
+		return
+	}
+	evicted := 0
+	for _, ent := range s.cache.LRU() {
+		if total <= s.cfg.StateQuota {
+			break
+		}
+		if err := s.cache.Remove(ent.key); err != nil {
+			s.cfg.Logf("gc: evict %s: %v", ent.key, err)
+			s.m.gcFailures.Inc()
+			continue
+		}
+		s.m.evictedEntries.Inc()
+		total -= ent.size
+		evicted++
+		s.cfg.Logf("gc: evicted cache entry %s (%d bytes, LRU) for quota", short(ent.key), ent.size)
+	}
+	if evicted > 0 {
+		if err := journal.SyncDirOn(s.fs, s.cache.dir); err != nil {
+			s.cfg.Logf("gc: %v", err)
+		}
+		s.cache.SaveIndex()
+	}
+	s.m.stateBytes.Set(s.stateUsage())
+}

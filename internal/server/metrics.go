@@ -35,12 +35,41 @@ type serverMetrics struct {
 	sweepsResumed      metrics.Counter // requests that picked up a journal
 	resumedRuns        metrics.Counter // runs replayed instead of executed
 	coalesced          metrics.Counter // requests served by another's result
+
+	// Streaming: clients too slow to drain their own progress stream.
+	rejectedSlowClient metrics.Counter
+
+	// Persistence health: the degraded (no-persistence) mode switch, the
+	// failures that flipped it (by failing operation), and recoveries.
+	persistDegraded       metrics.Gauge // 1 while degraded, else 0
+	degradedJournalCreate metrics.Counter
+	degradedJournalAppend metrics.Counter
+	degradedCachePut      metrics.Counter
+	persistRecovered      metrics.Counter
+
+	// State-dir budgeting: live usage, quota evictions, GC activity.
+	stateBytes       metrics.Gauge
+	evictedEntries   metrics.Counter
+	gcRuns           metrics.Counter
+	gcFailures       metrics.Counter
+	gcRemovedTmp     metrics.Counter
+	gcRemovedCorrupt metrics.Counter
+	gcRemovedJournal metrics.Counter
 }
 
 func newServerMetrics(r *metrics.Registry) *serverMetrics {
 	rejected := r.CounterVec("hetsimd_rejected_total",
-		"Requests rejected before execution, by reason (busy=429, queue_deadline=504, draining=503, canceled=client gone).",
+		"Requests rejected or cut short, by reason (busy=429, queue_deadline=504, draining=503, canceled=client gone, slow_client=stalled stream reader disconnected).",
 		"reason")
+	degraded := r.CounterVec("hetsimd_persist_degraded_total",
+		"Persistence failures that flipped (or kept) the daemon in degraded no-persistence mode, by failing operation.",
+		"op")
+	removed := r.CounterVec("hetsimd_gc_removed_total",
+		"State-dir files removed by garbage collection, by kind (tmp=orphaned temp files, corrupt=aged quarantines, journal=journals subsumed by a cache entry).",
+		"kind")
+	evicted := r.CounterVec("hetsimd_evicted_total",
+		"Files evicted to keep the state dir under its byte quota, by kind.",
+		"kind")
 	return &serverMetrics{
 		requests: r.CounterVec("hetsimd_http_requests_total",
 			"HTTP requests served, by route and final status code.", "route", "code"),
@@ -72,5 +101,23 @@ func newServerMetrics(r *metrics.Registry) *serverMetrics {
 			"Runs replayed from checkpoint journals instead of executed."),
 		coalesced: r.Counter("hetsimd_coalesced_total",
 			"Requests that waited on an identical in-flight request and were served its result."),
+		rejectedSlowClient: rejected.With("slow_client"),
+		persistDegraded: r.Gauge("hetsimd_persist_degraded",
+			"1 while the daemon is in degraded no-persistence mode (serving from memory, not journaling or caching), else 0."),
+		degradedJournalCreate: degraded.With("journal_create"),
+		degradedJournalAppend: degraded.With("journal_append"),
+		degradedCachePut:      degraded.With("cache_put"),
+		persistRecovered: r.Counter("hetsimd_persist_recovered_total",
+			"Times the persistence probe succeeded and the daemon left degraded mode."),
+		stateBytes: r.Gauge("hetsimd_state_bytes",
+			"Total bytes in the state dir (journals + cache) at the last GC or quota check."),
+		evictedEntries: evicted.With("entry"),
+		gcRuns: r.Counter("hetsimd_gc_runs_total",
+			"State-dir garbage-collection passes completed (startup plus periodic)."),
+		gcFailures: r.Counter("hetsimd_gc_failures_total",
+			"Individual removals or evictions the garbage collector attempted and could not complete."),
+		gcRemovedTmp:     removed.With("tmp"),
+		gcRemovedCorrupt: removed.With("corrupt"),
+		gcRemovedJournal: removed.With("journal"),
 	}
 }

@@ -40,11 +40,13 @@ import (
 	"runtime/debug"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/bench"
 	"repro/internal/experiments"
+	"repro/internal/fsx"
 	"repro/internal/harness"
 	"repro/internal/journal"
 	"repro/internal/metrics"
@@ -68,6 +70,11 @@ const (
 	// so identical requests produce byte-identical (and so cacheable)
 	// documents.
 	HeaderWallMs = "X-Hetsimd-Wall-Ms"
+	// HeaderPersist reports the daemon's persistence health for this
+	// response: "ok", or "degraded" when a state-dir failure has the
+	// daemon serving correct results from memory without checkpointing
+	// or memoizing them (see persistGuard).
+	HeaderPersist = "X-Hetsimd-Persist"
 )
 
 // Config parameterizes a Server.
@@ -101,17 +108,47 @@ type Config struct {
 	// the harness and journal layers already feed, so one scrape covers
 	// HTTP, admission, cache, and run-lifecycle counters together.
 	Metrics *metrics.Registry
+	// FS is the filesystem every persistence operation goes through —
+	// journals, the result cache, GC, the recovery probe. Nil means the
+	// real OS filesystem; the chaos tests inject an *fsx.Fault here to
+	// script disk failures underneath live requests.
+	FS fsx.FS
+	// StateQuota caps the state dir's total size in bytes. When a pass of
+	// the garbage collector (or a completed request) finds the dir over
+	// budget, least-recently-used cache entries are evicted until it
+	// fits; evicted fingerprints recompute on next request. 0 = no limit.
+	StateQuota int64
+	// GCInterval spaces the periodic state-dir garbage-collection passes
+	// (orphaned temp files, aged quarantines, subsumed journals, quota
+	// enforcement). 0 = every minute; negative disables the periodic
+	// loop (the startup pass still runs).
+	GCInterval time.Duration
+	// CorruptAge is how long quarantined *.corrupt files are kept for
+	// post-mortem inspection before GC reclaims them. 0 = 24h.
+	CorruptAge time.Duration
+	// StreamWriteTimeout bounds each frame write on a streamed
+	// (?stream=sse|ndjson) response; a client that stalls longer is
+	// disconnected and its request canceled, so a dead reader cannot
+	// park a pool worker on a full socket buffer. 0 = 1m; negative
+	// disables the deadline.
+	StreamWriteTimeout time.Duration
+	// ProbeInterval is the initial backoff of the persistence recovery
+	// probe after the daemon degrades (doubles per failure, capped at
+	// 30s). 0 = 1s.
+	ProbeInterval time.Duration
 }
 
 // Server is the sweep-as-a-service request layer. Build with New, mount
 // with Handler.
 type Server struct {
 	cfg        Config
+	fs         fsx.FS
 	gate       *Gate
 	cache      *Cache
 	journalDir string
 	locks      sync.Map // fingerprint -> *sync.Mutex (sweep singleflight)
 	m          *serverMetrics
+	persist    *persistGuard
 
 	// Execution seams, overridden by tests to substitute deterministic
 	// stand-ins for the simulator.
@@ -148,11 +185,26 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.Default
 	}
+	if cfg.FS == nil {
+		cfg.FS = fsx.OS
+	}
+	if cfg.GCInterval == 0 {
+		cfg.GCInterval = time.Minute
+	}
+	if cfg.CorruptAge == 0 {
+		cfg.CorruptAge = 24 * time.Hour
+	}
+	if cfg.StreamWriteTimeout == 0 {
+		cfg.StreamWriteTimeout = time.Minute
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = time.Second
+	}
 	journalDir := filepath.Join(cfg.StateDir, "journals")
-	if err := os.MkdirAll(journalDir, 0o755); err != nil {
+	if err := cfg.FS.MkdirAll(journalDir, 0o755); err != nil {
 		return nil, fmt.Errorf("server: state dir: %w", err)
 	}
-	cache, err := NewCache(filepath.Join(cfg.StateDir, "cache"), cfg.Logf)
+	cache, err := NewCacheFS(cfg.FS, filepath.Join(cfg.StateDir, "cache"), cfg.Logf)
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
@@ -160,15 +212,25 @@ func New(cfg Config) (*Server, error) {
 	cache.onQuarantine = m.cacheQuarantined.Inc
 	gate := NewGate(cfg.Pool, cfg.Queue)
 	gate.Instrument(m.inFlight, m.waiting)
-	return &Server{
+	s := &Server{
 		cfg:        cfg,
+		fs:         cfg.FS,
 		gate:       gate,
 		cache:      cache,
 		journalDir: journalDir,
 		m:          m,
 		runSweep:   experiments.RunSweep,
 		runOne:     harness.Run,
-	}, nil
+	}
+	s.persist = &persistGuard{s: s}
+	// Startup GC: reclaim what a previous process's crash left behind
+	// (half-written temp files, journals already subsumed by cache
+	// entries) before serving, then keep the dir tidy periodically.
+	s.runGC(true)
+	if cfg.GCInterval > 0 {
+		go s.gcLoop()
+	}
+	return s, nil
 }
 
 // Handler returns the daemon's HTTP handler tree.
@@ -217,12 +279,12 @@ func (sw *statusWriter) status() int {
 	return sw.code
 }
 
-// Flush keeps the wrapped writer usable for streaming responses.
-func (sw *statusWriter) Flush() {
-	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
-		f.Flush()
-	}
-}
+// Unwrap exposes the underlying writer to http.ResponseController, which
+// is how streamed responses reach the real connection's Flush and
+// per-write deadlines. statusWriter deliberately implements no Flush of
+// its own: a swallowing Flush here would mask the write errors the
+// slow-client guard keys off.
+func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
 
 // routeLabel maps a request path to its metrics label. The set is fixed —
 // unknown paths collapse to "other" — so a scanner probing random URLs
@@ -329,8 +391,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(map[string]any{
 		"status":        "ok",
 		"draining":      s.draining(),
+		"persist":       s.persist.status(),
 		"gate":          s.gate.Stats(),
 		"cache_entries": s.cache.Len(),
+		"state_bytes":   s.m.stateBytes.Value(),
 	})
 }
 
@@ -344,8 +408,19 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "draining\n")
 		return
 	}
+	// Degraded persistence is a warning, not an outage: the daemon still
+	// serves correct results from memory, so it stays ready (200) and
+	// only the detail flips — pulling a degraded instance out of rotation
+	// would turn a disk hiccup into lost capacity.
+	doc := map[string]string{"status": "ready", "persist": s.persist.status()}
+	if op, perr, degraded := s.persist.detail(); degraded {
+		doc["persist_op"] = op
+		if perr != nil {
+			doc["persist_error"] = perr.Error()
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]string{"status": "ready"})
+	json.NewEncoder(w).Encode(doc)
 }
 
 // handleVersion reports what binary is serving: module path and version,
@@ -420,9 +495,13 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, deadline time.Dur
 		return nil, nil, nil, false
 	}
 	reqCtx := r.Context()
-	cancel := context.CancelFunc(func() {})
+	var cancel context.CancelFunc
 	if deadline > 0 {
 		reqCtx, cancel = context.WithTimeout(reqCtx, deadline)
+	} else {
+		// Always cancelable: the slow-client guard aborts a request whose
+		// stream reader stalled by canceling this context.
+		reqCtx, cancel = context.WithCancel(reqCtx)
 	}
 	wait0 := time.Now()
 	release, err := s.gate.Admit(reqCtx, weight)
@@ -460,10 +539,12 @@ func (s *Server) serveDoc(w http.ResponseWriter, st *streamer, body []byte, cach
 	} else {
 		s.m.cacheMisses.Inc()
 	}
+	persist := s.persist.status()
 	if st != nil {
 		if !st.started {
 			w.Header().Set(HeaderCache, cache)
 			w.Header().Set(HeaderWallMs, strconv.FormatInt(wall.Milliseconds(), 10))
+			w.Header().Set(HeaderPersist, persist)
 		}
 		st.result(body)
 		return
@@ -471,6 +552,7 @@ func (s *Server) serveDoc(w http.ResponseWriter, st *streamer, body []byte, cach
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set(HeaderCache, cache)
 	w.Header().Set(HeaderWallMs, strconv.FormatInt(wall.Milliseconds(), 10))
+	w.Header().Set(HeaderPersist, persist)
 	w.Write(body)
 }
 
@@ -491,9 +573,18 @@ func (s *Server) fpLock(fp string) *sync.Mutex {
 // left which checkpoint. Callers hold the fingerprint's singleflight
 // lock, so at most one journal per fingerprint exists at a time.
 func (s *Server) journalPath(fp, requestID string) string {
-	if matches, _ := filepath.Glob(filepath.Join(s.journalDir, fp+"*.journal")); len(matches) > 0 {
+	var matches []string
+	if ents, err := s.fs.ReadDir(s.journalDir); err == nil {
+		for _, e := range ents {
+			n := e.Name()
+			if strings.HasPrefix(n, fp) && strings.HasSuffix(n, ".journal") {
+				matches = append(matches, n)
+			}
+		}
+	}
+	if len(matches) > 0 {
 		sort.Strings(matches)
-		return matches[0]
+		return filepath.Join(s.journalDir, matches[0])
 	}
 	name := fp + ".journal"
 	if requestID != "" {
@@ -508,21 +599,26 @@ func (s *Server) journalPath(fp, requestID string) string {
 // and a fresh one begins: the robust daemon recomputes, it never wedges a
 // fingerprint on damaged state.
 func (s *Server) openJournal(path string, p *sweepParams) (*harness.RunLog, error) {
-	state, err := experiments.OpenStateAt(path, JournalKind, true, p.size, p.opts)
+	state, err := experiments.OpenStateAtFS(s.fs, path, JournalKind, true, p.size, p.opts)
 	if err == nil {
 		return state, nil
 	}
 	if errors.Is(err, journal.ErrCorrupt) || errors.Is(err, journal.ErrFingerprint) {
 		s.m.journalQuarantined.Inc()
-		q := path + ".corrupt"
-		if rerr := os.Rename(path, q); rerr != nil {
+		// The destination is unique (.corrupt, .corrupt.1, ...): repeated
+		// damage to one fingerprint keeps every specimen instead of
+		// overwriting the previous one.
+		q := uniqueQuarantinePath(s.fs, path)
+		if rerr := s.fs.Rename(path, q); rerr != nil {
 			return nil, fmt.Errorf("quarantine %s: %w (journal was bad: %v)", path, rerr, err)
 		}
-		if serr := journal.SyncDir(s.journalDir); serr != nil {
+		now := time.Now()
+		s.fs.Chtimes(q, now, now) // age from quarantine time, for GC
+		if serr := journal.SyncDirOn(s.fs, s.journalDir); serr != nil {
 			s.cfg.Logf("journal quarantine: %v", serr)
 		}
 		s.cfg.Logf("quarantined bad journal %s -> %s: %v", path, q, err)
-		return experiments.OpenStateAt(path, JournalKind, false, p.size, p.opts)
+		return experiments.OpenStateAtFS(s.fs, path, JournalKind, false, p.size, p.opts)
 	}
 	return nil, err
 }
@@ -594,7 +690,18 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	defer cancel()
 	defer release()
-	st := newStreamer(w, format)
+	streamTimeout := s.cfg.StreamWriteTimeout
+	if streamTimeout < 0 {
+		streamTimeout = 0
+	}
+	st := newStreamer(w, format, streamTimeout, func() {
+		// The reader stalled past the per-write deadline: count it, drop
+		// the connection's work by canceling the request, and let the
+		// broken streamer swallow the remaining frames.
+		s.m.rejectedSlowClient.Inc()
+		s.cfg.Logf("sweep %s: stream reader stalled past %v; canceling request", short(p.fingerprint), streamTimeout)
+		cancel()
+	})
 
 	// Fast path: the fingerprint's result is already on disk, verified.
 	if body, ok := s.cache.Get(p.fingerprint); ok {
@@ -613,11 +720,19 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The journal is a safety net, not a prerequisite: if persistence is
+	// (or goes) degraded, the sweep runs entirely from memory — a nil
+	// RunLog ignores every call — and the response is identical. A
+	// persistence failure is never a request failure.
+	var state *harness.RunLog
 	jpath := s.journalPath(p.fingerprint, requestID)
-	state, err := s.openJournal(jpath, p)
-	if err != nil {
-		s.fail(w, st, http.StatusInternalServerError, "internal", "checkpoint journal: "+err.Error())
-		return
+	if s.persist.ok() {
+		j, jerr := s.openJournal(jpath, p)
+		if jerr != nil {
+			s.persist.degrade(opJournalCreate, jerr)
+		} else {
+			state = j
+		}
 	}
 	resumed := state.ReplayedCount()
 	if resumed > 0 {
@@ -652,7 +767,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	res, _ := s.runSweep(p.size, opts)
 	if jerr := state.Err(); jerr != nil {
-		s.cfg.Logf("sweep %s: journaling failed mid-sweep: %v", short(p.fingerprint), jerr)
+		// Appends started failing mid-sweep (the RunLog's sticky error
+		// already downgraded the rest of the sweep to un-journaled);
+		// completed runs stayed in memory and the response is unaffected.
+		s.persist.degrade(opJournalAppend, jerr)
 	}
 	state.Close()
 
@@ -684,19 +802,24 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	body := append(data, '\n')
-	if err := s.cache.Put(p.fingerprint, body); err != nil {
-		// The cache is an accelerator: failure to memoize must not fail
-		// the request. The journal stays put so nothing is lost.
-		s.cfg.Logf("sweep %s: cache write failed: %v", short(p.fingerprint), err)
-	} else {
-		// The cache entry subsumes the journal; drop it so the state
-		// dir stays bounded by distinct fingerprints, not request
-		// history. (A crash between Put and Remove leaves both; the
-		// cache hit wins and the orphan journal is harmless.)
-		if err := os.Remove(jpath); err != nil {
-			s.cfg.Logf("sweep %s: removing subsumed journal: %v", short(p.fingerprint), err)
-		} else if err := journal.SyncDir(s.journalDir); err != nil {
-			s.cfg.Logf("sweep %s: %v", short(p.fingerprint), err)
+	if s.persist.ok() {
+		if err := s.cache.Put(p.fingerprint, body); err != nil {
+			// The cache is an accelerator: failure to memoize must not
+			// fail the request. The journal stays put so nothing is lost.
+			s.persist.degrade(opCachePut, err)
+		} else {
+			// The cache entry subsumes the journal; drop it so the state
+			// dir stays bounded by distinct fingerprints, not request
+			// history. (A crash between Put and Remove leaves both; the
+			// cache hit wins and GC reaps the orphan journal.)
+			if err := s.fs.Remove(jpath); err != nil && !os.IsNotExist(err) {
+				s.cfg.Logf("sweep %s: removing subsumed journal: %v", short(p.fingerprint), err)
+			} else if err := journal.SyncDirOn(s.fs, s.journalDir); err != nil {
+				s.cfg.Logf("sweep %s: %v", short(p.fingerprint), err)
+			}
+			if s.cfg.StateQuota > 0 {
+				s.enforceQuota()
+			}
 		}
 	}
 	if st == nil {
@@ -749,9 +872,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	// (deadline, drain's hard stage, client disconnect), not a result:
 	// serve it structured, but never memoize it — the same rule the
 	// journal applies.
-	if out.Err == nil || out.Err.Kind != harness.KindCanceled {
+	if (out.Err == nil || out.Err.Kind != harness.KindCanceled) && s.persist.ok() {
 		if err := s.cache.Put(p.fingerprint, body); err != nil {
-			s.cfg.Logf("run %s: cache write failed: %v", short(p.fingerprint), err)
+			s.persist.degrade(opCachePut, err)
+		} else if s.cfg.StateQuota > 0 {
+			s.enforceQuota()
 		}
 	}
 	s.serveDoc(w, nil, body, "miss", time.Since(t0))

@@ -1,0 +1,68 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"net/url"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/experiments"
+	"repro/internal/harness"
+	"repro/internal/metrics"
+)
+
+// TestSlowClientStreamDropped: a client that opens a progress stream and
+// never reads it must not park a pool worker forever on a full socket
+// buffer. The per-write deadline trips, the connection is dropped, the
+// request is canceled (so the simulation work stops), and the drop is
+// counted under hetsimd_rejected_total{reason="slow_client"}.
+func TestSlowClientStreamDropped(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s, ts := newTestServer(t, func(c *Config) {
+		c.Metrics = reg
+		c.StreamWriteTimeout = 150 * time.Millisecond
+		c.GCInterval = -1
+	})
+	done := make(chan struct{})
+	s.runSweep = func(size bench.Size, opts experiments.SweepOpts) (*experiments.Results, []harness.RunError) {
+		defer close(done)
+		// Pump progress frames until the slow-client guard cancels the
+		// request. Each frame lands in the never-drained socket buffer;
+		// once it fills, the write blocks and the deadline fires.
+		for i := 0; opts.Ctx.Err() == nil; i++ {
+			opts.Progress.Start(fmt.Sprintf("run-%d", i))
+		}
+		return stubSweepResults(size), nil
+	}
+
+	u, err := url.Parse(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", u.Host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	body := `{}`
+	fmt.Fprintf(conn, "POST /v1/sweep?stream=ndjson HTTP/1.1\r\nHost: %s\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n%s",
+		u.Host, len(body), body)
+	// Deliberately never read the response.
+
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("sweep was never canceled; the stalled stream parked the worker")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if reg.Snapshot()[`hetsimd_rejected_total{reason="slow_client"}`] >= 1 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf(`rejected_total{reason="slow_client"} = %v, want >= 1`,
+		reg.Snapshot()[`hetsimd_rejected_total{reason="slow_client"}`])
+}

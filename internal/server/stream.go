@@ -2,9 +2,11 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 
 	"repro/internal/sweep"
 )
@@ -42,21 +44,33 @@ func parseStream(v string) (streamFormat, error) {
 // over plain HTTP. Writes are serialized by a mutex: progress events
 // arrive from pool workers (already serialized by the Tracker's lock, but
 // the final frame comes from the handler goroutine).
+//
+// Each frame is written under a deadline (timeout, 0 = none): a client
+// that opens a stream and stops reading would otherwise park a pool
+// worker's progress callback on a full TCP send buffer for as long as
+// the kernel keeps the dead connection. When a write misses its
+// deadline or fails, the streamer latches broken — every later frame is
+// a silent no-op — and fires onStall exactly once, which the handler
+// wires to cancel the request so the simulation work stops too.
 type streamer struct {
 	mu      sync.Mutex
 	w       http.ResponseWriter
-	flush   http.Flusher
+	rc      *http.ResponseController
 	format  streamFormat
+	timeout time.Duration
+	onStall func()
 	started bool
+	broken  bool
 }
 
 // newStreamer prepares a streamer on w, or nil if format is streamNone.
-func newStreamer(w http.ResponseWriter, format streamFormat) *streamer {
+// timeout bounds each frame write; onStall (may be nil) fires once on the
+// first stalled or failed write.
+func newStreamer(w http.ResponseWriter, format streamFormat, timeout time.Duration, onStall func()) *streamer {
 	if format == streamNone {
 		return nil
 	}
-	f, _ := w.(http.Flusher)
-	return &streamer{w: w, flush: f, format: format}
+	return &streamer{w: w, rc: http.NewResponseController(w), format: format, timeout: timeout, onStall: onStall}
 }
 
 // header commits the response headers once.
@@ -80,14 +94,26 @@ func (s *streamer) header() {
 func (s *streamer) frame(kind string, payload any) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.broken {
+		return
+	}
 	s.header()
+	if s.timeout > 0 {
+		// Deadline errors (recorder-backed tests, HTTP/1.0 hijacked
+		// conns) mean "unsupported", not "stalled": proceed unbounded.
+		if err := s.rc.SetWriteDeadline(time.Now().Add(s.timeout)); err != nil && !errors.Is(err, http.ErrNotSupported) {
+			s.stall(err)
+			return
+		}
+	}
+	var werr error
 	switch s.format {
 	case streamSSE:
 		data, err := json.Marshal(payload)
 		if err != nil {
 			return
 		}
-		fmt.Fprintf(s.w, "event: %s\ndata: %s\n\n", kind, data)
+		_, werr = fmt.Fprintf(s.w, "event: %s\ndata: %s\n\n", kind, data)
 	case streamNDJSON:
 		// Tag the payload with its kind so each line is self-describing.
 		line := map[string]any{"event": kind, "data": payload}
@@ -95,10 +121,25 @@ func (s *streamer) frame(kind string, payload any) {
 		if err != nil {
 			return
 		}
-		s.w.Write(append(data, '\n'))
+		_, werr = s.w.Write(append(data, '\n'))
 	}
-	if s.flush != nil {
-		s.flush.Flush()
+	if werr == nil {
+		if err := s.rc.Flush(); err != nil && !errors.Is(err, http.ErrNotSupported) {
+			werr = err
+		}
+	}
+	if werr != nil {
+		s.stall(werr)
+	}
+}
+
+// stall latches the stream broken and fires onStall once. Callers hold
+// s.mu.
+func (s *streamer) stall(err error) {
+	s.broken = true
+	if s.onStall != nil {
+		s.onStall()
+		s.onStall = nil
 	}
 }
 
